@@ -1,0 +1,137 @@
+// Command lnic-bench regenerates the tables and figures of the λ-NIC
+// paper's evaluation (§6) on the simulated testbed and prints them as
+// text.
+//
+// Usage:
+//
+//	lnic-bench [-quick] [-seed N] [-experiment all|table1|fig6|fig7|fig8|table2|table3|table4|fig9]
+//
+// -quick shrinks sample counts and the benchmark image for fast runs;
+// the default configuration reproduces the numbers recorded in
+// EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lambdanic/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lnic-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lnic-bench", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "reduced sample counts and image size")
+	seed := fs.Int64("seed", 42, "simulation seed")
+	experiment := fs.String("experiment", "all",
+		"which experiment to run: all, table1, fig6, fig7, fig8, table2, table3, table4, fig9, optimizer, scaleout, loadcurve, nicclasses, ablations")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	cfg.Seed = *seed
+
+	want := strings.ToLower(*experiment)
+	ran := false
+	out := func(s string) {
+		fmt.Println(s)
+		ran = true
+	}
+
+	if want == "all" || want == "table1" {
+		out(experiments.RenderTable1(experiments.Table1()))
+	}
+	if want == "all" || want == "fig6" {
+		series, err := experiments.Figure6(cfg)
+		if err != nil {
+			return err
+		}
+		out(experiments.RenderFigure6(series))
+	}
+	if want == "all" || want == "fig7" {
+		points, err := experiments.Figure7(cfg)
+		if err != nil {
+			return err
+		}
+		out(experiments.RenderFigure7(points))
+	}
+	if want == "all" || want == "fig8" || want == "table2" {
+		results, err := experiments.Figure8Table2(cfg)
+		if err != nil {
+			return err
+		}
+		out(experiments.RenderFigure8Table2(results))
+	}
+	if want == "all" || want == "table3" {
+		rows, err := experiments.Table3(cfg)
+		if err != nil {
+			return err
+		}
+		out(experiments.RenderTable3(rows))
+	}
+	if want == "all" || want == "table4" {
+		rows, err := experiments.Table4(cfg)
+		if err != nil {
+			return err
+		}
+		out(experiments.RenderTable4(rows))
+	}
+	if want == "all" || want == "fig9" {
+		results, err := experiments.Figure9(cfg)
+		if err != nil {
+			return err
+		}
+		out(experiments.RenderFigure9(results))
+	}
+	if want == "all" || want == "scaleout" {
+		points, err := experiments.ScaleOut(cfg)
+		if err != nil {
+			return err
+		}
+		out(experiments.RenderScaleOut(points))
+	}
+	if want == "all" || want == "optimizer" {
+		r, err := experiments.MeasureOptimizerImpact(cfg)
+		if err != nil {
+			return err
+		}
+		out(experiments.RenderOptimizerImpact(r))
+	}
+	if want == "all" || want == "loadcurve" {
+		points, err := experiments.LoadLatencyCurve(cfg)
+		if err != nil {
+			return err
+		}
+		out(experiments.RenderLoadCurve(points))
+	}
+	if want == "all" || want == "nicclasses" {
+		results, err := experiments.SmartNICClasses(cfg)
+		if err != nil {
+			return err
+		}
+		out(experiments.RenderNICClasses(results))
+	}
+	if want == "all" || want == "ablations" {
+		results, err := experiments.Ablations(cfg)
+		if err != nil {
+			return err
+		}
+		out(experiments.RenderAblations(results))
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", *experiment)
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperiments(t *testing.T) {
+	// Fast experiments run end-to-end through the CLI entry point.
+	for _, exp := range []string{"table1", "table4", "fig9"} {
+		if err := run([]string{"-quick", "-experiment", exp}); err != nil {
+			t.Errorf("run(%s): %v", exp, err)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "bogus"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nonsense"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

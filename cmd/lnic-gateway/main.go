@@ -1,0 +1,124 @@
+// Command lnic-gateway runs the λ-NIC gateway (paper Fig. 2): it
+// proxies client requests to worker daemons by workload ID with
+// weakly-consistent delivery (timeout + retransmit) and round-robin
+// load balancing.
+//
+// Usage:
+//
+//	lnic-gateway -listen 127.0.0.1:8080 \
+//	    -route "1=127.0.0.1:9000,127.0.0.1:9001" -route "4=127.0.0.1:9000"
+//
+// Each -route maps one workload ID to its worker addresses. Stop with
+// SIGINT/SIGTERM.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"lambdanic/internal/gateway"
+	"lambdanic/internal/monitor"
+)
+
+// routeFlags collects repeated -route flags.
+type routeFlags []string
+
+func (r *routeFlags) String() string { return strings.Join(*r, ";") }
+
+func (r *routeFlags) Set(v string) error {
+	*r = append(*r, v)
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lnic-gateway:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lnic-gateway", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:8080", "UDP address to serve on")
+	var routes routeFlags
+	fs.Var(&routes, "route", "workloadID=addr1,addr2 (repeatable)")
+	metricsAddr := fs.String("metrics", "", "serve Prometheus-style metrics on this HTTP address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(routes) == 0 {
+		return fmt.Errorf("at least one -route is required")
+	}
+
+	conn, err := net.ListenPacket("udp", *listen)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	gw := gateway.New(conn)
+	defer gw.Close()
+
+	if *metricsAddr != "" {
+		reg := monitor.NewRegistry()
+		if err := gw.EnableMetrics(reg); err != nil {
+			return err
+		}
+		srv := &http.Server{Addr: *metricsAddr, Handler: reg.Handler()}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "lnic-gateway: metrics server:", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("lnic-gateway: metrics on http://%s/\n", *metricsAddr)
+	}
+
+	for _, spec := range routes {
+		id, addrs, err := parseRoute(spec)
+		if err != nil {
+			return err
+		}
+		gw.SetRoute(id, addrs)
+		fmt.Printf("lnic-gateway: workload %d -> %v\n", id, addrs)
+	}
+
+	fmt.Printf("lnic-gateway: serving on %v\n", gw.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("lnic-gateway: forwarded=%d unrouted=%d\n", gw.Forwarded(), gw.Unrouted())
+	return nil
+}
+
+func parseRoute(spec string) (uint32, []net.Addr, error) {
+	idPart, addrPart, ok := strings.Cut(spec, "=")
+	if !ok {
+		return 0, nil, fmt.Errorf("route %q: want id=addr,addr", spec)
+	}
+	id, err := strconv.ParseUint(idPart, 10, 32)
+	if err != nil {
+		return 0, nil, fmt.Errorf("route %q: bad workload id: %w", spec, err)
+	}
+	var addrs []net.Addr
+	for _, a := range strings.Split(addrPart, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		udp, err := net.ResolveUDPAddr("udp", a)
+		if err != nil {
+			return 0, nil, fmt.Errorf("route %q: %w", spec, err)
+		}
+		addrs = append(addrs, udp)
+	}
+	if len(addrs) == 0 {
+		return 0, nil, fmt.Errorf("route %q: no worker addresses", spec)
+	}
+	return uint32(id), addrs, nil
+}

@@ -1,0 +1,216 @@
+// Command lnicctl is the λ-NIC control CLI.
+//
+// Subcommands:
+//
+//	invoke   -gateway ADDR -workload NAME [-n COUNT] [-key K] [-page P]
+//	         invoke a deployed lambda through the gateway and print
+//	         latency statistics
+//	compile  compile the benchmark workload set and print the optimizer
+//	         trajectory (Figure 9)
+//	artifacts
+//	         print the per-backend deployment artifact model (Table 4)
+//	disasm   compile the benchmark workload set and print the optimized
+//	         firmware's disassembly
+//	compile-mcl FILE
+//	         compile a lambda written in the C-like source language and
+//	         print its size, disassembly, and static-assertion results
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"lambdanic/internal/core"
+	"lambdanic/internal/experiments"
+	"lambdanic/internal/matchlambda"
+	"lambdanic/internal/mcc"
+	"lambdanic/internal/mcl"
+	"lambdanic/internal/metrics"
+	"lambdanic/internal/transport"
+	"lambdanic/internal/workloads"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lnicctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: lnicctl <invoke|compile|artifacts> [flags]")
+	}
+	switch args[0] {
+	case "invoke":
+		return invoke(args[1:])
+	case "compile":
+		return compile()
+	case "artifacts":
+		return artifacts()
+	case "disasm":
+		return disasm()
+	case "compile-mcl":
+		return compileMCL(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func disasm() error {
+	naive, err := workloads.BuildNaiveProgram(workloads.DefaultSet(), workloads.NaiveProgramTarget)
+	if err != nil {
+		return err
+	}
+	opt, _, err := mcc.Optimize(naive, mcc.AllPasses())
+	if err != nil {
+		return err
+	}
+	fmt.Print(opt.Disassemble())
+	return nil
+}
+
+func compileMCL(args []string) error {
+	fs := flag.NewFlagSet("compile-mcl", flag.ContinueOnError)
+	entry := fs.String("entry", "", "entry function (defaults to the first function)")
+	id := fs.Uint("id", 100, "workload id")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: lnicctl compile-mcl [-entry F] [-id N] FILE")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	file, err := mcl.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	entryName := *entry
+	if entryName == "" {
+		if len(file.Funcs) == 0 {
+			return fmt.Errorf("no functions in %s", fs.Arg(0))
+		}
+		entryName = file.Funcs[0].Name
+	}
+	spec, err := mcl.CompileLambda(entryName, uint32(*id), entryName, string(src), nil)
+	if err != nil {
+		return err
+	}
+	prog, err := matchlambda.Compose([]*matchlambda.LambdaSpec{spec}, matchlambda.ComposeOptions{})
+	if err != nil {
+		return err
+	}
+	if violations := mcc.StaticCheck(prog); len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, v.Error())
+		}
+		return fmt.Errorf("%d static assertion(s) failed", len(violations))
+	}
+	opt, passes, err := mcc.Optimize(prog, mcc.AllPasses())
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderFigure9(passes))
+	fmt.Print(opt.Disassemble())
+	return nil
+}
+
+func invoke(args []string) error {
+	fs := flag.NewFlagSet("invoke", flag.ContinueOnError)
+	gatewayAddr := fs.String("gateway", "127.0.0.1:8080", "gateway UDP address")
+	name := fs.String("workload", "web", "workload: web, kvget, kvset, image")
+	count := fs.Int("n", 1, "number of requests")
+	key := fs.Int("key", 0, "key index for the kv clients")
+	page := fs.Int("page", 0, "page id for the web server")
+	imgW := fs.Int("image-width", 64, "image width")
+	imgH := fs.Int("image-height", 64, "image height")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-request timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var w *workloads.Workload
+	var seedIdx int
+	switch *name {
+	case "web":
+		w, seedIdx = workloads.WebServer(), *page
+	case "kvget":
+		w, seedIdx = workloads.KVGetClient(), *key
+	case "kvset":
+		w, seedIdx = workloads.KVSetClient(), *key
+	case "image":
+		w, seedIdx = workloads.ImageTransformer(*imgW, *imgH), 0
+	default:
+		return fmt.Errorf("unknown workload %q", *name)
+	}
+
+	addr, err := net.ResolveUDPAddr("udp", *gatewayAddr)
+	if err != nil {
+		return err
+	}
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	ep := transport.NewEndpoint(conn, nil, transport.WithTimeout(*timeout), transport.WithRetries(3))
+	defer ep.Close()
+
+	var lat metrics.Sample
+	for i := 0; i < *count; i++ {
+		payload := w.MakeRequest(seedIdx + i)
+		start := time.Now()
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout*4)
+		resp, err := ep.Call(ctx, addr, w.ID, payload)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("request %d: %w", i, err)
+		}
+		lat.AddDuration(time.Since(start))
+		if i == 0 {
+			preview := resp
+			if len(preview) > 80 {
+				preview = preview[:80]
+			}
+			fmt.Printf("response (%d bytes): %q\n", len(resp), preview)
+		}
+	}
+	fmt.Printf("%d requests to %s: %s\n", *count, w.Name, lat.Summarize())
+	return nil
+}
+
+func compile() error {
+	exe, results, err := workloads.CompileOptimized(workloads.DefaultSet(), workloads.NaiveProgramTarget)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderFigure9(results))
+	fmt.Printf("linked image: %d instructions", exe.StaticInstructions())
+	mem := 0
+	for _, b := range exe.MemoryBytes() {
+		mem += b
+	}
+	fmt.Printf(", %d bytes of NIC memory\n", mem)
+	return nil
+}
+
+func artifacts() error {
+	exe, _, err := workloads.CompileOptimized(workloads.DefaultSet(), workloads.NaiveProgramTarget)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Deployment artifacts (Table 4 model):")
+	for _, kind := range []core.BackendKind{core.KindLambdaNIC, core.KindBareMetal, core.KindContainer} {
+		a := core.BuildArtifact(kind, exe.StaticInstructions())
+		fmt.Printf("  %-12s %6.1f MiB  startup %5.1fs (compile %.1fs, transfer %.3fs, install %.1fs, boot %.1fs)\n",
+			a.Kind, a.SizeMiB, a.StartupTime().Seconds(),
+			a.Compile.Seconds(), a.Transfer.Seconds(), a.Install.Seconds(), a.Boot.Seconds())
+	}
+	return nil
+}

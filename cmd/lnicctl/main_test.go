@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCompileSubcommand(t *testing.T) {
+	if err := run([]string{"compile"}); err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+}
+
+func TestArtifactsSubcommand(t *testing.T) {
+	if err := run([]string{"artifacts"}); err != nil {
+		t.Fatalf("artifacts: %v", err)
+	}
+}
+
+func TestUnknownSubcommand(t *testing.T) {
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run(nil); err == nil {
+		t.Error("no subcommand accepted")
+	}
+}
+
+func TestCompileMCLSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lambda.mcl")
+	src := `
+		object buf[16];
+		func handler() int {
+			buf[0] = 'A';
+			emit(buf, 0, 1);
+			return STATUS_FORWARD;
+		}
+	`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"compile-mcl", path}); err != nil {
+		t.Fatalf("compile-mcl: %v", err)
+	}
+	// Static assertion failure surfaces as an error.
+	bad := filepath.Join(dir, "bad.mcl")
+	if err := os.WriteFile(bad, []byte(`
+		object tiny[2];
+		func handler() int { tiny[50] = 1; return 1; }
+	`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"compile-mcl", bad}); err == nil {
+		t.Error("statically invalid lambda accepted")
+	}
+	// Missing file.
+	if err := run([]string{"compile-mcl", filepath.Join(dir, "nope.mcl")}); err == nil {
+		t.Error("missing file accepted")
+	}
+	// Missing argument.
+	if err := run([]string{"compile-mcl"}); err == nil {
+		t.Error("missing argument accepted")
+	}
+}
+
+func TestInvokeBadWorkload(t *testing.T) {
+	if err := run([]string{"invoke", "-workload", "bogus", "-n", "0"}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}

@@ -1,0 +1,130 @@
+// Command lnicd is a λ-NIC worker daemon: it serves the benchmark
+// lambdas over the λ-NIC wire protocol on a UDP socket, dispatching by
+// the workload ID the gateway stamps into each request (the functional
+// twin of the NIC's match stage).
+//
+// Usage:
+//
+//	lnicd -listen 127.0.0.1:9000 [-memcached 127.0.0.1:11211] \
+//	      [-workloads web,kvget,kvset,image] [-serve-memcached :11211]
+//
+// The key-value client lambdas require -memcached (or an embedded
+// server via -serve-memcached). Stop with SIGINT/SIGTERM.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"lambdanic/internal/core"
+	"lambdanic/internal/kvstore"
+	"lambdanic/internal/monitor"
+	"lambdanic/internal/workloads"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lnicd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lnicd", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:9000", "UDP address to serve lambdas on")
+	memcached := fs.String("memcached", "", "address of the memcached-substitute server")
+	serveMemcached := fs.String("serve-memcached", "", "also run a memcached-substitute server on this address")
+	names := fs.String("workloads", "web,kvget,kvset,image", "comma-separated lambdas to install")
+	imgW := fs.Int("image-width", workloads.DefaultImageWidth, "image transformer max width")
+	imgH := fs.Int("image-height", workloads.DefaultImageHeight, "image transformer max height")
+	metricsAddr := fs.String("metrics", "", "serve Prometheus-style metrics on this HTTP address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *serveMemcached != "" {
+		mcConn, err := net.ListenPacket("udp", *serveMemcached)
+		if err != nil {
+			return fmt.Errorf("memcached listen: %w", err)
+		}
+		srv := kvstore.NewServer(kvstore.NewStore(), mcConn)
+		defer srv.Close()
+		fmt.Printf("lnicd: memcached substitute on %v\n", srv.Addr())
+		if *memcached == "" {
+			*memcached = srv.Addr().String()
+		}
+	}
+
+	deps := &workloads.Deps{}
+	if *memcached != "" {
+		addr, err := net.ResolveUDPAddr("udp", *memcached)
+		if err != nil {
+			return fmt.Errorf("memcached address: %w", err)
+		}
+		kvConn, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			return fmt.Errorf("kv client socket: %w", err)
+		}
+		defer kvConn.Close()
+		deps.KV = kvstore.NewClient(kvConn, addr)
+	}
+
+	conn, err := net.ListenPacket("udp", *listen)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	worker := core.NewWorker(conn, deps)
+	defer worker.Close()
+
+	if *metricsAddr != "" {
+		reg := monitor.NewRegistry()
+		if err := worker.EnableMetrics(reg); err != nil {
+			return err
+		}
+		srv := &http.Server{Addr: *metricsAddr, Handler: reg.Handler()}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "lnicd: metrics server:", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("lnicd: metrics on http://%s/\n", *metricsAddr)
+	}
+
+	available := map[string]*workloads.Workload{
+		"web":   workloads.WebServer(),
+		"kvget": workloads.KVGetClient(),
+		"kvset": workloads.KVSetClient(),
+		"image": workloads.ImageTransformer(*imgW, *imgH),
+	}
+	for _, name := range strings.Split(*names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		w, ok := available[name]
+		if !ok {
+			return fmt.Errorf("unknown workload %q (want web, kvget, kvset, image)", name)
+		}
+		if (name == "kvget" || name == "kvset") && deps.KV == nil {
+			return fmt.Errorf("workload %q needs -memcached or -serve-memcached", name)
+		}
+		if err := worker.Install(w); err != nil {
+			return err
+		}
+		fmt.Printf("lnicd: installed %s (workload id %d)\n", w.Name, w.ID)
+	}
+
+	fmt.Printf("lnicd: serving on %v\n", worker.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("lnicd: shutting down")
+	return nil
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+// run blocks on signals once serving, so tests cover the validation
+// paths that return before that point.
+
+func TestRunRejectsUnknownWorkload(t *testing.T) {
+	err := run([]string{"-listen", "127.0.0.1:0", "-workloads", "bogus"})
+	if err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestRunRejectsKVWithoutMemcached(t *testing.T) {
+	err := run([]string{"-listen", "127.0.0.1:0", "-workloads", "kvget"})
+	if err == nil {
+		t.Error("kv workload without memcached accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nonsense"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunBadMemcachedAddress(t *testing.T) {
+	err := run([]string{"-listen", "127.0.0.1:0", "-memcached", "not:a:real:addr:at:all"})
+	if err == nil {
+		t.Error("bad memcached address accepted")
+	}
+}

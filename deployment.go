@@ -1,0 +1,188 @@
+package lambdanic
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"lambdanic/internal/core"
+	"lambdanic/internal/gateway"
+	"lambdanic/internal/kvstore"
+	"lambdanic/internal/monitor"
+	"lambdanic/internal/transport"
+	"lambdanic/internal/workloads"
+)
+
+// Deployment is the runnable λ-NIC control plane (paper Fig. 2): a
+// workload manager with a Raft-backed control store, a gateway that
+// stamps workload IDs and proxies requests with weakly-consistent
+// delivery, worker nodes serving installed lambdas, and a memcached
+// substitute for the key-value workloads. It runs either on an
+// in-memory packet network (examples, tests) or on real UDP sockets
+// (the cmd/ daemons).
+type Deployment struct {
+	manager *core.Manager
+	gw      *gateway.Gateway
+	workers []*core.Worker
+	client  *transport.Endpoint
+	mem     *kvstore.Server
+	metrics *monitor.Registry
+
+	workerAddrs []net.Addr
+	closers     []func() error
+}
+
+// DeploymentConfig parameterizes NewDeployment.
+type DeploymentConfig struct {
+	// Workers is the number of worker nodes (default 2; the paper's
+	// testbed has 4).
+	Workers int
+	// ControlNodes sizes the Raft control store (default 3).
+	ControlNodes int
+	// Seed makes the in-memory network deterministic.
+	Seed int64
+	// LossRate injects packet loss on the in-memory network, exercising
+	// the weakly-consistent delivery path (D3).
+	LossRate float64
+}
+
+func (c *DeploymentConfig) fillDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.ControlNodes <= 0 {
+		c.ControlNodes = 3
+	}
+}
+
+// NewDeployment starts a full in-memory deployment.
+func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
+	cfg.fillDefaults()
+	n := transport.NewMemNetwork(cfg.Seed)
+	n.LossRate = cfg.LossRate
+
+	d := &Deployment{metrics: monitor.NewRegistry()}
+	fail := func(err error) (*Deployment, error) {
+		_ = d.Close()
+		return nil, err
+	}
+
+	manager, err := core.NewManager(cfg.ControlNodes, cfg.Seed)
+	if err != nil {
+		return fail(err)
+	}
+	d.manager = manager
+
+	// memcached substitute on the master node (§6.1.2).
+	mcConn, err := n.Listen("m1:memcached")
+	if err != nil {
+		return fail(err)
+	}
+	d.mem = kvstore.NewServer(kvstore.NewStore(), mcConn)
+	d.closers = append(d.closers, d.mem.Close)
+
+	// Worker nodes M2..M(1+n), each with its own memcached client.
+	for i := 0; i < cfg.Workers; i++ {
+		name := fmt.Sprintf("m%d", i+2)
+		kvConn, err := n.Listen(name + ":kv")
+		if err != nil {
+			return fail(err)
+		}
+		wConn, err := n.Listen(name)
+		if err != nil {
+			return fail(err)
+		}
+		deps := &workloads.Deps{KV: kvstore.NewClient(kvConn, transport.MemAddr("m1:memcached"))}
+		w := core.NewWorker(wConn, deps)
+		if i == 0 {
+			// One worker feeds the monitoring engine (per-node scrape in
+			// a real cluster).
+			if err := w.EnableMetrics(d.metrics); err != nil {
+				return fail(err)
+			}
+		}
+		d.workers = append(d.workers, w)
+		d.workerAddrs = append(d.workerAddrs, transport.MemAddr(name))
+		d.closers = append(d.closers, w.Close, kvConn.Close)
+	}
+
+	gwConn, err := n.Listen("m1:gateway")
+	if err != nil {
+		return fail(err)
+	}
+	d.gw = gateway.New(gwConn)
+	d.closers = append(d.closers, d.gw.Close)
+	if err := d.gw.EnableMetrics(d.metrics); err != nil {
+		return fail(err)
+	}
+
+	// The gateway learns routes through the control store's placement
+	// watch (§6.1.1: etcd syncs lambda state with the gateway).
+	manager.WatchPlacements(func(p core.Placement) {
+		addrs := make([]net.Addr, 0, len(p.Workers))
+		for _, w := range p.Workers {
+			addrs = append(addrs, transport.MemAddr(w))
+		}
+		d.gw.SetRoute(p.ID, addrs)
+	})
+
+	cliConn, err := n.Listen("client")
+	if err != nil {
+		return fail(err)
+	}
+	d.client = transport.NewEndpoint(cliConn, nil,
+		transport.WithTimeout(250*time.Millisecond), transport.WithRetries(8))
+	d.closers = append(d.closers, d.client.Close)
+	return d, nil
+}
+
+// Deploy registers a workload with the manager, installs it on every
+// worker, and records the placement in the control store; the gateway
+// picks the route up through its placement watch.
+func (d *Deployment) Deploy(w *Workload) error {
+	if _, err := d.manager.Register(w); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(d.workers))
+	for i, worker := range d.workers {
+		if err := worker.Install(w); err != nil {
+			return err
+		}
+		names = append(names, d.workerAddrs[i].String())
+	}
+	return d.manager.RecordPlacement(w.Name, names)
+}
+
+// Invoke calls a deployed lambda through the gateway.
+func (d *Deployment) Invoke(ctx context.Context, id uint32, payload []byte) ([]byte, error) {
+	return d.client.Call(ctx, transport.MemAddr("m1:gateway"), id, payload)
+}
+
+// Manager exposes the workload manager (placements, compilation).
+func (d *Deployment) Manager() *core.Manager { return d.manager }
+
+// Metrics returns the deployment's monitoring registry (gateway and
+// first-worker instrumentation), renderable in the Prometheus text
+// format.
+func (d *Deployment) Metrics() *monitor.Registry { return d.metrics }
+
+// GatewayStats reports forwarded and unrouted request counts.
+func (d *Deployment) GatewayStats() (forwarded, unrouted uint64) {
+	return d.gw.Forwarded(), d.gw.Unrouted()
+}
+
+// Close tears the deployment down.
+func (d *Deployment) Close() error {
+	var firstErr error
+	for i := len(d.closers) - 1; i >= 0; i-- {
+		if err := d.closers[i](); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// ErrDeploymentClosed is returned by operations on a closed deployment.
+var ErrDeploymentClosed = errors.New("lambdanic: deployment closed")

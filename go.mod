@@ -1,0 +1,3 @@
+module lambdanic
+
+go 1.22

@@ -1,0 +1,311 @@
+// Package backend implements the three serverless backends the paper
+// evaluates against each other (§6.1.1):
+//
+//   - LambdaNIC: lambdas run entirely on the simulated ASIC SmartNIC
+//     (internal/nicsim) as compiled Match+Lambda firmware, with
+//     multi-packet requests arriving over the RDMA path (§4.2.1 D3);
+//   - BareMetal: an Isolate-style standalone service running lambdas as
+//     threads on the host CPU simulator (internal/cpusim);
+//   - Container: the OpenFaaS/Docker-style backend — bare metal plus
+//     overlay networking and a process fork per request.
+//
+// All three implement one Backend interface so the experiment harness
+// (internal/experiments) drives them identically, exactly as the
+// paper's gateway drives its three backends.
+package backend
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"lambdanic/internal/cluster"
+	"lambdanic/internal/cpusim"
+	"lambdanic/internal/mcc"
+	"lambdanic/internal/nicsim"
+	"lambdanic/internal/rdma"
+	"lambdanic/internal/sim"
+	"lambdanic/internal/workloads"
+)
+
+// Result is one completed request.
+type Result struct {
+	Err     error
+	Payload []byte
+}
+
+// Usage is the backend's additional resource consumption while serving
+// load (Table 3).
+type Usage struct {
+	// HostCPUPercent is average host CPU utilization over the run.
+	HostCPUPercent float64
+	// HostMemoryMiB is added host memory.
+	HostMemoryMiB float64
+	// NICMemoryMiB is added SmartNIC memory.
+	NICMemoryMiB float64
+}
+
+// Backend is a deploy-and-invoke serverless execution target bound to a
+// discrete-event simulation.
+type Backend interface {
+	// Name identifies the backend in reports.
+	Name() string
+	// Deploy installs the workloads (compiling them for the target).
+	Deploy(ws []*workloads.Workload) error
+	// Invoke submits one request at the current virtual time; done
+	// fires when the response has returned to the caller's NIC.
+	Invoke(id uint32, payload []byte, done func(Result))
+	// Usage reports added resource consumption (call after a run).
+	Usage() Usage
+}
+
+// ErrNotDeployed is returned when Invoke precedes Deploy.
+var ErrNotDeployed = errors.New("backend: no workloads deployed")
+
+// Memory-model constants for Table 3 (documented in DESIGN.md):
+// per-request working set of the data-intensive image path, and each
+// backend's resident runtime overhead.
+const (
+	// nicRequestWorkingSetMiB is the per-in-flight-request NIC buffer
+	// demand (RDMA-committed payload + output + bookkeeping).
+	nicRequestWorkingSetMiB = 1.123
+	// hostRequestWorkingSetMiB is the per-in-flight-request host memory
+	// demand (decoded request object + response buffer).
+	hostRequestWorkingSetMiB = 1.054
+	// pythonRuntimeMiB is the bare-metal service's resident overhead.
+	pythonRuntimeMiB = 3.5
+	// containerRuntimeMiB is the Docker image layers + daemon share +
+	// OpenFaaS watchdog resident overhead.
+	containerRuntimeMiB = 160.5
+	// nicManagementCPUPercent is the host-side cost of the λ-NIC
+	// management daemon (firmware health polling only).
+	nicManagementCPUPercent = 0.1
+	// containerBackgroundCPUPercent is the container engine's steady
+	// overhead while serving (dockerd/containerd bookkeeping, veth
+	// soft-irq processing, OpenFaaS monitoring), charged on top of the
+	// measured request-path utilization.
+	containerBackgroundCPUPercent = 2.5
+)
+
+// LambdaNIC runs lambdas on the simulated SmartNIC.
+type LambdaNIC struct {
+	sim     *sim.Sim
+	testbed cluster.Testbed
+	nic     *nicsim.NIC
+	rdma    *rdma.Engine
+	exe     *mcc.Executable
+	region  *rdma.Region
+
+	// maxInflight tracks the peak number of concurrent requests, for
+	// NIC memory accounting.
+	inflight, maxInflight int
+	maxPayload            int
+}
+
+// NewLambdaNIC constructs the λ-NIC backend. dispatch selects the NIC
+// scheduler policy (zero value: the hardware's uniform dispatch).
+func NewLambdaNIC(s *sim.Sim, tb cluster.Testbed, dispatch nicsim.Dispatch) (*LambdaNIC, error) {
+	nic, err := nicsim.New(s, nicsim.Config{NIC: tb.NIC, Dispatch: dispatch})
+	if err != nil {
+		return nil, err
+	}
+	eng := rdma.New(s, rdma.Config{
+		Link:         tb.Link,
+		PerPacketDMA: 100 * time.Nanosecond,
+		MTU:          workloads.MTU,
+	})
+	return &LambdaNIC{sim: s, testbed: tb, nic: nic, rdma: eng}, nil
+}
+
+// Name implements Backend.
+func (b *LambdaNIC) Name() string { return "lambda-nic" }
+
+// NIC exposes the simulated NIC (for stats in tests and reports).
+func (b *LambdaNIC) NIC() *nicsim.NIC { return b.nic }
+
+// Deploy compiles the workloads into optimized Match+Lambda firmware
+// and loads it (§4.1, §5).
+func (b *LambdaNIC) Deploy(ws []*workloads.Workload) error {
+	exe, _, err := workloads.CompileOptimized(ws, workloads.NaiveProgramTarget)
+	if err != nil {
+		return fmt.Errorf("lambda-nic deploy: %w", err)
+	}
+	if err := b.nic.Load(exe); err != nil {
+		return fmt.Errorf("lambda-nic deploy: %w", err)
+	}
+	b.exe = exe
+	region, err := b.rdma.Register("rpc-staging", 64*1024*1024)
+	if err != nil {
+		return fmt.Errorf("lambda-nic deploy: %w", err)
+	}
+	b.region = region
+	return nil
+}
+
+// Invoke implements Backend: wire transfer to the NIC (RDMA commit for
+// multi-packet RPCs), run-to-completion execution on an NPU thread, and
+// the response's wire trip back.
+func (b *LambdaNIC) Invoke(id uint32, payload []byte, done func(Result)) {
+	if done == nil {
+		done = func(Result) {}
+	}
+	if b.exe == nil {
+		done(Result{Err: ErrNotDeployed})
+		return
+	}
+	b.inflight++
+	if b.inflight > b.maxInflight {
+		b.maxInflight = b.inflight
+	}
+	if len(payload) > b.maxPayload {
+		b.maxPayload = len(payload)
+	}
+	finish := func(r Result) {
+		b.inflight--
+		done(r)
+	}
+	packets := workloads.Packets(len(payload))
+	inject := func() {
+		req := &nicsim.Request{LambdaID: id, Payload: payload, Packets: packets}
+		b.nic.Inject(req, func(resp nicsim.Response, err error) {
+			if err != nil {
+				finish(Result{Err: err})
+				return
+			}
+			// Response wire trip back to the caller.
+			back := b.testbed.Link.OneWay(len(resp.Payload))
+			b.sim.Schedule(back, func() {
+				finish(Result{Payload: resp.Payload})
+			})
+		})
+	}
+	if packets > 1 {
+		// Multi-packet RPC: commit the payload into NIC memory over
+		// RDMA; the completion event triggers the lambda (D3).
+		b.rdma.Write(b.region.Key(), 0, payload, func(err error) {
+			if err != nil {
+				finish(Result{Err: err})
+				return
+			}
+			inject()
+		})
+		return
+	}
+	// Single-packet RPC: one wire hop into the parse+match pipeline.
+	b.sim.Schedule(b.testbed.Link.OneWay(len(payload)), inject)
+}
+
+// Usage implements Backend: λ-NIC consumes NIC memory (firmware plus
+// in-flight working sets) and near-zero host resources (Table 3).
+func (b *LambdaNIC) Usage() Usage {
+	firmwareMiB := float64(b.nic.MemoryUsed()) / (1 << 20)
+	inflightMiB := float64(b.maxInflight) * nicRequestWorkingSetMiB
+	return Usage{
+		HostCPUPercent: nicManagementCPUPercent,
+		HostMemoryMiB:  0,
+		NICMemoryMiB:   firmwareMiB + inflightMiB,
+	}
+}
+
+// Host is a CPU backend (bare-metal or container).
+type Host struct {
+	name    string
+	sim     *sim.Sim
+	testbed cluster.Testbed
+	host    *cpusim.Host
+	mode    cpusim.Mode
+
+	deployed bool
+
+	inflight, maxInflight int
+}
+
+// NewBareMetal constructs the Isolate-style bare-metal backend.
+// singleCore restricts it to one hardware thread (Fig. 8's "Bare Metal
+// (Single Core)").
+func NewBareMetal(s *sim.Sim, tb cluster.Testbed, singleCore bool) (*Host, error) {
+	return newHost(s, tb, cpusim.ModeBareMetal, singleCore)
+}
+
+// NewContainer constructs the OpenFaaS/Docker-style container backend.
+func NewContainer(s *sim.Sim, tb cluster.Testbed) (*Host, error) {
+	return newHost(s, tb, cpusim.ModeContainer, false)
+}
+
+func newHost(s *sim.Sim, tb cluster.Testbed, mode cpusim.Mode, singleCore bool) (*Host, error) {
+	h, err := cpusim.New(s, cpusim.Config{
+		Host:                  tb.Host,
+		Costs:                 tb.Costs,
+		Mode:                  mode,
+		SingleCore:            singleCore,
+		ContainerExternalConn: 9500 * time.Microsecond,
+		Jitter:                true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	name := mode.String()
+	if singleCore {
+		name += "-1core"
+	}
+	return &Host{name: name, sim: s, testbed: tb, host: h, mode: mode}, nil
+}
+
+// Name implements Backend.
+func (h *Host) Name() string { return h.name }
+
+// CPU exposes the simulated host (for stats in tests and reports).
+func (h *Host) CPU() *cpusim.Host { return h.host }
+
+// Deploy registers the workloads' CPU service profiles.
+func (h *Host) Deploy(ws []*workloads.Workload) error {
+	for _, w := range ws {
+		if err := h.host.Deploy(w.Profile); err != nil {
+			return fmt.Errorf("%s deploy %s: %w", h.name, w.Name, err)
+		}
+	}
+	h.deployed = len(ws) > 0
+	return nil
+}
+
+// Invoke implements Backend: wire trip, kernel + dispatch + execution
+// on the CPU model, wire trip back.
+func (h *Host) Invoke(id uint32, payload []byte, done func(Result)) {
+	if done == nil {
+		done = func(Result) {}
+	}
+	if !h.deployed {
+		done(Result{Err: ErrNotDeployed})
+		return
+	}
+	h.inflight++
+	if h.inflight > h.maxInflight {
+		h.maxInflight = h.inflight
+	}
+	packets := workloads.Packets(len(payload))
+	h.sim.Schedule(h.testbed.Link.OneWay(len(payload)), func() {
+		h.host.Submit(id, len(payload), packets, func(err error) {
+			h.sim.Schedule(h.testbed.Link.OneWay(256), func() {
+				h.inflight--
+				done(Result{Err: err})
+			})
+		})
+	})
+}
+
+// Usage implements Backend: runtime overhead plus per-in-flight working
+// sets on the host; no NIC memory.
+func (h *Host) Usage() Usage {
+	base := pythonRuntimeMiB
+	if h.mode == cpusim.ModeContainer {
+		base = containerRuntimeMiB
+	}
+	cpu := 100 * h.host.Utilization()
+	if h.mode == cpusim.ModeContainer {
+		cpu += containerBackgroundCPUPercent
+	}
+	return Usage{
+		HostCPUPercent: cpu,
+		HostMemoryMiB:  base + float64(h.maxInflight)*hostRequestWorkingSetMiB,
+	}
+}

@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDefaultMatchesPaperTestbed(t *testing.T) {
+	tb := Default()
+	if got := tb.NIC.NPUCores(); got != 56 {
+		t.Errorf("NPUCores = %d, want 56 (paper §6.1.2)", got)
+	}
+	if got := tb.NIC.NPUThreads(); got != 448 {
+		t.Errorf("NPUThreads = %d, want 448 (56 cores x 8 threads)", got)
+	}
+	if got := tb.Host.Threads(); got != 56 {
+		t.Errorf("Host.Threads = %d, want 56 (2x14 cores, 2 threads)", got)
+	}
+	if tb.NIC.ClockHz != 633_000_000 {
+		t.Errorf("NIC clock = %d, want 633 MHz", tb.NIC.ClockHz)
+	}
+	if tb.NIC.InstrStorePerCore != 16*1024 {
+		t.Errorf("instruction store = %d, want 16K", tb.NIC.InstrStorePerCore)
+	}
+	if tb.Workers != 4 {
+		t.Errorf("Workers = %d, want 4", tb.Workers)
+	}
+	if tb.NIC.EMEMBytes != 2*1024*1024*1024 {
+		t.Errorf("EMEM = %d, want 2 GiB", tb.NIC.EMEMBytes)
+	}
+}
+
+func TestSerialization(t *testing.T) {
+	l := LinkConfig{BandwidthBitsPerSec: 10_000_000_000}
+	// 1250 bytes = 10000 bits = 1 µs at 10 Gbps.
+	if got := l.Serialization(1250); got != time.Microsecond {
+		t.Errorf("Serialization(1250) = %v, want 1µs", got)
+	}
+	if got := l.Serialization(0); got != 0 {
+		t.Errorf("Serialization(0) = %v, want 0", got)
+	}
+	var zero LinkConfig
+	if got := zero.Serialization(100); got != 0 {
+		t.Errorf("zero-bandwidth Serialization = %v, want 0", got)
+	}
+}
+
+func TestOneWayComposition(t *testing.T) {
+	l := LinkConfig{
+		BandwidthBitsPerSec: 10_000_000_000,
+		SwitchLatency:       600 * time.Nanosecond,
+		WireLatency:         300 * time.Nanosecond,
+	}
+	want := 900*time.Nanosecond + time.Microsecond
+	if got := l.OneWay(1250); got != want {
+		t.Errorf("OneWay(1250) = %v, want %v", got, want)
+	}
+}
+
+func TestMemoryHierarchyOrdering(t *testing.T) {
+	n := Default().NIC
+	if !(n.LocalLatency < n.CTMLatency && n.CTMLatency < n.IMEMLatency && n.IMEMLatency < n.EMEMLatency) {
+		t.Errorf("memory latencies not strictly increasing: %d %d %d %d",
+			n.LocalLatency, n.CTMLatency, n.IMEMLatency, n.EMEMLatency)
+	}
+}

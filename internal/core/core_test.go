@@ -1,0 +1,306 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"lambdanic/internal/gateway"
+	"lambdanic/internal/kvstore"
+	"lambdanic/internal/transport"
+	"lambdanic/internal/workloads"
+)
+
+func newManager(t *testing.T) *Manager {
+	t.Helper()
+	m, err := NewManager(3, 7)
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	return m
+}
+
+func TestRegisterAssignsUniqueIDs(t *testing.T) {
+	m := newManager(t)
+	a := &workloads.Workload{Name: "a"}
+	b := &workloads.Workload{Name: "b"}
+	ida, err := m.Register(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idb, err := m.Register(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ida == idb || ida == 0 || idb == 0 {
+		t.Errorf("ids = %d, %d", ida, idb)
+	}
+	if _, err := m.Register(&workloads.Workload{Name: "a"}); !errors.Is(err, ErrDuplicateWorkload) {
+		t.Errorf("duplicate register: %v", err)
+	}
+}
+
+func TestRegisterKeepsPresetIDs(t *testing.T) {
+	m := newManager(t)
+	w := workloads.WebServer()
+	id, err := m.Register(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != workloads.WebServerID {
+		t.Errorf("id = %d, want preset %d", id, workloads.WebServerID)
+	}
+	// A colliding preset gets bumped.
+	clash := &workloads.Workload{Name: "clash", ID: workloads.WebServerID}
+	id2, err := m.Register(clash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 == workloads.WebServerID {
+		t.Error("collision not resolved")
+	}
+}
+
+func TestWorkloadLookup(t *testing.T) {
+	m := newManager(t)
+	w := workloads.WebServer()
+	id, err := m.Register(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Workload(id)
+	if err != nil || got.Name != "web_server" {
+		t.Errorf("Workload(%d) = %v, %v", id, got, err)
+	}
+	if _, err := m.Workload(999); !errors.Is(err, ErrUnknownWorkload) {
+		t.Errorf("unknown lookup: %v", err)
+	}
+	if ws := m.Workloads(); len(ws) != 1 {
+		t.Errorf("Workloads = %d entries", len(ws))
+	}
+}
+
+func TestPlacementThroughControlStore(t *testing.T) {
+	m := newManager(t)
+	if _, err := m.Register(workloads.WebServer()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RecordPlacement("web_server", []string{"w1", "w2"}); err != nil {
+		t.Fatalf("RecordPlacement: %v", err)
+	}
+	p, err := m.Placement("web_server")
+	if err != nil {
+		t.Fatalf("Placement: %v", err)
+	}
+	if len(p.Workers) != 2 || p.Workers[0] != "w1" {
+		t.Errorf("placement = %+v", p)
+	}
+	if err := m.RecordPlacement("ghost", nil); !errors.Is(err, ErrUnknownWorkload) {
+		t.Errorf("ghost placement: %v", err)
+	}
+}
+
+func TestPlacementSurvivesControlFailover(t *testing.T) {
+	m := newManager(t)
+	if _, err := m.Register(workloads.WebServer()); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RecordPlacement("web_server", []string{"w1"}); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the control leader; placement reads must still succeed after
+	// the remaining nodes elect a new one.
+	leader, err := m.Control().ElectLeader(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Control().Down(leader)
+	p, err := m.Placement("web_server")
+	if err != nil {
+		t.Fatalf("Placement after failover: %v", err)
+	}
+	if len(p.Workers) != 1 || p.Workers[0] != "w1" {
+		t.Errorf("placement = %+v", p)
+	}
+}
+
+func TestManagerCompileProducesLoadableImage(t *testing.T) {
+	m := newManager(t)
+	for _, w := range workloads.DefaultSet() {
+		if _, err := m.Register(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	exe, results, err := m.Compile()
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if exe.StaticInstructions() >= workloads.NaiveProgramTarget {
+		t.Error("optimized image not smaller than naive")
+	}
+	if len(results) != 4 {
+		t.Errorf("trajectory = %d passes", len(results))
+	}
+}
+
+func TestArtifactsMatchTable4(t *testing.T) {
+	// Paper Table 4: sizes 11.0/17.0/153.0 MiB; startups 19.8/5.0/31.7 s.
+	const programInstr = 8052 // optimized image size
+	tests := []struct {
+		kind      BackendKind
+		wantMiB   float64
+		wantStart time.Duration
+	}{
+		{KindLambdaNIC, 11.0, 19800 * time.Millisecond},
+		{KindBareMetal, 17.0, 5 * time.Second},
+		{KindContainer, 153.0, 31700 * time.Millisecond},
+	}
+	for _, tt := range tests {
+		a := BuildArtifact(tt.kind, programInstr)
+		if a.SizeMiB < tt.wantMiB*0.97 || a.SizeMiB > tt.wantMiB*1.03 {
+			t.Errorf("%v size = %.1f MiB, want %.1f ± 3%%", tt.kind, a.SizeMiB, tt.wantMiB)
+		}
+		got := a.StartupTime()
+		lo := time.Duration(float64(tt.wantStart) * 0.95)
+		hi := time.Duration(float64(tt.wantStart) * 1.05)
+		if got < lo || got > hi {
+			t.Errorf("%v startup = %v, want %v ± 5%%", tt.kind, got, tt.wantStart)
+		}
+	}
+	// The λ-NIC startup premium over bare metal stays well under the
+	// container premium (§6.4: "keeps the additional delay over
+	// bare-metal backends 2x less than the container overhead").
+	nic := BuildArtifact(KindLambdaNIC, programInstr).StartupTime()
+	bare := BuildArtifact(KindBareMetal, programInstr).StartupTime()
+	cont := BuildArtifact(KindContainer, programInstr).StartupTime()
+	if !(nic-bare < cont-bare) {
+		t.Errorf("startup premiums wrong: nic-bare=%v cont-bare=%v", nic-bare, cont-bare)
+	}
+}
+
+func TestBackendKindString(t *testing.T) {
+	if KindLambdaNIC.String() != "lambda-nic" || BackendKind(9).String() != "BackendKind(9)" {
+		t.Error("BackendKind.String wrong")
+	}
+}
+
+// TestEndToEndGatewayWorkerPipeline runs the full functional control
+// plane on the in-memory network: manager registers workloads, workers
+// install them, the gateway routes by workload ID, and a client invokes
+// every lambda through the gateway.
+func TestEndToEndGatewayWorkerPipeline(t *testing.T) {
+	n := transport.NewMemNetwork(1)
+
+	// memcached substitute on the master node (§6.1.2).
+	mcConn, err := n.Listen("m1:memcached")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := kvstore.NewStore()
+	mcSrv := kvstore.NewServer(store, mcConn)
+	defer mcSrv.Close()
+
+	// Two workers with their own memcached client connections.
+	var workers []*Worker
+	for _, name := range []string{"m2", "m3"} {
+		kvConn, err := n.Listen(name + ":kv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		wConn, err := n.Listen(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deps := &workloads.Deps{KV: kvstore.NewClient(kvConn, transport.MemAddr("m1:memcached"))}
+		w := NewWorker(wConn, deps)
+		defer w.Close()
+		workers = append(workers, w)
+	}
+
+	m := newManager(t)
+	set := []*workloads.Workload{
+		workloads.WebServer(),
+		workloads.KVGetClient(),
+		workloads.KVSetClient(),
+		workloads.ImageTransformer(8, 8),
+	}
+	for _, wl := range set {
+		if _, err := m.Register(wl); err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range workers {
+			if err := w.Install(wl); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := m.RecordPlacement(wl.Name, []string{"m2", "m3"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	gwConn, err := n.Listen("m1:gateway")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := gateway.New(gwConn)
+	defer gw.Close()
+	for _, wl := range set {
+		p, err := m.Placement(wl.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var routeAddrs []net.Addr
+		for _, name := range p.Workers {
+			routeAddrs = append(routeAddrs, transport.MemAddr(name))
+		}
+		gw.SetRoute(wl.ID, routeAddrs)
+	}
+
+	// Client calls through the gateway.
+	cliConn, err := n.Listen("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := transport.NewEndpoint(cliConn, nil, transport.WithTimeout(500*time.Millisecond), transport.WithRetries(4))
+	defer cli.Close()
+	ctx := context.Background()
+	gwAddr := transport.MemAddr("m1:gateway")
+
+	// SET then GET through the kv lambdas.
+	if resp, err := cli.Call(ctx, gwAddr, workloads.KVSetClientID, workloads.KVSetClient().MakeRequest(7)); err != nil || string(resp) != "STORED" {
+		t.Fatalf("kv set: %q/%v", resp, err)
+	}
+	if resp, err := cli.Call(ctx, gwAddr, workloads.KVGetClientID, workloads.KVGetClient().MakeRequest(7)); err != nil || string(resp) != "value-7" {
+		t.Fatalf("kv get: %q/%v", resp, err)
+	}
+	// Web page.
+	resp, err := cli.Call(ctx, gwAddr, workloads.WebServerID, workloads.WebServer().MakeRequest(2))
+	if err != nil {
+		t.Fatalf("web: %v", err)
+	}
+	if want := "lambda-nic page 2"; !strings.Contains(string(resp), want) {
+		t.Errorf("web resp = %q", resp)
+	}
+	// Image transformation (multi-field payload through fragmentation).
+	img := workloads.ImageTransformer(8, 8)
+	resp, err = cli.Call(ctx, gwAddr, workloads.ImageTransformerID, img.MakeRequest(1))
+	if err != nil {
+		t.Fatalf("image: %v", err)
+	}
+	if len(resp) != 64 {
+		t.Errorf("image resp = %d bytes, want 64", len(resp))
+	}
+	// Unrouted workload surfaces an error.
+	if _, err := cli.Call(ctx, gwAddr, 999, nil); err == nil {
+		t.Error("unrouted call succeeded")
+	}
+	if gw.Forwarded() < 4 {
+		t.Errorf("Forwarded = %d, want >= 4", gw.Forwarded())
+	}
+	if gw.Unrouted() == 0 {
+		t.Error("Unrouted counter not incremented")
+	}
+}

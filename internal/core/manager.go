@@ -1,0 +1,304 @@
+// Package core implements λ-NIC's workload manager (paper Fig. 2 and
+// §4.1): it registers users' workloads, assigns each a unique workload
+// ID, compiles Match+Lambda programs for the SmartNIC backend, models
+// the per-backend deployment artifacts and startup pipeline (Table 4),
+// and syncs placement state with the gateway through the Raft-backed
+// control store (the paper's etcd, here internal/raftkv).
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"lambdanic/internal/mcc"
+	"lambdanic/internal/raftkv"
+	"lambdanic/internal/workloads"
+)
+
+// BackendKind names a deployment target for artifact/startup modeling.
+type BackendKind int
+
+// Deployment targets.
+const (
+	KindLambdaNIC BackendKind = iota + 1
+	KindBareMetal
+	KindContainer
+)
+
+// String names the kind.
+func (k BackendKind) String() string {
+	switch k {
+	case KindLambdaNIC:
+		return "lambda-nic"
+	case KindBareMetal:
+		return "bare-metal"
+	case KindContainer:
+		return "container"
+	default:
+		return fmt.Sprintf("BackendKind(%d)", int(k))
+	}
+}
+
+// Artifact describes one workload's deployable unit and its startup
+// pipeline (Table 4: "Lambda binary size" and "Boot-up time").
+type Artifact struct {
+	Kind BackendKind
+	// SizeMiB is the artifact size: compiled SmartNIC firmware, a
+	// Python package (setuptools + Wheel), or a Docker image (§6.4).
+	SizeMiB float64
+	// Startup pipeline stages.
+	Compile  time.Duration // firmware compilation (λ-NIC only)
+	Transfer time.Duration // artifact download at link speed
+	Install  time.Duration // pip install / docker pull extraction
+	Boot     time.Duration // process boot / firmware flash / container start
+}
+
+// StartupTime is the end-to-end time to first served request.
+func (a Artifact) StartupTime() time.Duration {
+	return a.Compile + a.Transfer + a.Install + a.Boot
+}
+
+// Artifact/startup model constants, calibrated to the paper's Table 4
+// (11/17/153 MiB and 19.8/5.0/31.7 s) from its stated composition:
+// compiled firmware vs. Python library packaged using setuptools and
+// Wheel vs. the Docker container image.
+const (
+	// firmwareBaseMiB is the Netronome-style firmware image scaffold
+	// (runtime, drivers) before the Match+Lambda program is linked in.
+	firmwareBaseMiB = 10.9
+	// bytesPerInstruction converts program size to artifact bytes.
+	bytesPerInstruction = 8
+	// wheelBaseMiB is the Python service + dependency wheels.
+	wheelBaseMiB = 16.99
+	// containerImageBaseMiB is the Docker base image + Python layers +
+	// OpenFaaS watchdog.
+	containerImageBaseMiB = 152.9
+
+	// Startup stages.
+	firmwareCompileTime = 11500 * time.Millisecond // P4/Micro-C toolchain
+	firmwareFlashTime   = 8280 * time.Millisecond  // NIC reload (downtime, §7)
+	pipInstallTime      = 2980 * time.Millisecond
+	pythonBootTime      = 2 * time.Second
+	dockerExtractPerMiB = 154 * time.Millisecond // pull + layer extraction
+	containerStartTime  = 4900 * time.Millisecond
+	faasProvisionTime   = 3100 * time.Millisecond
+
+	// transferLinkBitsPerSec is the testbed's 10 G link.
+	transferLinkBitsPerSec = 10_000_000_000
+)
+
+func transferTime(sizeMiB float64) time.Duration {
+	bits := sizeMiB * (1 << 20) * 8
+	return time.Duration(bits / transferLinkBitsPerSec * float64(time.Second))
+}
+
+// Manager is the workload manager. It is safe for concurrent use.
+type Manager struct {
+	mu       sync.Mutex
+	registry map[uint32]*workloads.Workload
+	byName   map[string]uint32
+	nextID   uint32
+
+	// control is the Raft-backed state store syncing placements with
+	// the gateway (§6.1.1: etcd).
+	control *raftkv.Cluster
+	// controlTicks bounds control-plane proposal retries.
+	controlTicks int
+}
+
+// Manager errors.
+var (
+	ErrDuplicateWorkload = errors.New("core: workload already registered")
+	ErrUnknownWorkload   = errors.New("core: unknown workload")
+)
+
+// NewManager creates a manager backed by an n-node control store.
+func NewManager(controlNodes int, seed int64) (*Manager, error) {
+	if controlNodes < 1 {
+		return nil, errors.New("core: need at least one control node")
+	}
+	m := &Manager{
+		registry:     make(map[uint32]*workloads.Workload),
+		byName:       make(map[string]uint32),
+		nextID:       1,
+		control:      raftkv.NewCluster(controlNodes, seed),
+		controlTicks: 500,
+	}
+	if _, err := m.control.ElectLeader(m.controlTicks); err != nil {
+		return nil, fmt.Errorf("core: control store: %w", err)
+	}
+	return m, nil
+}
+
+// Register assigns the workload a unique ID (§4.1: "the workload
+// manager assigns unique identifiers to each of these lambdas") and
+// records it in the control store. Workloads arriving with a preset ID
+// keep it if free.
+func (m *Manager) Register(w *workloads.Workload) (uint32, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.byName[w.Name]; ok {
+		return 0, fmt.Errorf("%w: %s", ErrDuplicateWorkload, w.Name)
+	}
+	id := w.ID
+	if id == 0 {
+		id = m.nextID
+	}
+	for {
+		if _, taken := m.registry[id]; !taken {
+			break
+		}
+		id++
+	}
+	w.ID = id
+	if w.Spec != nil {
+		w.Spec.ID = id
+	}
+	m.registry[id] = w
+	m.byName[w.Name] = id
+	if id >= m.nextID {
+		m.nextID = id + 1
+	}
+	if err := m.control.Put("workload/"+w.Name, fmt.Sprint(id), m.controlTicks); err != nil {
+		return 0, fmt.Errorf("core: record workload: %w", err)
+	}
+	return id, nil
+}
+
+// Workload looks up a registered workload by ID.
+func (m *Manager) Workload(id uint32) (*workloads.Workload, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w, ok := m.registry[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: id %d", ErrUnknownWorkload, id)
+	}
+	return w, nil
+}
+
+// Workloads returns all registered workloads ordered by ID.
+func (m *Manager) Workloads() []*workloads.Workload {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*workloads.Workload, 0, len(m.registry))
+	for _, w := range m.registry {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Placement is a workload's worker assignment, shared with the gateway
+// through the control store.
+type Placement struct {
+	Workload string   `json:"workload"`
+	ID       uint32   `json:"id"`
+	Workers  []string `json:"workers"`
+}
+
+// RecordPlacement publishes a workload's worker set.
+func (m *Manager) RecordPlacement(name string, workers []string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id, ok := m.byName[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownWorkload, name)
+	}
+	data, err := json.Marshal(Placement{Workload: name, ID: id, Workers: workers})
+	if err != nil {
+		return err
+	}
+	return m.control.Put("placement/"+name, string(data), m.controlTicks)
+}
+
+// WatchPlacements registers a callback invoked for every placement
+// committed through the control store — the etcd watch that keeps the
+// gateway's routing table in sync (§6.1.1). The callback runs inside
+// control-store applies; it must be fast and must not call back into
+// the manager.
+func (m *Manager) WatchPlacements(fn func(Placement)) {
+	m.control.Subscribe(1, "placement/", func(cmd raftkv.Command) {
+		if cmd.Op != raftkv.OpPut {
+			return
+		}
+		var p Placement
+		if err := json.Unmarshal([]byte(cmd.Value), &p); err != nil {
+			return
+		}
+		fn(p)
+	})
+}
+
+// Placement reads a workload's worker set from the control store
+// leader.
+func (m *Manager) Placement(name string) (Placement, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	leader, err := m.control.ElectLeader(m.controlTicks)
+	if err != nil {
+		return Placement{}, err
+	}
+	raw, ok := m.control.Get(leader, "placement/"+name)
+	if !ok {
+		return Placement{}, fmt.Errorf("%w: no placement for %s", ErrUnknownWorkload, name)
+	}
+	var p Placement
+	if err := json.Unmarshal([]byte(raw), &p); err != nil {
+		return Placement{}, fmt.Errorf("core: decode placement: %w", err)
+	}
+	return p, nil
+}
+
+// Control exposes the Raft control store (tests, failure injection).
+func (m *Manager) Control() *raftkv.Cluster { return m.control }
+
+// Compile builds the optimized Match+Lambda image for the registered
+// workloads and returns the per-pass size trajectory (Figure 9).
+func (m *Manager) Compile() (*mcc.Executable, []mcc.PassResult, error) {
+	ws := m.Workloads()
+	if len(ws) == 0 {
+		return nil, nil, errors.New("core: no workloads registered")
+	}
+	return workloads.CompileOptimized(ws, workloads.NaiveProgramTarget)
+}
+
+// Artifact models the workload set's deployable unit for a backend
+// (Table 4). programInstructions sizes the λ-NIC firmware; pass the
+// compiled image's StaticInstructions.
+func BuildArtifact(kind BackendKind, programInstructions int) Artifact {
+	switch kind {
+	case KindLambdaNIC:
+		size := firmwareBaseMiB + float64(programInstructions*bytesPerInstruction)/(1<<20)
+		return Artifact{
+			Kind:     kind,
+			SizeMiB:  size,
+			Compile:  firmwareCompileTime,
+			Transfer: transferTime(size),
+			Boot:     firmwareFlashTime,
+		}
+	case KindBareMetal:
+		size := wheelBaseMiB + float64(programInstructions)/(1<<20) // source is tiny
+		return Artifact{
+			Kind:     kind,
+			SizeMiB:  size,
+			Transfer: transferTime(size),
+			Install:  pipInstallTime,
+			Boot:     pythonBootTime,
+		}
+	case KindContainer:
+		size := containerImageBaseMiB + float64(programInstructions)/(1<<20)
+		return Artifact{
+			Kind:     kind,
+			SizeMiB:  size,
+			Transfer: transferTime(size),
+			Install:  time.Duration(size * float64(dockerExtractPerMiB)),
+			Boot:     containerStartTime + faasProvisionTime,
+		}
+	default:
+		return Artifact{Kind: kind}
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"lambdanic/internal/monitor"
+	"lambdanic/internal/transport"
+	"lambdanic/internal/workloads"
+)
+
+// Worker is a functional λ-NIC worker node: it serves installed
+// lambdas over the λ-NIC wire protocol, dispatching by the workload ID
+// the gateway stamped into each request — the software twin of the
+// NIC's match stage, used by the runnable daemons and examples.
+type Worker struct {
+	ep   *transport.Endpoint
+	deps *workloads.Deps
+
+	mu       sync.RWMutex
+	handlers map[uint32]func(payload []byte, deps *workloads.Deps) ([]byte, error)
+	names    map[uint32]string
+
+	// Optional monitoring-engine instrumentation (§6.1.1).
+	registry  *monitor.Registry
+	mRequests map[uint32]*monitor.Counter
+	mErrors   *monitor.Counter
+	mLatency  *monitor.Histogram
+}
+
+// NewWorker starts a worker on conn with the given external-service
+// dependencies. The worker owns the connection.
+func NewWorker(conn net.PacketConn, deps *workloads.Deps) *Worker {
+	w := &Worker{
+		deps:     deps,
+		handlers: make(map[uint32]func([]byte, *workloads.Deps) ([]byte, error)),
+		names:    make(map[uint32]string),
+	}
+	w.ep = transport.NewEndpoint(conn, w.handle)
+	return w
+}
+
+// Addr returns the worker's listen address.
+func (w *Worker) Addr() net.Addr { return w.ep.Addr() }
+
+// Close stops the worker.
+func (w *Worker) Close() error { return w.ep.Close() }
+
+// EnableMetrics registers the worker's per-lambda request counters and
+// service-latency histogram in the monitoring engine's registry.
+// Enable before Install so every lambda gets a counter.
+func (w *Worker) EnableMetrics(reg *monitor.Registry) error {
+	errs, err := reg.Counter("lnic_worker_errors_total", "lambda execution failures", nil)
+	if err != nil {
+		return err
+	}
+	latency, err := reg.Histogram("lnic_worker_latency_seconds",
+		"lambda service latency", nil, monitor.DefaultLatencyBuckets)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.registry = reg
+	w.mRequests = make(map[uint32]*monitor.Counter)
+	w.mErrors = errs
+	w.mLatency = latency
+	return nil
+}
+
+// Install deploys a workload's native handler.
+func (w *Worker) Install(wl *workloads.Workload) error {
+	if wl.Handle == nil {
+		return fmt.Errorf("core: workload %s has no native handler", wl.Name)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.handlers[wl.ID]; ok {
+		return fmt.Errorf("%w: id %d", ErrDuplicateWorkload, wl.ID)
+	}
+	w.handlers[wl.ID] = wl.Handle
+	w.names[wl.ID] = wl.Name
+	if w.registry != nil {
+		c, err := w.registry.Counter("lnic_worker_requests_total",
+			"requests served per lambda", map[string]string{"workload": wl.Name})
+		if err != nil {
+			return err
+		}
+		w.mRequests[wl.ID] = c
+	}
+	return nil
+}
+
+// Remove undeploys a workload.
+func (w *Worker) Remove(id uint32) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	delete(w.handlers, id)
+	delete(w.names, id)
+}
+
+// Installed lists deployed workload IDs.
+func (w *Worker) Installed() []uint32 {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	out := make([]uint32, 0, len(w.handlers))
+	for id := range w.handlers {
+		out = append(out, id)
+	}
+	return out
+}
+
+func (w *Worker) handle(req *transport.Message) ([]byte, error) {
+	w.mu.RLock()
+	h, ok := w.handlers[req.Header.WorkloadID]
+	counter := w.mRequests[req.Header.WorkloadID]
+	errs, latency := w.mErrors, w.mLatency
+	w.mu.RUnlock()
+	if !ok {
+		// The match stage's fall-through: unmatched IDs go to the host
+		// OS path (§4.1); here that surfaces as an error response.
+		if errs != nil {
+			errs.Inc()
+		}
+		return nil, fmt.Errorf("%w: id %d", ErrUnknownWorkload, req.Header.WorkloadID)
+	}
+	start := time.Now()
+	resp, err := h(req.Payload, w.deps)
+	if latency != nil {
+		latency.Observe(time.Since(start).Seconds())
+	}
+	if counter != nil {
+		counter.Inc()
+	}
+	if err != nil && errs != nil {
+		errs.Inc()
+	}
+	return resp, err
+}

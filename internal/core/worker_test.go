@@ -1,0 +1,90 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"lambdanic/internal/transport"
+	"lambdanic/internal/workloads"
+)
+
+func newTestWorker(t *testing.T, n *transport.MemNetwork, name string) *Worker {
+	t.Helper()
+	conn, err := n.Listen(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorker(conn, nil)
+	t.Cleanup(func() {
+		if err := w.Close(); err != nil {
+			t.Errorf("worker close: %v", err)
+		}
+	})
+	return w
+}
+
+func TestWorkerInstallRemove(t *testing.T) {
+	n := transport.NewMemNetwork(1)
+	w := newTestWorker(t, n, "w1")
+	web := workloads.WebServer()
+	if err := w.Install(web); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Install(web); !errors.Is(err, ErrDuplicateWorkload) {
+		t.Errorf("duplicate install: %v", err)
+	}
+	if got := w.Installed(); len(got) != 1 || got[0] != web.ID {
+		t.Errorf("Installed = %v", got)
+	}
+	w.Remove(web.ID)
+	if got := w.Installed(); len(got) != 0 {
+		t.Errorf("Installed after Remove = %v", got)
+	}
+}
+
+func TestWorkerRejectsHandlerlessWorkload(t *testing.T) {
+	n := transport.NewMemNetwork(1)
+	w := newTestWorker(t, n, "w1")
+	if err := w.Install(&workloads.Workload{Name: "stub", ID: 9}); err == nil {
+		t.Error("workload without handler installed")
+	}
+}
+
+func TestWorkerServesAndRejectsUnknown(t *testing.T) {
+	n := transport.NewMemNetwork(1)
+	w := newTestWorker(t, n, "w1")
+	web := workloads.WebServer()
+	if err := w.Install(web); err != nil {
+		t.Fatal(err)
+	}
+	cc, err := n.Listen("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := transport.NewEndpoint(cc, nil,
+		transport.WithTimeout(200*time.Millisecond), transport.WithRetries(2))
+	defer cli.Close()
+	ctx := context.Background()
+
+	resp, err := cli.Call(ctx, transport.MemAddr("w1"), web.ID, web.MakeRequest(0))
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if !strings.Contains(string(resp), "lambda-nic page 0") {
+		t.Errorf("resp = %q", resp)
+	}
+	// Unknown workload ID: the host-path fall-through (§4.1) surfaces
+	// as an error response.
+	_, err = cli.Call(ctx, transport.MemAddr("w1"), 999, nil)
+	if err == nil || !strings.Contains(err.Error(), "unknown workload") {
+		t.Errorf("unknown-id err = %v", err)
+	}
+	// After removal, requests fail again.
+	w.Remove(web.ID)
+	if _, err := cli.Call(ctx, transport.MemAddr("w1"), web.ID, web.MakeRequest(0)); err == nil {
+		t.Error("call after Remove succeeded")
+	}
+}

@@ -1,0 +1,53 @@
+package cpusim
+
+import (
+	"testing"
+
+	"lambdanic/internal/sim"
+)
+
+func benchHost(b *testing.B, mode Mode) (*sim.Sim, *Host) {
+	b.Helper()
+	s := sim.New(1)
+	h, err := New(s, testBenchConfig(mode))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := h.Deploy(Profile{ID: 1, NativeInstructions: 600, GILFraction: 1}); err != nil {
+		b.Fatal(err)
+	}
+	return s, h
+}
+
+func testBenchConfig(mode Mode) Config {
+	cfg := testConfig(mode)
+	return cfg
+}
+
+func BenchmarkBareMetalBurst(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, h := benchHost(b, ModeBareMetal)
+		for r := 0; r < 200; r++ {
+			h.Submit(1, 100, 1, nil)
+		}
+		if err := s.RunUntilIdle(); err != nil {
+			b.Fatal(err)
+		}
+		if h.Stats().Completed != 200 {
+			b.Fatal("incomplete")
+		}
+	}
+	b.ReportMetric(200, "requests/iter")
+}
+
+func BenchmarkContainerBurst(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, h := benchHost(b, ModeContainer)
+		for r := 0; r < 200; r++ {
+			h.Submit(1, 100, 1, nil)
+		}
+		if err := s.RunUntilIdle(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package drf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, capacity Resources) *Allocator {
+	t.Helper()
+	a, err := New(capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestDRFPaperExample(t *testing.T) {
+	// The canonical example from the DRF paper: capacity <9 CPU,
+	// 18 GB>; user A tasks need <1 CPU, 4 GB>, user B tasks <3 CPU,
+	// 1 GB>. Equalized dominant shares give A three tasks and B two.
+	a := mustNew(t, Resources{"cpu": 9, "mem": 18})
+	if err := a.AddUser("A", Resources{"cpu": 1, "mem": 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddUser("B", Resources{"cpu": 3, "mem": 1}); err != nil {
+		t.Fatal(err)
+	}
+	a.AllocateAll()
+	if got := a.Tasks("A"); got != 3 {
+		t.Errorf("A tasks = %d, want 3", got)
+	}
+	if got := a.Tasks("B"); got != 2 {
+		t.Errorf("B tasks = %d, want 2", got)
+	}
+	sa, _ := a.DominantShare("A")
+	sb, _ := a.DominantShare("B")
+	if math.Abs(sa-sb) > 1e-9 || math.Abs(sa-2.0/3.0) > 1e-9 {
+		t.Errorf("dominant shares = %v, %v; want both 2/3", sa, sb)
+	}
+}
+
+func TestNICResourceExample(t *testing.T) {
+	// λ-NIC flavor: 448 NPU threads and 2048 MB of NIC memory shared
+	// by a thread-hungry web lambda and a memory-hungry image lambda.
+	a := mustNew(t, Resources{"threads": 448, "memMB": 2048})
+	if err := a.AddUser("web", Resources{"threads": 8, "memMB": 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddUser("image", Resources{"threads": 2, "memMB": 64}); err != nil {
+		t.Fatal(err)
+	}
+	a.AllocateAll()
+	web, img := a.Tasks("web"), a.Tasks("image")
+	if web == 0 || img == 0 {
+		t.Fatalf("starvation: web=%d image=%d", web, img)
+	}
+	// Dominant shares end up near-equal (within one task's worth).
+	sw, _ := a.DominantShare("web")
+	si, _ := a.DominantShare("image")
+	if math.Abs(sw-si) > 0.05 {
+		t.Errorf("dominant shares diverge: web=%.3f image=%.3f", sw, si)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("empty capacity accepted")
+	}
+	if _, err := New(Resources{"cpu": 0}); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	a := mustNew(t, Resources{"cpu": 4})
+	if err := a.AddUser("x", nil); err == nil {
+		t.Error("empty demand accepted")
+	}
+	if err := a.AddUser("x", Resources{"cpu": -1}); err == nil {
+		t.Error("negative demand accepted")
+	}
+	if err := a.AddUser("x", Resources{"gpu": 1}); err == nil {
+		t.Error("unknown resource accepted")
+	}
+	if err := a.AddUser("x", Resources{"cpu": 9}); err == nil {
+		t.Error("oversized demand accepted")
+	}
+	if err := a.AddUser("x", Resources{"cpu": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddUser("x", Resources{"cpu": 1}); err == nil {
+		t.Error("duplicate user accepted")
+	}
+	if _, err := a.DominantShare("ghost"); err == nil {
+		t.Error("unknown user share")
+	}
+	if err := a.Release("ghost"); err == nil {
+		t.Error("release unknown user")
+	}
+	if err := a.Release("x"); err == nil {
+		t.Error("release with no tasks")
+	}
+}
+
+func TestReleaseReturnsCapacity(t *testing.T) {
+	a := mustNew(t, Resources{"cpu": 2})
+	if err := a.AddUser("x", Resources{"cpu": 1}); err != nil {
+		t.Fatal(err)
+	}
+	grants := a.AllocateAll()
+	if len(grants) != 2 {
+		t.Fatalf("grants = %v", grants)
+	}
+	if _, ok := a.AllocateOne(); ok {
+		t.Error("allocated beyond capacity")
+	}
+	if err := a.Release("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.AllocateOne(); !ok {
+		t.Error("release did not free capacity")
+	}
+}
+
+func TestNeverExceedsCapacityProperty(t *testing.T) {
+	// Property: for random user demands, AllocateAll never over-commits
+	// any resource and no user with a feasible demand is starved while
+	// others hold a larger dominant share.
+	f := func(d1, d2, d3 uint8) bool {
+		cap := Resources{"threads": 64, "mem": 256}
+		a, err := New(cap)
+		if err != nil {
+			return false
+		}
+		demands := []Resources{
+			{"threads": float64(d1%8 + 1), "mem": float64(d2%32 + 1)},
+			{"threads": float64(d2%8 + 1), "mem": float64(d3%32 + 1)},
+			{"threads": float64(d3%8 + 1), "mem": float64(d1%32 + 1)},
+		}
+		names := []string{"u1", "u2", "u3"}
+		for i, n := range names {
+			if err := a.AddUser(n, demands[i]); err != nil {
+				return false
+			}
+		}
+		a.AllocateAll()
+		rem := a.Remaining()
+		for _, v := range rem {
+			if v < -1e-9 {
+				return false
+			}
+		}
+		// Each user ended because nothing more fits for the minimum-
+		// share user; utilization of at least one resource should be
+		// high (progressive filling ran to exhaustion).
+		util := a.Utilization()
+		return util["threads"] > 0.5 || util["mem"] > 0.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	a := mustNew(t, Resources{"cpu": 10})
+	if err := a.AddUser("x", Resources{"cpu": 3}); err != nil {
+		t.Fatal(err)
+	}
+	a.AllocateAll() // 3 tasks = 9 cpu
+	if got := a.Utilization()["cpu"]; math.Abs(got-0.9) > 1e-9 {
+		t.Errorf("utilization = %v, want 0.9", got)
+	}
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationRunToCompletion(t *testing.T) {
+	r, err := AblationRunToCompletion(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtc, pre := r.Variants[0], r.Variants[1]
+	if rtc.Name != "run-to-completion" || pre.Name != "preemptive" {
+		t.Fatalf("variants = %+v", r.Variants)
+	}
+	// Preemption is pure overhead for run-once lambdas: the makespan
+	// must grow.
+	if !(pre.Value > rtc.Value) {
+		t.Errorf("preemptive makespan %v not above RTC %v", pre.Value, rtc.Value)
+	}
+	// The context-switch tax should be substantial (> 10%).
+	if pre.Value < rtc.Value*1.1 {
+		t.Errorf("preemption tax only %.1f%%, model too gentle",
+			100*(pre.Value/rtc.Value-1))
+	}
+}
+
+func TestAblationWFQ(t *testing.T) {
+	r, err := AblationWFQ(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fifo, wfq := r.Variants[0], r.Variants[1]
+	// WFQ must protect the interactive flow's tail behind the heavy
+	// flow's backlog, by a large factor.
+	if !(wfq.Value < fifo.Value/2) {
+		t.Errorf("WFQ p99 %v not ≪ FIFO p99 %v", wfq.Value, fifo.Value)
+	}
+}
+
+func TestAblationMemoryStratification(t *testing.T) {
+	r, err := AblationMemoryStratification(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, on := r.Variants[0], r.Variants[1]
+	if !(on.Value < off.Value) {
+		t.Errorf("stratified cycles %v not below all-EMEM %v", on.Value, off.Value)
+	}
+	// Near placement should save at least 2x in dynamic cycles for the
+	// memory-heavy interactive lambdas.
+	if on.Value*2 > off.Value {
+		t.Errorf("stratification saving only %.1fx", off.Value/on.Value)
+	}
+}
+
+func TestAblationTransport(t *testing.T) {
+	r, err := AblationTransport(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	weak, tcp := r.Variants[0], r.Variants[1]
+	if !(weak.Value < tcp.Value) {
+		t.Errorf("weakly-consistent %v not below tcp-like %v", weak.Value, tcp.Value)
+	}
+}
+
+func TestAblationGatewayOnNIC(t *testing.T) {
+	r, err := AblationGatewayOnNIC(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, nic := r.Variants[0], r.Variants[1]
+	// Moving the gateway onto a SmartNIC lifts the throughput ceiling
+	// by more than an order of magnitude (§7).
+	if !(nic.Value > 10*host.Value) {
+		t.Errorf("NIC gateway %v not ≫ host gateway %v", nic.Value, host.Value)
+	}
+}
+
+func TestAblationHitlessSwap(t *testing.T) {
+	r, err := AblationHitlessSwap(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	down, hitless := r.Variants[0], r.Variants[1]
+	if hitless.Value != 0 {
+		t.Errorf("hitless swap dropped %v requests", hitless.Value)
+	}
+	if down.Value <= 0 {
+		t.Error("downtime swap dropped nothing; downtime not modeled")
+	}
+}
+
+func TestAblationsAllAndRender(t *testing.T) {
+	res, err := Ablations(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 6 {
+		t.Fatalf("ablations = %d, want 6", len(res))
+	}
+	out := RenderAblations(res)
+	for _, want := range []string{"run-to-completion", "WFQ", "stratification", "TCP-like", "SmartNIC", "hitless"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

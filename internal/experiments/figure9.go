@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lambdanic/internal/core"
+	"lambdanic/internal/mcc"
+	"lambdanic/internal/workloads"
+)
+
+// Figure9 compiles the paper's naive four-lambda program (two key-value
+// clients, a web server, an image transformer; 8,902 instructions) and
+// reports the instruction-count trajectory through the three
+// target-specific optimizations (§6.4, Figure 9).
+func Figure9(cfg Config) ([]mcc.PassResult, error) {
+	set := cfg.set()
+	naive, err := workloads.BuildNaiveProgram(set, workloads.NaiveProgramTarget)
+	if err != nil {
+		return nil, fmt.Errorf("figure9: %w", err)
+	}
+	_, results, err := mcc.Optimize(naive, mcc.AllPasses())
+	if err != nil {
+		return nil, fmt.Errorf("figure9: %w", err)
+	}
+	return results, nil
+}
+
+// Table4 models each backend's deployment artifact for the benchmark
+// workload set and its startup pipeline (§6.4, Table 4).
+func Table4(cfg Config) ([]Table4Row, error) {
+	exe, _, err := workloads.CompileOptimized(cfg.set(), workloads.NaiveProgramTarget)
+	if err != nil {
+		return nil, fmt.Errorf("table4: %w", err)
+	}
+	instr := exe.StaticInstructions()
+	kinds := []struct {
+		id   BackendID
+		kind core.BackendKind
+	}{
+		{BackendLambdaNIC, core.KindLambdaNIC},
+		{BackendBareMetal, core.KindBareMetal},
+		{BackendContainer, core.KindContainer},
+	}
+	var out []Table4Row
+	for _, k := range kinds {
+		a := core.BuildArtifact(k.kind, instr)
+		out = append(out, Table4Row{
+			Backend: k.id,
+			SizeMiB: a.SizeMiB,
+			Startup: a.StartupTime(),
+		})
+	}
+	return out, nil
+}

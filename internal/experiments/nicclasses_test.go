@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSmartNICClassesMatchTable1(t *testing.T) {
+	results, err := SmartNICClasses(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("classes = %d", len(results))
+	}
+	by := map[string]NICClassResult{}
+	for _, r := range results {
+		by[r.Class] = r
+	}
+	asic, fpga, soc := by["ASIC-based"], by["FPGA-based"], by["SoC-based"]
+	// Table 1: ASIC and FPGA are low latency; the SoC's OS path is not.
+	if !(soc.WebLatency.P50 > 3*asic.WebLatency.P50) {
+		t.Errorf("SoC latency %v not ≫ ASIC %v", soc.WebLatency.P50, asic.WebLatency.P50)
+	}
+	if fpga.WebLatency.P50 > soc.WebLatency.P50 {
+		t.Errorf("FPGA latency %v above SoC %v; should be low-latency class",
+			fpga.WebLatency.P50, soc.WebLatency.P50)
+	}
+	// Table 1: 200+ cores beat 10 cores beat the OS-bound SoC on
+	// saturated throughput.
+	if !(asic.WebThroughput > fpga.WebThroughput && fpga.WebThroughput > soc.WebThroughput) {
+		t.Errorf("throughput ordering wrong: asic=%.0f fpga=%.0f soc=%.0f",
+			asic.WebThroughput, fpga.WebThroughput, soc.WebThroughput)
+	}
+	if out := RenderNICClasses(results); !strings.Contains(out, "ASIC-based") {
+		t.Error("render broken")
+	}
+}

@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOptimizerImpact(t *testing.T) {
+	r, err := MeasureOptimizerImpact(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LatencySavedSeconds <= 0 {
+		t.Errorf("optimizer saved no latency: %v", r.LatencySavedSeconds)
+	}
+	// The paper reports 6.3 µs average savings; our stratification pass
+	// saves more (it also repins memory levels). Accept the same order
+	// of magnitude.
+	us := r.LatencySavedSeconds * 1e6
+	if us < 0.5 || us > 50 {
+		t.Errorf("latency saved = %.2f µs, want 0.5-50 µs", us)
+	}
+	// Optimization must let strictly more lambdas fit the store.
+	if !(r.OptimizedFit > r.NaiveFit) {
+		t.Errorf("fit: naive %d, optimized %d; optimization bought nothing",
+			r.NaiveFit, r.OptimizedFit)
+	}
+	if out := RenderOptimizerImpact(r); !strings.Contains(out, "16K store") {
+		t.Error("render broken")
+	}
+}

@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScaleOutNearLinear(t *testing.T) {
+	points, err := ScaleOut(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	if points[0].Workers != 1 || points[2].Workers != 4 {
+		t.Fatalf("worker counts wrong: %+v", points)
+	}
+	// Adding workers must increase aggregate throughput...
+	if !(points[1].PerSecond > points[0].PerSecond && points[2].PerSecond > points[1].PerSecond) {
+		t.Errorf("throughput not increasing: %+v", points)
+	}
+	// ...with reasonable scaling efficiency (link-bound workload).
+	if points[2].Efficiency < 0.65 {
+		t.Errorf("4-worker efficiency = %.2f, want >= 0.65", points[2].Efficiency)
+	}
+	out := RenderScaleOut(points)
+	if !strings.Contains(out, "4 worker(s)") {
+		t.Errorf("render:\n%s", out)
+	}
+}

@@ -1,0 +1,210 @@
+// Package gateway implements λ-NIC's gateway (paper Fig. 2): it proxies
+// users' requests to the worker nodes hosting the destination lambda,
+// stamping each request with the lambda's workload ID so the NIC's
+// match stage can dispatch it (§4.1: "for each incoming request, the
+// gateway inserts the ID of the destined lambda as a new header").
+//
+// Delivery follows the weakly-consistent semantic of §4.2.1 D3: the
+// gateway is the sender that tracks outgoing RPCs and retransmits on
+// timeout or drop (provided by transport.Endpoint). Workers hosting the
+// same lambda are balanced round-robin.
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lambdanic/internal/monitor"
+	"lambdanic/internal/transport"
+)
+
+// Gateway proxies requests to workers by workload ID.
+type Gateway struct {
+	ep      *transport.Endpoint
+	timeout time.Duration
+
+	mu     sync.Mutex
+	routes map[uint32][]net.Addr
+	rr     map[uint32]int
+
+	forwarded atomic.Uint64
+	unrouted  atomic.Uint64
+
+	// Optional monitoring-engine instrumentation (§6.1.1).
+	mForwarded *monitor.Counter
+	mUnrouted  *monitor.Counter
+	mErrors    *monitor.Counter
+	mLatency   *monitor.Histogram
+}
+
+// Option configures a Gateway.
+type Option func(*Gateway)
+
+// WithUpstreamTimeout bounds each proxied call.
+func WithUpstreamTimeout(d time.Duration) Option {
+	return func(g *Gateway) { g.timeout = d }
+}
+
+// ErrNoRoute is returned for workload IDs with no registered workers.
+var ErrNoRoute = errors.New("gateway: no route for workload")
+
+// New starts a gateway on conn. The gateway owns the connection.
+func New(conn net.PacketConn, opts ...Option) *Gateway {
+	g := &Gateway{
+		timeout: 2 * time.Second,
+		routes:  make(map[uint32][]net.Addr),
+		rr:      make(map[uint32]int),
+	}
+	for _, o := range opts {
+		o(g)
+	}
+	g.ep = transport.NewEndpoint(conn, g.handle)
+	return g
+}
+
+// Addr returns the gateway's listen address.
+func (g *Gateway) Addr() net.Addr { return g.ep.Addr() }
+
+// Close shuts the gateway down.
+func (g *Gateway) Close() error { return g.ep.Close() }
+
+// Forwarded returns the number of successfully proxied requests.
+func (g *Gateway) Forwarded() uint64 { return g.forwarded.Load() }
+
+// Unrouted returns the number of requests with no route.
+func (g *Gateway) Unrouted() uint64 { return g.unrouted.Load() }
+
+// SetRoute replaces the worker set for a workload (called by the
+// workload manager as placements change).
+func (g *Gateway) SetRoute(id uint32, workers []net.Addr) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(workers) == 0 {
+		delete(g.routes, id)
+		delete(g.rr, id)
+		return
+	}
+	g.routes[id] = append([]net.Addr(nil), workers...)
+	g.rr[id] = 0
+}
+
+// Routes returns a snapshot of the routing table.
+func (g *Gateway) Routes() map[uint32][]net.Addr {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[uint32][]net.Addr, len(g.routes))
+	for id, ws := range g.routes {
+		out[id] = append([]net.Addr(nil), ws...)
+	}
+	return out
+}
+
+// next picks the round-robin worker for a workload.
+func (g *Gateway) next(id uint32) (net.Addr, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ws := g.routes[id]
+	if len(ws) == 0 {
+		return nil, fmt.Errorf("%w: %d", ErrNoRoute, id)
+	}
+	w := ws[g.rr[id]%len(ws)]
+	g.rr[id]++
+	return w, nil
+}
+
+// EnableMetrics registers the gateway's counters and upstream latency
+// histogram in the monitoring engine's registry.
+func (g *Gateway) EnableMetrics(reg *monitor.Registry) error {
+	forwarded, err := reg.Counter("lnic_gateway_forwarded_total", "requests proxied to workers", nil)
+	if err != nil {
+		return err
+	}
+	unrouted, err := reg.Counter("lnic_gateway_unrouted_total", "requests with no registered route", nil)
+	if err != nil {
+		return err
+	}
+	upErr, err := reg.Counter("lnic_gateway_upstream_errors_total", "upstream call failures", nil)
+	if err != nil {
+		return err
+	}
+	latency, err := reg.Histogram("lnic_gateway_upstream_latency_seconds",
+		"upstream call latency", nil, monitor.DefaultLatencyBuckets)
+	if err != nil {
+		return err
+	}
+	g.mu.Lock()
+	g.mForwarded, g.mUnrouted, g.mErrors, g.mLatency = forwarded, unrouted, upErr, latency
+	g.mu.Unlock()
+	return nil
+}
+
+func (g *Gateway) metricsSnapshot() (*monitor.Counter, *monitor.Counter, *monitor.Counter, *monitor.Histogram) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.mForwarded, g.mUnrouted, g.mErrors, g.mLatency
+}
+
+// workerCount returns the number of workers routed for a workload.
+func (g *Gateway) workerCount(id uint32) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.routes[id])
+}
+
+// handle proxies one client request to a worker and relays the
+// response. When an upstream call fails (a crashed or unreachable
+// worker), the gateway fails over to the next worker in the route
+// before giving up — keeping a lambda available while any replica
+// lives.
+func (g *Gateway) handle(req *transport.Message) ([]byte, error) {
+	mFwd, mUnrouted, mErr, mLat := g.metricsSnapshot()
+	attempts := g.workerCount(req.Header.WorkloadID)
+	if attempts == 0 {
+		g.unrouted.Add(1)
+		if mUnrouted != nil {
+			mUnrouted.Inc()
+		}
+		return nil, fmt.Errorf("%w: %d", ErrNoRoute, req.Header.WorkloadID)
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		worker, err := g.next(req.Header.WorkloadID)
+		if err != nil {
+			g.unrouted.Add(1)
+			if mUnrouted != nil {
+				mUnrouted.Inc()
+			}
+			return nil, err
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), g.timeout)
+		start := time.Now()
+		resp, err := g.ep.Call(ctx, worker, req.Header.WorkloadID, req.Payload)
+		cancel()
+		if mLat != nil {
+			mLat.Observe(time.Since(start).Seconds())
+		}
+		if err == nil {
+			g.forwarded.Add(1)
+			if mFwd != nil {
+				mFwd.Inc()
+			}
+			return resp, nil
+		}
+		if mErr != nil {
+			mErr.Inc()
+		}
+		lastErr = fmt.Errorf("gateway: upstream %v: %w", worker, err)
+		// Only unreachability (timeout after retransmits) triggers
+		// failover; an application error from a live worker is
+		// deterministic and is returned as-is.
+		if !errors.Is(err, transport.ErrTimeout) && !errors.Is(err, context.DeadlineExceeded) {
+			return nil, lastErr
+		}
+	}
+	return nil, lastErr
+}

@@ -1,0 +1,258 @@
+package gateway
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lambdanic/internal/transport"
+)
+
+// echoWorker starts a worker endpoint that tags responses with its
+// name.
+func echoWorker(t *testing.T, n *transport.MemNetwork, name string) *transport.Endpoint {
+	t.Helper()
+	conn, err := n.Listen(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := transport.NewEndpoint(conn, func(req *transport.Message) ([]byte, error) {
+		return []byte(name + ":" + string(req.Payload)), nil
+	})
+	t.Cleanup(func() {
+		if err := ep.Close(); err != nil {
+			t.Errorf("close %s: %v", name, err)
+		}
+	})
+	return ep
+}
+
+// testClient starts a client endpoint.
+func testClient(t *testing.T, n *transport.MemNetwork, opts ...transport.EndpointOption) *transport.Endpoint {
+	t.Helper()
+	conn, err := n.Listen("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep := transport.NewEndpoint(conn, nil, opts...)
+	t.Cleanup(func() { ep.Close() })
+	return ep
+}
+
+func newGateway(t *testing.T, n *transport.MemNetwork, opts ...Option) *Gateway {
+	t.Helper()
+	conn, err := n.Listen("gw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := New(conn, opts...)
+	t.Cleanup(func() {
+		if err := gw.Close(); err != nil {
+			t.Errorf("gateway close: %v", err)
+		}
+	})
+	return gw
+}
+
+func TestGatewayForwardsByWorkloadID(t *testing.T) {
+	n := transport.NewMemNetwork(1)
+	echoWorker(t, n, "w1")
+	echoWorker(t, n, "w2")
+	gw := newGateway(t, n)
+	gw.SetRoute(7, []net.Addr{transport.MemAddr("w1")})
+	gw.SetRoute(8, []net.Addr{transport.MemAddr("w2")})
+
+	cli := testClient(t, n)
+	ctx := context.Background()
+	resp, err := cli.Call(ctx, transport.MemAddr("gw"), 7, []byte("a"))
+	if err != nil || string(resp) != "w1:a" {
+		t.Fatalf("workload 7 -> %q, %v", resp, err)
+	}
+	resp, err = cli.Call(ctx, transport.MemAddr("gw"), 8, []byte("b"))
+	if err != nil || string(resp) != "w2:b" {
+		t.Fatalf("workload 8 -> %q, %v", resp, err)
+	}
+	if gw.Forwarded() != 2 {
+		t.Errorf("Forwarded = %d", gw.Forwarded())
+	}
+}
+
+func TestGatewayRoundRobin(t *testing.T) {
+	n := transport.NewMemNetwork(1)
+	echoWorker(t, n, "w1")
+	echoWorker(t, n, "w2")
+	gw := newGateway(t, n)
+	gw.SetRoute(1, []net.Addr{transport.MemAddr("w1"), transport.MemAddr("w2")})
+
+	cli := testClient(t, n)
+	counts := map[string]int{}
+	for i := 0; i < 10; i++ {
+		resp, err := cli.Call(context.Background(), transport.MemAddr("gw"), 1, []byte("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		name, _, _ := strings.Cut(string(resp), ":")
+		counts[name]++
+	}
+	if counts["w1"] != 5 || counts["w2"] != 5 {
+		t.Errorf("round robin skewed: %v", counts)
+	}
+}
+
+func TestGatewayUnrouted(t *testing.T) {
+	n := transport.NewMemNetwork(1)
+	gw := newGateway(t, n)
+	cli := testClient(t, n, transport.WithTimeout(100*time.Millisecond), transport.WithRetries(1))
+	_, err := cli.Call(context.Background(), transport.MemAddr("gw"), 99, []byte("x"))
+	if err == nil || !strings.Contains(err.Error(), "no route") {
+		t.Errorf("err = %v, want no-route", err)
+	}
+	if gw.Unrouted() == 0 {
+		t.Error("Unrouted not counted")
+	}
+}
+
+func TestGatewayRouteUpdateAndRemoval(t *testing.T) {
+	n := transport.NewMemNetwork(1)
+	echoWorker(t, n, "w1")
+	echoWorker(t, n, "w2")
+	gw := newGateway(t, n)
+	gw.SetRoute(1, []net.Addr{transport.MemAddr("w1")})
+	cli := testClient(t, n, transport.WithTimeout(100*time.Millisecond), transport.WithRetries(1))
+
+	if resp, err := cli.Call(context.Background(), transport.MemAddr("gw"), 1, []byte("x")); err != nil || string(resp) != "w1:x" {
+		t.Fatalf("before update: %q, %v", resp, err)
+	}
+	// Repoint to w2 (a placement change).
+	gw.SetRoute(1, []net.Addr{transport.MemAddr("w2")})
+	if resp, err := cli.Call(context.Background(), transport.MemAddr("gw"), 1, []byte("y")); err != nil || string(resp) != "w2:y" {
+		t.Fatalf("after update: %q, %v", resp, err)
+	}
+	// Remove the route entirely.
+	gw.SetRoute(1, nil)
+	if _, err := cli.Call(context.Background(), transport.MemAddr("gw"), 1, []byte("z")); err == nil {
+		t.Error("call after route removal succeeded")
+	}
+	if routes := gw.Routes(); len(routes) != 0 {
+		t.Errorf("Routes = %v after removal", routes)
+	}
+}
+
+func TestGatewayUpstreamTimeout(t *testing.T) {
+	n := transport.NewMemNetwork(1)
+	gw := newGateway(t, n, WithUpstreamTimeout(50*time.Millisecond))
+	// Route to a worker that does not exist: upstream calls time out.
+	gw.SetRoute(1, []net.Addr{transport.MemAddr("ghost")})
+	cli := testClient(t, n, transport.WithTimeout(300*time.Millisecond), transport.WithRetries(1))
+	_, err := cli.Call(context.Background(), transport.MemAddr("gw"), 1, []byte("x"))
+	if err == nil {
+		t.Error("call to dead worker succeeded")
+	}
+}
+
+func TestGatewayRetransmitsThroughLoss(t *testing.T) {
+	n := transport.NewMemNetwork(5)
+	n.LossRate = 0.3
+	echoWorker(t, n, "w1")
+	gw := newGateway(t, n)
+	gw.SetRoute(1, []net.Addr{transport.MemAddr("w1")})
+	cli := testClient(t, n, transport.WithTimeout(50*time.Millisecond), transport.WithRetries(20))
+	for i := 0; i < 10; i++ {
+		resp, err := cli.Call(context.Background(), transport.MemAddr("gw"), 1, []byte("q"))
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if string(resp) != "w1:q" {
+			t.Errorf("resp = %q", resp)
+		}
+	}
+}
+
+func TestGatewayConcurrentClients(t *testing.T) {
+	n := transport.NewMemNetwork(9)
+	echoWorker(t, n, "w1")
+	echoWorker(t, n, "w2")
+	gw := newGateway(t, n)
+	gw.SetRoute(1, []net.Addr{transport.MemAddr("w1"), transport.MemAddr("w2")})
+	cli := testClient(t, n)
+
+	const calls = 30
+	var failures atomic.Int32
+	done := make(chan struct{}, calls)
+	for i := 0; i < calls; i++ {
+		go func(i int) {
+			defer func() { done <- struct{}{} }()
+			payload := []byte(fmt.Sprintf("m%d", i))
+			resp, err := cli.Call(context.Background(), transport.MemAddr("gw"), 1, payload)
+			if err != nil || !strings.HasSuffix(string(resp), string(payload)) {
+				failures.Add(1)
+			}
+		}(i)
+	}
+	for i := 0; i < calls; i++ {
+		<-done
+	}
+	if failures.Load() != 0 {
+		t.Errorf("%d concurrent calls failed", failures.Load())
+	}
+}
+
+func TestGatewayFailoverToLiveWorker(t *testing.T) {
+	n := transport.NewMemNetwork(13)
+	echoWorker(t, n, "alive")
+	gw := newGateway(t, n, WithUpstreamTimeout(60*time.Millisecond))
+	// First route slot points at a dead worker; the gateway must fail
+	// over to the live one.
+	gw.SetRoute(1, []net.Addr{transport.MemAddr("dead"), transport.MemAddr("alive")})
+	cli := testClient(t, n, transport.WithTimeout(400*time.Millisecond), transport.WithRetries(1))
+	resp, err := cli.Call(context.Background(), transport.MemAddr("gw"), 1, []byte("x"))
+	if err != nil {
+		t.Fatalf("failover call: %v", err)
+	}
+	if string(resp) != "alive:x" {
+		t.Errorf("resp = %q, want from live worker", resp)
+	}
+}
+
+func TestGatewayNoFailoverOnApplicationError(t *testing.T) {
+	n := transport.NewMemNetwork(17)
+	// Both workers return application errors; the gateway must not
+	// retry the second after the first answers deterministically.
+	var calls atomic.Int32
+	for _, name := range []string{"e1", "e2"} {
+		conn, err := n.Listen(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep := transport.NewEndpoint(conn, func(req *transport.Message) ([]byte, error) {
+			calls.Add(1)
+			return nil, fmt.Errorf("handler rejected")
+		})
+		t.Cleanup(func() { ep.Close() })
+	}
+	gw := newGateway(t, n, WithUpstreamTimeout(100*time.Millisecond))
+	gw.SetRoute(1, []net.Addr{transport.MemAddr("e1"), transport.MemAddr("e2")})
+	cli := testClient(t, n, transport.WithTimeout(300*time.Millisecond), transport.WithRetries(1))
+	_, err := cli.Call(context.Background(), transport.MemAddr("gw"), 1, []byte("x"))
+	if err == nil || !strings.Contains(err.Error(), "handler rejected") {
+		t.Fatalf("err = %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("handler invoked %d times, want 1 (no failover on app error)", got)
+	}
+}
+
+func TestGatewayAllWorkersDead(t *testing.T) {
+	n := transport.NewMemNetwork(19)
+	gw := newGateway(t, n, WithUpstreamTimeout(30*time.Millisecond))
+	gw.SetRoute(1, []net.Addr{transport.MemAddr("d1"), transport.MemAddr("d2")})
+	cli := testClient(t, n, transport.WithTimeout(500*time.Millisecond), transport.WithRetries(0))
+	_, err := cli.Call(context.Background(), transport.MemAddr("gw"), 1, []byte("x"))
+	if err == nil {
+		t.Error("call with all workers dead succeeded")
+	}
+}

@@ -1,0 +1,36 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkStoreSetGet(b *testing.B) {
+	s := NewStore()
+	value := []byte("benchmark-value-0123456789")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		key := fmt.Sprintf("user:%04d", i%1000)
+		if err := s.Set(key, 0, value); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Get(key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProtocolSetGet(b *testing.B) {
+	s := NewStore()
+	set := BuildSet("user:0001", 0, []byte("value"))
+	get := BuildGet("user:0001")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if resp := s.HandleCommand(set); string(resp) != "STORED\r\n" {
+			b.Fatal("set failed")
+		}
+		if _, ok := ParseGetResponse(s.HandleCommand(get)); !ok {
+			b.Fatal("get failed")
+		}
+	}
+}

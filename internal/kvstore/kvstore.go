@@ -1,0 +1,264 @@
+// Package kvstore is a memcached-style key-value store, standing in for
+// the memcached server the paper's key-value-client lambdas query
+// (§6.2b). It implements a compatible subset of the memcached text
+// protocol (get/set/delete with flags and byte counts) over an
+// in-memory store, and can serve it over any net.PacketConn for the
+// runnable examples and daemons.
+package kvstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Store is a concurrency-safe in-memory key-value store with memcached
+// semantics (flags per entry, whole-value replacement).
+type Store struct {
+	mu      sync.RWMutex
+	items   map[string]Item
+	maxKey  int
+	maxData int
+
+	// Counters, memcached "stats"-style.
+	gets, sets, hits, misses, deletes uint64
+}
+
+// Item is one stored entry.
+type Item struct {
+	Value []byte
+	Flags uint32
+}
+
+// Store limits, mirroring memcached's defaults.
+const (
+	DefaultMaxKeyLen  = 250
+	DefaultMaxDataLen = 1 << 20
+)
+
+// Store errors.
+var (
+	ErrKeyTooLong   = errors.New("kvstore: key too long")
+	ErrValueTooBig  = errors.New("kvstore: value too big")
+	ErrNotFound     = errors.New("kvstore: not found")
+	ErrMalformedKey = errors.New("kvstore: malformed key")
+)
+
+// NewStore returns an empty store with default limits.
+func NewStore() *Store {
+	return &Store{
+		items:   make(map[string]Item),
+		maxKey:  DefaultMaxKeyLen,
+		maxData: DefaultMaxDataLen,
+	}
+}
+
+func validKey(key string, maxLen int) error {
+	if len(key) == 0 || len(key) > maxLen {
+		return ErrKeyTooLong
+	}
+	if strings.ContainsAny(key, " \r\n\x00") {
+		return ErrMalformedKey
+	}
+	return nil
+}
+
+// Set stores value under key, replacing any prior entry.
+func (s *Store) Set(key string, flags uint32, value []byte) error {
+	if err := validKey(key, s.maxKey); err != nil {
+		return err
+	}
+	if len(value) > s.maxData {
+		return ErrValueTooBig
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sets++
+	s.items[key] = Item{Value: append([]byte(nil), value...), Flags: flags}
+	return nil
+}
+
+// Get fetches the entry for key.
+func (s *Store) Get(key string) (Item, error) {
+	if err := validKey(key, s.maxKey); err != nil {
+		return Item{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gets++
+	it, ok := s.items[key]
+	if !ok {
+		s.misses++
+		return Item{}, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	s.hits++
+	return Item{Value: append([]byte(nil), it.Value...), Flags: it.Flags}, nil
+}
+
+// Delete removes key.
+func (s *Store) Delete(key string) error {
+	if err := validKey(key, s.maxKey); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.deletes++
+	if _, ok := s.items[key]; !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	delete(s.items, key)
+	return nil
+}
+
+// Len returns the number of stored entries.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.items)
+}
+
+// Stats returns operation counters (gets, sets, hits, misses, deletes).
+func (s *Store) Stats() (gets, sets, hits, misses, deletes uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.gets, s.sets, s.hits, s.misses, s.deletes
+}
+
+// HandleCommand executes one memcached text-protocol command and
+// returns the protocol response. Supported commands:
+//
+//	set <key> <flags> <exptime> <bytes>\r\n<data>\r\n -> STORED
+//	get <key>\r\n  -> VALUE <key> <flags> <bytes>\r\n<data>\r\nEND
+//	delete <key>\r\n -> DELETED | NOT_FOUND
+//	stats\r\n -> STAT lines
+//
+// Exptime is parsed but ignored (the simulated workloads never expire
+// entries). Malformed input yields memcached-style ERROR responses.
+func (s *Store) HandleCommand(cmd []byte) []byte {
+	line, rest, _ := bytes.Cut(cmd, []byte("\r\n"))
+	fields := strings.Fields(string(line))
+	if len(fields) == 0 {
+		return []byte("ERROR\r\n")
+	}
+	switch fields[0] {
+	case "set":
+		return s.handleSet(fields, rest)
+	case "get", "gets":
+		return s.handleGet(fields)
+	case "delete":
+		return s.handleDelete(fields)
+	case "stats":
+		return s.handleStats()
+	default:
+		return []byte("ERROR\r\n")
+	}
+}
+
+func clientError(msg string) []byte {
+	return []byte("CLIENT_ERROR " + msg + "\r\n")
+}
+
+func (s *Store) handleSet(fields []string, rest []byte) []byte {
+	if len(fields) != 5 {
+		return clientError("bad set command")
+	}
+	flags, err := strconv.ParseUint(fields[2], 10, 32)
+	if err != nil {
+		return clientError("bad flags")
+	}
+	if _, err := strconv.ParseInt(fields[3], 10, 64); err != nil {
+		return clientError("bad exptime")
+	}
+	n, err := strconv.Atoi(fields[4])
+	if err != nil || n < 0 {
+		return clientError("bad byte count")
+	}
+	if len(rest) < n+2 || !bytes.Equal(rest[n:n+2], []byte("\r\n")) {
+		return clientError("bad data chunk")
+	}
+	if err := s.Set(fields[1], uint32(flags), rest[:n]); err != nil {
+		return clientError(err.Error())
+	}
+	return []byte("STORED\r\n")
+}
+
+func (s *Store) handleGet(fields []string) []byte {
+	if len(fields) < 2 {
+		return clientError("bad get command")
+	}
+	var out bytes.Buffer
+	for _, key := range fields[1:] {
+		it, err := s.Get(key)
+		if err != nil {
+			continue // memcached omits missing keys
+		}
+		fmt.Fprintf(&out, "VALUE %s %d %d\r\n", key, it.Flags, len(it.Value))
+		out.Write(it.Value)
+		out.WriteString("\r\n")
+	}
+	out.WriteString("END\r\n")
+	return out.Bytes()
+}
+
+func (s *Store) handleDelete(fields []string) []byte {
+	if len(fields) != 2 {
+		return clientError("bad delete command")
+	}
+	if err := s.Delete(fields[1]); err != nil {
+		if errors.Is(err, ErrNotFound) {
+			return []byte("NOT_FOUND\r\n")
+		}
+		return clientError(err.Error())
+	}
+	return []byte("DELETED\r\n")
+}
+
+func (s *Store) handleStats() []byte {
+	gets, sets, hits, misses, deletes := s.Stats()
+	var out bytes.Buffer
+	fmt.Fprintf(&out, "STAT cmd_get %d\r\n", gets)
+	fmt.Fprintf(&out, "STAT cmd_set %d\r\n", sets)
+	fmt.Fprintf(&out, "STAT get_hits %d\r\n", hits)
+	fmt.Fprintf(&out, "STAT get_misses %d\r\n", misses)
+	fmt.Fprintf(&out, "STAT cmd_delete %d\r\n", deletes)
+	fmt.Fprintf(&out, "STAT curr_items %d\r\n", s.Len())
+	out.WriteString("END\r\n")
+	return out.Bytes()
+}
+
+// ParseGetResponse extracts the first value from a "get" response.
+func ParseGetResponse(resp []byte) ([]byte, bool) {
+	if !bytes.HasPrefix(resp, []byte("VALUE ")) {
+		return nil, false
+	}
+	header, rest, ok := bytes.Cut(resp, []byte("\r\n"))
+	if !ok {
+		return nil, false
+	}
+	fields := strings.Fields(string(header))
+	if len(fields) != 4 {
+		return nil, false
+	}
+	n, err := strconv.Atoi(fields[3])
+	if err != nil || n < 0 || len(rest) < n {
+		return nil, false
+	}
+	return rest[:n], true
+}
+
+// BuildSet formats a set command.
+func BuildSet(key string, flags uint32, value []byte) []byte {
+	var out bytes.Buffer
+	fmt.Fprintf(&out, "set %s %d 0 %d\r\n", key, flags, len(value))
+	out.Write(value)
+	out.WriteString("\r\n")
+	return out.Bytes()
+}
+
+// BuildGet formats a get command.
+func BuildGet(key string) []byte {
+	return []byte("get " + key + "\r\n")
+}

@@ -1,0 +1,208 @@
+package kvstore
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"lambdanic/internal/transport"
+)
+
+func TestStoreSetGetDelete(t *testing.T) {
+	s := NewStore()
+	if err := s.Set("k1", 7, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	it, err := s.Get("k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(it.Value) != "v1" || it.Flags != 7 {
+		t.Errorf("got %+v", it)
+	}
+	if err := s.Delete("k1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("k1"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("get after delete: %v", err)
+	}
+	if err := s.Delete("k1"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete: %v", err)
+	}
+}
+
+func TestStoreValidation(t *testing.T) {
+	s := NewStore()
+	if err := s.Set("", 0, nil); !errors.Is(err, ErrKeyTooLong) {
+		t.Errorf("empty key: %v", err)
+	}
+	if err := s.Set(strings.Repeat("k", 251), 0, nil); !errors.Is(err, ErrKeyTooLong) {
+		t.Errorf("long key: %v", err)
+	}
+	if err := s.Set("bad key", 0, nil); !errors.Is(err, ErrMalformedKey) {
+		t.Errorf("space in key: %v", err)
+	}
+	if err := s.Set("k", 0, make([]byte, DefaultMaxDataLen+1)); !errors.Is(err, ErrValueTooBig) {
+		t.Errorf("big value: %v", err)
+	}
+}
+
+func TestStoreCopiesValues(t *testing.T) {
+	s := NewStore()
+	v := []byte("abc")
+	if err := s.Set("k", 0, v); err != nil {
+		t.Fatal(err)
+	}
+	v[0] = 'z' // must not affect stored copy
+	it, err := s.Get("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(it.Value) != "abc" {
+		t.Errorf("stored value aliased caller buffer: %q", it.Value)
+	}
+	it.Value[0] = 'y' // must not affect store
+	it2, _ := s.Get("k")
+	if string(it2.Value) != "abc" {
+		t.Errorf("returned value aliased store: %q", it2.Value)
+	}
+}
+
+func TestStoreStats(t *testing.T) {
+	s := NewStore()
+	if err := s.Set("a", 0, []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = s.Get("a")
+	_, _ = s.Get("missing")
+	gets, sets, hits, misses, _ := s.Stats()
+	if gets != 2 || sets != 1 || hits != 1 || misses != 1 {
+		t.Errorf("stats = %d/%d/%d/%d", gets, sets, hits, misses)
+	}
+}
+
+func TestProtocolSetGet(t *testing.T) {
+	s := NewStore()
+	resp := s.HandleCommand([]byte("set mykey 42 0 5\r\nhello\r\n"))
+	if string(resp) != "STORED\r\n" {
+		t.Fatalf("set resp = %q", resp)
+	}
+	resp = s.HandleCommand([]byte("get mykey\r\n"))
+	want := "VALUE mykey 42 5\r\nhello\r\nEND\r\n"
+	if string(resp) != want {
+		t.Errorf("get resp = %q, want %q", resp, want)
+	}
+}
+
+func TestProtocolMultiGet(t *testing.T) {
+	s := NewStore()
+	if err := s.Set("a", 1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set("b", 2, []byte("yy")); err != nil {
+		t.Fatal(err)
+	}
+	resp := s.HandleCommand([]byte("get a missing b\r\n"))
+	text := string(resp)
+	if !strings.Contains(text, "VALUE a 1 1") || !strings.Contains(text, "VALUE b 2 2") {
+		t.Errorf("multi-get resp = %q", text)
+	}
+	if strings.Contains(text, "missing") {
+		t.Errorf("missing key present in response: %q", text)
+	}
+}
+
+func TestProtocolDelete(t *testing.T) {
+	s := NewStore()
+	if err := s.Set("a", 0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if resp := s.HandleCommand([]byte("delete a\r\n")); string(resp) != "DELETED\r\n" {
+		t.Errorf("delete = %q", resp)
+	}
+	if resp := s.HandleCommand([]byte("delete a\r\n")); string(resp) != "NOT_FOUND\r\n" {
+		t.Errorf("delete missing = %q", resp)
+	}
+}
+
+func TestProtocolStats(t *testing.T) {
+	s := NewStore()
+	resp := string(s.HandleCommand([]byte("stats\r\n")))
+	if !strings.HasPrefix(resp, "STAT ") || !strings.HasSuffix(resp, "END\r\n") {
+		t.Errorf("stats = %q", resp)
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	s := NewStore()
+	cases := []string{
+		"\r\n",
+		"bogus\r\n",
+		"set k\r\n",
+		"set k x 0 5\r\nhello\r\n",
+		"set k 0 x 5\r\nhello\r\n",
+		"set k 0 0 99\r\nshort\r\n",
+		"set k 0 0 -1\r\n\r\n",
+		"get\r\n",
+		"delete\r\n",
+	}
+	for _, c := range cases {
+		resp := string(s.HandleCommand([]byte(c)))
+		if !strings.Contains(resp, "ERROR") {
+			t.Errorf("command %q -> %q, want error", c, resp)
+		}
+	}
+}
+
+func TestProtocolRoundTripProperty(t *testing.T) {
+	// Property: any binary value round-trips through the text protocol.
+	f := func(value []byte) bool {
+		if len(value) > 1024 {
+			value = value[:1024]
+		}
+		s := NewStore()
+		if resp := s.HandleCommand(BuildSet("key", 9, value)); string(resp) != "STORED\r\n" {
+			return false
+		}
+		got, ok := ParseGetResponse(s.HandleCommand(BuildGet("key")))
+		return ok && bytes.Equal(got, value)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestServerClientOverMemNetwork(t *testing.T) {
+	n := transport.NewMemNetwork(1)
+	sc, err := n.Listen("memcached")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(NewStore(), sc)
+	defer func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+
+	cc, err := n.Listen("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	client := NewClient(cc, transport.MemAddr("memcached"))
+
+	if err := client.Set("user:1", 0, []byte("sean")); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	v, ok, err := client.Get("user:1")
+	if err != nil || !ok || string(v) != "sean" {
+		t.Errorf("Get = %q/%v/%v", v, ok, err)
+	}
+	_, ok, err = client.Get("user:2")
+	if err != nil || ok {
+		t.Errorf("Get missing = %v/%v", ok, err)
+	}
+}

@@ -1,0 +1,116 @@
+package kvstore
+
+import (
+	"net"
+	"sync"
+)
+
+// Server serves the memcached text protocol over a packet connection
+// (UDP-style: one datagram per command, one per response), the way the
+// paper's key-value client lambdas reach memcached on the master node
+// (§6.1.2, §6.2b).
+type Server struct {
+	store *Store
+	conn  net.PacketConn
+	wg    sync.WaitGroup
+	once  sync.Once
+}
+
+// NewServer starts serving the store on conn. The server owns conn.
+func NewServer(store *Store, conn net.PacketConn) *Server {
+	s := &Server{store: store, conn: conn}
+	s.wg.Add(1)
+	go s.loop()
+	return s
+}
+
+// Store returns the underlying store.
+func (s *Server) Store() *Store { return s.store }
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() net.Addr { return s.conn.LocalAddr() }
+
+// Close stops the server and waits for its goroutine.
+func (s *Server) Close() error {
+	var err error
+	s.once.Do(func() {
+		err = s.conn.Close()
+		s.wg.Wait()
+	})
+	return err
+}
+
+func (s *Server) loop() {
+	defer s.wg.Done()
+	buf := make([]byte, 1<<20+1024)
+	for {
+		n, from, err := s.conn.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		resp := s.store.HandleCommand(buf[:n])
+		if _, err := s.conn.WriteTo(resp, from); err != nil {
+			return
+		}
+	}
+}
+
+// Client is a minimal memcached client over a packet connection.
+type Client struct {
+	conn   net.PacketConn
+	server net.Addr
+	mu     sync.Mutex
+	buf    []byte
+}
+
+// NewClient returns a client that sends commands from conn to server.
+// The caller retains ownership of conn.
+func NewClient(conn net.PacketConn, server net.Addr) *Client {
+	return &Client{conn: conn, server: server, buf: make([]byte, 1<<20+1024)}
+}
+
+func (c *Client) roundTrip(cmd []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.conn.WriteTo(cmd, c.server); err != nil {
+		return nil, err
+	}
+	n, _, err := c.conn.ReadFrom(c.buf)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, c.buf[:n])
+	return out, nil
+}
+
+// Set stores a value.
+func (c *Client) Set(key string, flags uint32, value []byte) error {
+	resp, err := c.roundTrip(BuildSet(key, flags, value))
+	if err != nil {
+		return err
+	}
+	if string(resp) != "STORED\r\n" {
+		return &ProtocolError{Response: string(resp)}
+	}
+	return nil
+}
+
+// Get fetches a value; ok is false on miss.
+func (c *Client) Get(key string) (value []byte, ok bool, err error) {
+	resp, err := c.roundTrip(BuildGet(key))
+	if err != nil {
+		return nil, false, err
+	}
+	v, ok := ParseGetResponse(resp)
+	return v, ok, nil
+}
+
+// ProtocolError is an unexpected server response.
+type ProtocolError struct {
+	Response string
+}
+
+func (e *ProtocolError) Error() string {
+	return "kvstore: unexpected response: " + e.Response
+}

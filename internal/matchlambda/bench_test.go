@@ -1,0 +1,46 @@
+package matchlambda
+
+import (
+	"testing"
+
+	"lambdanic/internal/mcc"
+)
+
+func benchSpecs(b *testing.B) []*LambdaSpec {
+	b.Helper()
+	var specs []*LambdaSpec
+	for i := 0; i < 4; i++ {
+		name := string(rune('a' + i))
+		bd := mcc.NewBuilder(name)
+		bd.HdrGet(1, mcc.FieldArg0)
+		bd.EmitByte(1)
+		bd.Ret(1)
+		specs = append(specs, &LambdaSpec{
+			Name: name, ID: uint32(i + 1), Entry: bd.MustBuild(),
+			Uses: []string{"h"},
+		})
+	}
+	return specs
+}
+
+func BenchmarkCompose(b *testing.B) {
+	headers := []HeaderSpec{{Name: "h", Fields: []FieldSpec{{Slot: mcc.FieldArg0, Offset: 0, Bytes: 2}}}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compose(benchSpecs(b), ComposeOptions{Headers: headers}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateParser(b *testing.B) {
+	h := HeaderSpec{Name: "kvreq", Fields: []FieldSpec{
+		{Slot: mcc.FieldArg0, Offset: 0, Bytes: 1},
+		{Slot: mcc.FieldArg1, Offset: 1, Bytes: 4},
+	}}
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateParser(h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package mcc
+
+import "fmt"
+
+// Builder composes a Function with label-based control flow, so callers
+// never hand-compute branch targets.
+//
+//	b := NewBuilder("web_server")
+//	b.MovImm(0, 0)
+//	b.Label("loop")
+//	...
+//	b.Brnz(1, "loop")
+//	f, err := b.Build()
+type Builder struct {
+	name   string
+	body   []Instr
+	labels map[string]int
+	// fixups maps instruction index -> label awaiting resolution.
+	fixups map[int]string
+	err    error
+}
+
+// NewBuilder starts a function.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:   name,
+		labels: make(map[string]int),
+		fixups: make(map[int]string),
+	}
+}
+
+// Label marks the next instruction's position.
+func (b *Builder) Label(name string) *Builder {
+	if _, ok := b.labels[name]; ok {
+		b.fail("duplicate label %q", name)
+		return b
+	}
+	b.labels[name] = len(b.body)
+	return b
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("mcc: builder %q: "+format, append([]any{b.name}, args...)...)
+	}
+}
+
+func (b *Builder) emit(in Instr) *Builder {
+	b.body = append(b.body, in)
+	return b
+}
+
+// Nop appends a no-op (useful to pad code to a known size).
+func (b *Builder) Nop() *Builder { return b.emit(Instr{Op: OpNop}) }
+
+// MovImm sets rd to an immediate.
+func (b *Builder) MovImm(rd Reg, imm int64) *Builder {
+	return b.emit(Instr{Op: OpMovImm, Rd: rd, Imm: imm})
+}
+
+// Mov copies rs1 into rd.
+func (b *Builder) Mov(rd, rs1 Reg) *Builder {
+	return b.emit(Instr{Op: OpMov, Rd: rd, Rs1: rs1})
+}
+
+// ALU helpers.
+func (b *Builder) Add(rd, rs1, rs2 Reg) *Builder { return b.alu(OpAdd, rd, rs1, rs2) }
+func (b *Builder) Sub(rd, rs1, rs2 Reg) *Builder { return b.alu(OpSub, rd, rs1, rs2) }
+func (b *Builder) Mul(rd, rs1, rs2 Reg) *Builder { return b.alu(OpMul, rd, rs1, rs2) }
+func (b *Builder) And(rd, rs1, rs2 Reg) *Builder { return b.alu(OpAnd, rd, rs1, rs2) }
+func (b *Builder) Or(rd, rs1, rs2 Reg) *Builder  { return b.alu(OpOr, rd, rs1, rs2) }
+func (b *Builder) Xor(rd, rs1, rs2 Reg) *Builder { return b.alu(OpXor, rd, rs1, rs2) }
+func (b *Builder) Shl(rd, rs1, rs2 Reg) *Builder { return b.alu(OpShl, rd, rs1, rs2) }
+func (b *Builder) Shr(rd, rs1, rs2 Reg) *Builder { return b.alu(OpShr, rd, rs1, rs2) }
+func (b *Builder) Eq(rd, rs1, rs2 Reg) *Builder  { return b.alu(OpEq, rd, rs1, rs2) }
+func (b *Builder) Lt(rd, rs1, rs2 Reg) *Builder  { return b.alu(OpLt, rd, rs1, rs2) }
+
+func (b *Builder) alu(op Opcode, rd, rs1, rs2 Reg) *Builder {
+	return b.emit(Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Jmp branches unconditionally to a label.
+func (b *Builder) Jmp(label string) *Builder {
+	b.fixups[len(b.body)] = label
+	return b.emit(Instr{Op: OpJmp})
+}
+
+// Brz branches to label when rs1 == 0.
+func (b *Builder) Brz(rs1 Reg, label string) *Builder {
+	b.fixups[len(b.body)] = label
+	return b.emit(Instr{Op: OpBrz, Rs1: rs1})
+}
+
+// Brnz branches to label when rs1 != 0.
+func (b *Builder) Brnz(rs1 Reg, label string) *Builder {
+	b.fixups[len(b.body)] = label
+	return b.emit(Instr{Op: OpBrnz, Rs1: rs1})
+}
+
+// Load reads a byte: rd <- obj[rs1+off].
+func (b *Builder) Load(rd Reg, obj string, rs1 Reg, off int64) *Builder {
+	return b.emit(Instr{Op: OpLoad, Rd: rd, Rs1: rs1, Imm: off, Sym: obj})
+}
+
+// Store writes rs2's low byte: obj[rs1+off] <- rs2.
+func (b *Builder) Store(obj string, rs1 Reg, off int64, rs2 Reg) *Builder {
+	return b.emit(Instr{Op: OpStore, Rs1: rs1, Rs2: rs2, Imm: off, Sym: obj})
+}
+
+// LoadW reads an 8-byte little-endian word.
+func (b *Builder) LoadW(rd Reg, obj string, rs1 Reg, off int64) *Builder {
+	return b.emit(Instr{Op: OpLoadW, Rd: rd, Rs1: rs1, Imm: off, Sym: obj})
+}
+
+// StoreW writes an 8-byte little-endian word from rs2.
+func (b *Builder) StoreW(obj string, rs1 Reg, off int64, rs2 Reg) *Builder {
+	return b.emit(Instr{Op: OpStoreW, Rs1: rs1, Rs2: rs2, Imm: off, Sym: obj})
+}
+
+// HdrGet reads header field idx into rd.
+func (b *Builder) HdrGet(rd Reg, field int64) *Builder {
+	return b.emit(Instr{Op: OpHdrGet, Rd: rd, Imm: field})
+}
+
+// HdrSet writes rs1 into header field idx.
+func (b *Builder) HdrSet(field int64, rs1 Reg) *Builder {
+	return b.emit(Instr{Op: OpHdrSet, Rs1: rs1, Imm: field})
+}
+
+// PktLoad reads payload byte rs1+off into rd.
+func (b *Builder) PktLoad(rd Reg, rs1 Reg, off int64) *Builder {
+	return b.emit(Instr{Op: OpPktLoad, Rd: rd, Rs1: rs1, Imm: off})
+}
+
+// PktLen loads the payload length into rd.
+func (b *Builder) PktLen(rd Reg) *Builder {
+	return b.emit(Instr{Op: OpPktLen, Rd: rd})
+}
+
+// Emit appends obj[rs1 : rs1+rs2] to the response.
+func (b *Builder) Emit(obj string, rs1, rs2 Reg) *Builder {
+	return b.emit(Instr{Op: OpEmit, Rs1: rs1, Rs2: rs2, Sym: obj})
+}
+
+// EmitByte appends rs1's low byte to the response.
+func (b *Builder) EmitByte(rs1 Reg) *Builder {
+	return b.emit(Instr{Op: OpEmitByte, Rs1: rs1})
+}
+
+// Call invokes another function.
+func (b *Builder) Call(fn string) *Builder {
+	return b.emit(Instr{Op: OpCall, Sym: fn})
+}
+
+// Ret returns with the status code in rs1.
+func (b *Builder) Ret(rs1 Reg) *Builder {
+	return b.emit(Instr{Op: OpRet, Rs1: rs1})
+}
+
+// Memcpy copies rs2 bytes from src[rs1..] to dst[rd..] using the NIC's
+// block-copy assist.
+func (b *Builder) Memcpy(dst string, rd Reg, src string, rs1, rs2 Reg) *Builder {
+	return b.emit(Instr{Op: OpMemcpy, Rd: rd, Rs1: rs1, Rs2: rs2, Sym: dst, Sym2: src})
+}
+
+// Gray converts rs2 bytes of RGBA pixels in src[rs1..] to grayscale
+// bytes in dst[rd..].
+func (b *Builder) Gray(dst string, rd Reg, src string, rs1, rs2 Reg) *Builder {
+	return b.emit(Instr{Op: OpGray, Rd: rd, Rs1: rs1, Rs2: rs2, Sym: dst, Sym2: src})
+}
+
+// Hash computes the FNV-1a hash of obj[rs1 : rs1+rs2] into rd.
+func (b *Builder) Hash(rd Reg, obj string, rs1, rs2 Reg) *Builder {
+	return b.emit(Instr{Op: OpHash, Rd: rd, Rs1: rs1, Rs2: rs2, Sym: obj})
+}
+
+// Build resolves labels and returns the function.
+func (b *Builder) Build() (*Function, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	for idx, label := range b.fixups {
+		target, ok := b.labels[label]
+		if !ok {
+			return nil, fmt.Errorf("mcc: builder %q: undefined label %q", b.name, label)
+		}
+		b.body[idx].Imm = int64(target)
+	}
+	return &Function{Name: b.name, Body: b.body}, nil
+}
+
+// MustBuild is Build for program literals in tests and workload
+// definitions, where a failure is a programming error.
+func (b *Builder) MustBuild() *Function {
+	f, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

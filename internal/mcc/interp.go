@@ -1,0 +1,378 @@
+package mcc
+
+import (
+	"errors"
+	"fmt"
+
+	"lambdanic/internal/nicsim"
+)
+
+// Header field slots exposed to lambdas through OpHdrGet/OpHdrSet. The
+// parse stage fills these from the wire headers before the match stage
+// runs (paper Fig. 3: lambdas operate directly on parsed headers).
+const (
+	FieldWorkloadID = iota
+	FieldRequestID
+	FieldFlags
+	FieldSeq
+	FieldTotal
+	FieldPayloadLen
+	FieldSrcNode
+	FieldArg0
+	FieldArg1
+	FieldStatus
+	NumFields
+)
+
+// Lambda return status codes (mirroring RETURN_FORWARD and friends in
+// the paper's Listing 2).
+const (
+	StatusDrop    = 0
+	StatusForward = 1
+	StatusToHost  = 2
+)
+
+// Execution cost constants: bulk operations are backed by the NIC's
+// specialized hardware assists (§2.2), so they retire far fewer
+// instructions than a software loop and touch memory in bursts.
+const (
+	// burstBytes is the memory-burst size for bulk transfers.
+	burstBytes = 64
+	// bulkSetup is the fixed instruction cost of issuing a bulk op.
+	bulkSetup = 4
+)
+
+// Interpreter limits.
+const (
+	defaultStepLimit = 1 << 26 // guards against non-terminating lambdas
+	maxCallDepth     = 16
+)
+
+// Interpreter errors.
+var (
+	ErrStepLimit   = errors.New("mcc: step limit exceeded")
+	ErrCallDepth   = errors.New("mcc: call depth exceeded")
+	ErrOutOfBounds = errors.New("mcc: memory access out of bounds")
+	ErrNoEntry     = errors.New("mcc: no entry for lambda")
+)
+
+// env is one request's execution context.
+type env struct {
+	exe          *Executable
+	headers      [NumFields]int64
+	payload      []byte
+	payloadLevel nicsim.MemLevel
+	resp         []byte
+	regs         [NumRegs]int64
+	stats        nicsim.ExecStats
+	steps        uint64
+	depth        int
+}
+
+// set writes a register, discarding writes to RegZero.
+func (e *env) set(r Reg, v int64) {
+	if r != RegZero {
+		e.regs[r] = v
+	}
+}
+
+func (e *env) charge(instr uint64) error {
+	e.steps += instr
+	e.stats.Instructions += instr
+	if e.steps > e.exe.stepLimit {
+		return ErrStepLimit
+	}
+	return nil
+}
+
+func bursts(n int64) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	return uint64((n + burstBytes - 1) / burstBytes)
+}
+
+// object returns the object's backing store and placement level.
+func (e *env) object(name string) ([]byte, nicsim.MemLevel, error) {
+	mem, ok := e.exe.mem[name]
+	if !ok {
+		return nil, 0, fmt.Errorf("mcc: unknown object %q", name)
+	}
+	return mem, e.exe.levels[name], nil
+}
+
+// run executes a function to completion, returning its status register.
+func (e *env) run(f *Function) (int64, error) {
+	if e.depth >= maxCallDepth {
+		return 0, ErrCallDepth
+	}
+	e.depth++
+	defer func() { e.depth-- }()
+
+	pc := 0
+	for pc < len(f.Body) {
+		in := &f.Body[pc]
+		if err := e.charge(1); err != nil {
+			return 0, err
+		}
+		next := pc + 1
+		switch in.Op {
+		case OpNop:
+		case OpMovImm:
+			e.set(in.Rd, in.Imm)
+		case OpMov:
+			e.set(in.Rd, e.regs[in.Rs1])
+		case OpAdd:
+			e.set(in.Rd, e.regs[in.Rs1]+e.regs[in.Rs2])
+		case OpSub:
+			e.set(in.Rd, e.regs[in.Rs1]-e.regs[in.Rs2])
+		case OpMul:
+			e.set(in.Rd, e.regs[in.Rs1]*e.regs[in.Rs2])
+		case OpAnd:
+			e.set(in.Rd, e.regs[in.Rs1]&e.regs[in.Rs2])
+		case OpOr:
+			e.set(in.Rd, e.regs[in.Rs1]|e.regs[in.Rs2])
+		case OpXor:
+			e.set(in.Rd, e.regs[in.Rs1]^e.regs[in.Rs2])
+		case OpShl:
+			e.set(in.Rd, e.regs[in.Rs1]<<uint64(e.regs[in.Rs2]&63))
+		case OpShr:
+			e.set(in.Rd, int64(uint64(e.regs[in.Rs1])>>uint64(e.regs[in.Rs2]&63)))
+		case OpEq:
+			e.set(in.Rd, boolTo64(e.regs[in.Rs1] == e.regs[in.Rs2]))
+		case OpLt:
+			e.set(in.Rd, boolTo64(e.regs[in.Rs1] < e.regs[in.Rs2]))
+		case OpJmp:
+			next = int(in.Imm)
+		case OpBrz:
+			if e.regs[in.Rs1] == 0 {
+				next = int(in.Imm)
+			}
+		case OpBrnz:
+			if e.regs[in.Rs1] != 0 {
+				next = int(in.Imm)
+			}
+		case OpLoad, OpLoadW:
+			mem, lvl, err := e.object(in.Sym)
+			if err != nil {
+				return 0, err
+			}
+			addr := e.regs[in.Rs1] + in.Imm
+			width := int64(1)
+			if in.Op == OpLoadW {
+				width = 8
+			}
+			if addr < 0 || addr+width > int64(len(mem)) {
+				return 0, fmt.Errorf("%w: %s[%d]", ErrOutOfBounds, in.Sym, addr)
+			}
+			e.stats.AddAccess(lvl, 1)
+			if in.Op == OpLoad {
+				e.set(in.Rd, int64(mem[addr]))
+			} else {
+				e.set(in.Rd, int64(le64(mem[addr:])))
+			}
+		case OpStore, OpStoreW:
+			mem, lvl, err := e.object(in.Sym)
+			if err != nil {
+				return 0, err
+			}
+			addr := e.regs[in.Rs1] + in.Imm
+			width := int64(1)
+			if in.Op == OpStoreW {
+				width = 8
+			}
+			if addr < 0 || addr+width > int64(len(mem)) {
+				return 0, fmt.Errorf("%w: %s[%d]", ErrOutOfBounds, in.Sym, addr)
+			}
+			e.stats.AddAccess(lvl, 1)
+			if in.Op == OpStore {
+				mem[addr] = byte(e.regs[in.Rs2])
+			} else {
+				putLE64(mem[addr:], uint64(e.regs[in.Rs2]))
+			}
+		case OpHdrGet:
+			if in.Imm < 0 || in.Imm >= NumFields {
+				return 0, fmt.Errorf("mcc: header field %d out of range", in.Imm)
+			}
+			e.set(in.Rd, e.headers[in.Imm])
+		case OpHdrSet:
+			if in.Imm < 0 || in.Imm >= NumFields {
+				return 0, fmt.Errorf("mcc: header field %d out of range", in.Imm)
+			}
+			e.headers[in.Imm] = e.regs[in.Rs1]
+		case OpPktLoad:
+			addr := e.regs[in.Rs1] + in.Imm
+			if addr < 0 || addr >= int64(len(e.payload)) {
+				return 0, fmt.Errorf("%w: payload[%d]", ErrOutOfBounds, addr)
+			}
+			e.stats.AddAccess(e.payloadLevel, 1)
+			e.set(in.Rd, int64(e.payload[addr]))
+		case OpPktLen:
+			e.set(in.Rd, int64(len(e.payload)))
+		case OpEmit:
+			mem, lvl, err := e.object(in.Sym)
+			if err != nil {
+				return 0, err
+			}
+			off, n := e.regs[in.Rs1], e.regs[in.Rs2]
+			if off < 0 || n < 0 || off+n > int64(len(mem)) {
+				return 0, fmt.Errorf("%w: emit %s[%d:%d]", ErrOutOfBounds, in.Sym, off, off+n)
+			}
+			if err := e.charge(1 + bursts(n)); err != nil {
+				return 0, err
+			}
+			e.stats.AddAccess(lvl, bursts(n))
+			e.resp = append(e.resp, mem[off:off+n]...)
+		case OpEmitByte:
+			e.resp = append(e.resp, byte(e.regs[in.Rs1]))
+		case OpCall:
+			callee := e.exe.prog.Func(in.Sym)
+			if callee == nil {
+				return 0, fmt.Errorf("mcc: call to unknown function %q", in.Sym)
+			}
+			if _, err := e.run(callee); err != nil {
+				return 0, err
+			}
+		case OpRet:
+			return e.regs[in.Rs1], nil
+		case OpMemcpy:
+			if err := e.bulkCopy(in); err != nil {
+				return 0, err
+			}
+		case OpGray:
+			if err := e.bulkGray(in); err != nil {
+				return 0, err
+			}
+		case OpHash:
+			if err := e.bulkHash(in); err != nil {
+				return 0, err
+			}
+		default:
+			return 0, fmt.Errorf("mcc: invalid opcode %v", in.Op)
+		}
+		pc = next
+	}
+	// Falling off the end is an implicit StatusForward.
+	return StatusForward, nil
+}
+
+// bulkCopy implements OpMemcpy: dst[rd..] <- src[rs1..], rs2 bytes. A
+// source name of PayloadObject copies from the request payload.
+func (e *env) bulkCopy(in *Instr) error {
+	n := e.regs[in.Rs2]
+	if n < 0 {
+		return fmt.Errorf("%w: memcpy negative length", ErrOutOfBounds)
+	}
+	dst, dlvl, err := e.object(in.Sym)
+	if err != nil {
+		return err
+	}
+	var src []byte
+	var slvl nicsim.MemLevel
+	if in.Sym2 == PayloadObject {
+		src, slvl = e.payload, e.payloadLevel
+	} else {
+		src, slvl, err = e.object(in.Sym2)
+		if err != nil {
+			return err
+		}
+	}
+	doff, soff := e.regs[in.Rd], e.regs[in.Rs1]
+	if doff < 0 || soff < 0 || doff+n > int64(len(dst)) || soff+n > int64(len(src)) {
+		return fmt.Errorf("%w: memcpy %s[%d] <- %s[%d] n=%d", ErrOutOfBounds, in.Sym, doff, in.Sym2, soff, n)
+	}
+	if err := e.charge(bulkSetup + bursts(n)); err != nil {
+		return err
+	}
+	e.stats.AddAccess(slvl, bursts(n))
+	e.stats.AddAccess(dlvl, bursts(n))
+	copy(dst[doff:doff+n], src[soff:soff+n])
+	return nil
+}
+
+// bulkGray implements OpGray: convert rs2 bytes of RGBA in src[rs1..]
+// to grayscale bytes in dst[rd..] using the integer luma approximation
+// (77R + 150G + 29B) >> 8 — NPUs have no floating point (§3.1b).
+func (e *env) bulkGray(in *Instr) error {
+	n := e.regs[in.Rs2]
+	if n < 0 || n%4 != 0 {
+		return fmt.Errorf("%w: gray length %d not a pixel multiple", ErrOutOfBounds, n)
+	}
+	pixels := n / 4
+	dst, dlvl, err := e.object(in.Sym)
+	if err != nil {
+		return err
+	}
+	var src []byte
+	var slvl nicsim.MemLevel
+	if in.Sym2 == PayloadObject {
+		src, slvl = e.payload, e.payloadLevel
+	} else {
+		src, slvl, err = e.object(in.Sym2)
+		if err != nil {
+			return err
+		}
+	}
+	doff, soff := e.regs[in.Rd], e.regs[in.Rs1]
+	if doff < 0 || soff < 0 || soff+n > int64(len(src)) || doff+pixels > int64(len(dst)) {
+		return fmt.Errorf("%w: gray %s[%d] <- %s[%d] n=%d", ErrOutOfBounds, in.Sym, doff, in.Sym2, soff, n)
+	}
+	// One instruction per pixel through the conversion assist.
+	if err := e.charge(bulkSetup + uint64(pixels)); err != nil {
+		return err
+	}
+	e.stats.AddAccess(slvl, bursts(n))
+	e.stats.AddAccess(dlvl, bursts(pixels))
+	for p := int64(0); p < pixels; p++ {
+		r := uint32(src[soff+p*4])
+		g := uint32(src[soff+p*4+1])
+		bl := uint32(src[soff+p*4+2])
+		dst[doff+p] = byte((77*r + 150*g + 29*bl) >> 8)
+	}
+	return nil
+}
+
+// bulkHash implements OpHash: FNV-1a over obj[rs1 : rs1+rs2].
+func (e *env) bulkHash(in *Instr) error {
+	mem, lvl, err := e.object(in.Sym)
+	if err != nil {
+		return err
+	}
+	off, n := e.regs[in.Rs1], e.regs[in.Rs2]
+	if off < 0 || n < 0 || off+n > int64(len(mem)) {
+		return fmt.Errorf("%w: hash %s[%d:%d]", ErrOutOfBounds, in.Sym, off, off+n)
+	}
+	if err := e.charge(bulkSetup + uint64(n+7)/8); err != nil {
+		return err
+	}
+	e.stats.AddAccess(lvl, bursts(n))
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for _, b := range mem[off : off+n] {
+		h ^= uint64(b)
+		h *= fnvPrime
+	}
+	e.set(in.Rd, int64(h))
+	return nil
+}
+
+func boolTo64(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func le64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func putLE64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

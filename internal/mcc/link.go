@@ -1,0 +1,163 @@
+package mcc
+
+import (
+	"fmt"
+
+	"lambdanic/internal/nicsim"
+)
+
+// Well-known symbols.
+const (
+	// PayloadObject names the request payload pseudo-object readable by
+	// bulk operations.
+	PayloadObject = "__payload"
+	// MatchFunction, when present, is the synthesized parse+match entry
+	// run for every request (internal/matchlambda generates it). When
+	// absent, the linker dispatches directly to the lambda entry.
+	MatchFunction = "__match"
+)
+
+// LinkOptions tune the produced executable.
+type LinkOptions struct {
+	// StepLimit bounds dynamic instructions per request; 0 uses the
+	// default.
+	StepLimit uint64
+	// SinglePacketLevel is where single-packet payloads live when the
+	// lambda reads them (the packet buffer in CTM by default).
+	SinglePacketLevel nicsim.MemLevel
+	// MultiPacketLevel is where RDMA-committed multi-packet payloads
+	// live (EMEM by default; §4.2.1 D3).
+	MultiPacketLevel nicsim.MemLevel
+}
+
+// Executable is linked firmware implementing nicsim.Program: the
+// Match+Lambda image every NPU core runs. Object memory persists across
+// requests (the paper's "global objects that persist state across
+// runs", §4.1); Reset restores initial contents.
+type Executable struct {
+	prog      *Program
+	mem       map[string][]byte
+	levels    map[string]nicsim.MemLevel
+	stepLimit uint64
+	opts      LinkOptions
+}
+
+var _ nicsim.Program = (*Executable)(nil)
+
+// Link validates the program, allocates object memory, and produces an
+// executable image.
+func Link(p *Program, opts LinkOptions) (*Executable, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(p.Entries) == 0 {
+		return nil, fmt.Errorf("mcc: program has no lambda entries")
+	}
+	// Compile-time memory assertions (§4.2.1 D2): statically provable
+	// out-of-bounds accesses never reach the NIC.
+	if violations := StaticCheck(p); len(violations) > 0 {
+		return nil, fmt.Errorf("mcc: %d static assertion(s) failed, first: %w",
+			len(violations), violations[0])
+	}
+	if opts.StepLimit == 0 {
+		opts.StepLimit = defaultStepLimit
+	}
+	if opts.SinglePacketLevel == 0 {
+		opts.SinglePacketLevel = nicsim.MemCTM
+	}
+	if opts.MultiPacketLevel == 0 {
+		opts.MultiPacketLevel = nicsim.MemEMEM
+	}
+	e := &Executable{
+		prog:      p,
+		mem:       make(map[string][]byte, len(p.Objects)),
+		levels:    make(map[string]nicsim.MemLevel, len(p.Objects)),
+		stepLimit: opts.StepLimit,
+		opts:      opts,
+	}
+	e.Reset()
+	return e, nil
+}
+
+// Reset restores every object to its initial contents.
+func (e *Executable) Reset() {
+	for _, o := range e.prog.Objects {
+		buf := make([]byte, o.Size)
+		copy(buf, o.Init)
+		e.mem[o.Name] = buf
+		e.levels[o.Name] = o.EffectiveLevel()
+	}
+}
+
+// Program returns the linked program (read-only use).
+func (e *Executable) Program() *Program { return e.prog }
+
+// Handles reports whether the image has a lambda for the ID.
+func (e *Executable) Handles(id uint32) bool {
+	_, ok := e.prog.Entries[id]
+	return ok
+}
+
+// StaticInstructions is the image code size.
+func (e *Executable) StaticInstructions() int { return e.prog.StaticInstructions() }
+
+// MemoryBytes reports per-level memory demand from object placement.
+func (e *Executable) MemoryBytes() map[nicsim.MemLevel]int {
+	out := make(map[nicsim.MemLevel]int)
+	for _, o := range e.prog.Objects {
+		out[o.EffectiveLevel()] += o.Size
+	}
+	return out
+}
+
+// Execute runs the image for one request: parse (header extraction),
+// match (synthesized __match function when present), then the lambda —
+// charging dynamic instructions and memory accesses.
+func (e *Executable) Execute(req *nicsim.Request) (nicsim.Response, error) {
+	env := env{
+		exe:          e,
+		payload:      req.Payload,
+		payloadLevel: e.opts.SinglePacketLevel,
+	}
+	if req.Packets > 1 {
+		env.payloadLevel = e.opts.MultiPacketLevel
+	}
+	env.headers[FieldWorkloadID] = int64(req.LambdaID)
+	env.headers[FieldPayloadLen] = int64(len(req.Payload))
+
+	entry := e.prog.Func(MatchFunction)
+	if entry == nil {
+		name, ok := e.prog.Entries[req.LambdaID]
+		if !ok {
+			return nicsim.Response{}, fmt.Errorf("%w: %d", ErrNoEntry, req.LambdaID)
+		}
+		entry = e.prog.Func(name)
+	}
+	status, err := env.run(entry)
+	if err != nil {
+		return nicsim.Response{Stats: env.stats}, fmt.Errorf("lambda %d: %w", req.LambdaID, err)
+	}
+	env.headers[FieldStatus] = status
+	return nicsim.Response{Payload: env.resp, Stats: env.stats}, nil
+}
+
+// RunStandalone executes a single named function outside the NIC (used
+// by tests and the compiler's constant-effect checks). It returns the
+// status, response bytes, and statistics.
+func (e *Executable) RunStandalone(fn string, payload []byte, headers map[int]int64) (int64, []byte, nicsim.ExecStats, error) {
+	f := e.prog.Func(fn)
+	if f == nil {
+		return 0, nil, nicsim.ExecStats{}, fmt.Errorf("mcc: unknown function %q", fn)
+	}
+	env := env{exe: e, payload: payload, payloadLevel: e.opts.SinglePacketLevel}
+	if env.payloadLevel == 0 {
+		env.payloadLevel = nicsim.MemCTM
+	}
+	for k, v := range headers {
+		if k >= 0 && k < NumFields {
+			env.headers[k] = v
+		}
+	}
+	status, err := env.run(f)
+	return status, env.resp, env.stats, err
+}

@@ -1,0 +1,214 @@
+package mcc
+
+import "fmt"
+
+// This file implements the compiler's static memory assertions: "the
+// compiler can insert static and dynamic assertions to ensure that a
+// lambda does not access the physical memory of other lambdas" (paper
+// §4.2.1 D2; §7 "λ-NIC enforces this policy using compile-time
+// assertions"). Accesses whose addresses are statically known —
+// established by a light constant propagation over each basic block —
+// are bounds-checked against their object at compile time; everything
+// else remains guarded by the interpreter's dynamic checks.
+
+// Violation is one statically provable out-of-bounds access.
+type Violation struct {
+	Func string
+	PC   int
+	Msg  string
+}
+
+// Error renders the violation.
+func (v Violation) Error() string {
+	return fmt.Sprintf("mcc: static assertion: %s+%d: %s", v.Func, v.PC, v.Msg)
+}
+
+// StaticCheck runs the compile-time assertions over every function and
+// returns all provable violations.
+func StaticCheck(p *Program) []Violation {
+	var out []Violation
+	for _, f := range p.Funcs {
+		out = append(out, staticCheckFunc(p, f)...)
+	}
+	return out
+}
+
+// known tracks statically known register values within a basic block.
+type known struct {
+	val [NumRegs]int64
+	ok  [NumRegs]bool
+}
+
+func (k *known) reset() {
+	*k = known{}
+	k.ok[RegZero] = true // hardwired zero
+}
+
+func (k *known) get(r Reg) (int64, bool) {
+	if r == RegZero {
+		return 0, true
+	}
+	return k.val[r], k.ok[r]
+}
+
+func (k *known) set(r Reg, v int64) {
+	if r == RegZero {
+		return
+	}
+	k.val[r], k.ok[r] = v, true
+}
+
+func (k *known) clear(r Reg) {
+	if r == RegZero {
+		return
+	}
+	k.ok[r] = false
+}
+
+func staticCheckFunc(p *Program, f *Function) []Violation {
+	// Branch targets start fresh blocks: constant knowledge does not
+	// flow across them (conservative).
+	isTarget := make([]bool, len(f.Body)+1)
+	for _, in := range f.Body {
+		switch in.Op {
+		case OpJmp, OpBrz, OpBrnz:
+			if in.Imm >= 0 && in.Imm <= int64(len(f.Body)) {
+				isTarget[in.Imm] = true
+			}
+		}
+	}
+
+	var out []Violation
+	var k known
+	k.reset()
+	violate := func(pc int, format string, args ...any) {
+		out = append(out, Violation{Func: f.Name, PC: pc, Msg: fmt.Sprintf(format, args...)})
+	}
+	objSize := func(name string) (int, bool) {
+		if name == PayloadObject {
+			return 0, false // payload size is dynamic
+		}
+		o := p.Object(name)
+		if o == nil {
+			return 0, false
+		}
+		return o.Size, true
+	}
+	checkAccess := func(pc int, sym string, base Reg, off int64, width int64) {
+		v, ok := k.get(base)
+		if !ok {
+			return
+		}
+		size, ok := objSize(sym)
+		if !ok {
+			return
+		}
+		addr := v + off
+		if addr < 0 || addr+width > int64(size) {
+			violate(pc, "access %s[%d:%d] outside object of %d bytes", sym, addr, addr+width, size)
+		}
+	}
+
+	for pc := 0; pc < len(f.Body); pc++ {
+		if isTarget[pc] {
+			k.reset()
+		}
+		in := &f.Body[pc]
+		switch in.Op {
+		case OpMovImm:
+			k.set(in.Rd, in.Imm)
+		case OpMov:
+			if v, ok := k.get(in.Rs1); ok {
+				k.set(in.Rd, v)
+			} else {
+				k.clear(in.Rd)
+			}
+		case OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpShl, OpShr, OpEq, OpLt:
+			a, okA := k.get(in.Rs1)
+			c, okC := k.get(in.Rs2)
+			if okA && okC {
+				k.set(in.Rd, evalALU(in.Op, a, c))
+			} else {
+				k.clear(in.Rd)
+			}
+		case OpLoad:
+			checkAccess(pc, in.Sym, in.Rs1, in.Imm, 1)
+			k.clear(in.Rd)
+		case OpLoadW:
+			checkAccess(pc, in.Sym, in.Rs1, in.Imm, 8)
+			k.clear(in.Rd)
+		case OpStore:
+			checkAccess(pc, in.Sym, in.Rs1, in.Imm, 1)
+		case OpStoreW:
+			checkAccess(pc, in.Sym, in.Rs1, in.Imm, 8)
+		case OpEmit:
+			off, okO := k.get(in.Rs1)
+			n, okN := k.get(in.Rs2)
+			if okO && okN {
+				if size, ok := objSize(in.Sym); ok && (off < 0 || n < 0 || off+n > int64(size)) {
+					violate(pc, "emit %s[%d:%d] outside object of %d bytes", in.Sym, off, off+n, size)
+				}
+			}
+		case OpMemcpy, OpGray:
+			doff, okD := k.get(in.Rd)
+			soff, okS := k.get(in.Rs1)
+			n, okN := k.get(in.Rs2)
+			if okD && okN {
+				outBytes := n
+				if in.Op == OpGray {
+					outBytes = n / 4
+				}
+				if size, ok := objSize(in.Sym); ok && (doff < 0 || n < 0 || doff+outBytes > int64(size)) {
+					violate(pc, "%s writes %s[%d:%d] outside object of %d bytes", in.Op, in.Sym, doff, doff+outBytes, size)
+				}
+			}
+			if okS && okN {
+				if size, ok := objSize(in.Sym2); ok && (soff < 0 || n < 0 || soff+n > int64(size)) {
+					violate(pc, "%s reads %s[%d:%d] outside object of %d bytes", in.Op, in.Sym2, soff, soff+n, size)
+				}
+			}
+		case OpHash:
+			off, okO := k.get(in.Rs1)
+			n, okN := k.get(in.Rs2)
+			if okO && okN {
+				if size, ok := objSize(in.Sym); ok && (off < 0 || n < 0 || off+n > int64(size)) {
+					violate(pc, "hash %s[%d:%d] outside object of %d bytes", in.Sym, off, off+n, size)
+				}
+			}
+			k.clear(in.Rd)
+		case OpHdrGet, OpPktLoad, OpPktLen:
+			k.clear(in.Rd)
+		case OpCall:
+			// Callees share the register file: all knowledge dies.
+			k.reset()
+		}
+	}
+	return out
+}
+
+func evalALU(op Opcode, a, b int64) int64 {
+	switch op {
+	case OpAdd:
+		return a + b
+	case OpSub:
+		return a - b
+	case OpMul:
+		return a * b
+	case OpAnd:
+		return a & b
+	case OpOr:
+		return a | b
+	case OpXor:
+		return a ^ b
+	case OpShl:
+		return a << uint64(b&63)
+	case OpShr:
+		return int64(uint64(a) >> uint64(b&63))
+	case OpEq:
+		return boolTo64(a == b)
+	case OpLt:
+		return boolTo64(a < b)
+	default:
+		return 0
+	}
+}

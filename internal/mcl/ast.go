@@ -1,0 +1,163 @@
+package mcl
+
+// AST node types for the Micro-C-like language. Fields carry the source
+// line for error reporting during codegen.
+
+// File is a parsed source file.
+type File struct {
+	Objects []*ObjectDecl
+	Consts  []*ConstDecl
+	Funcs   []*FuncDecl
+}
+
+// ObjectDecl declares a static memory object:
+// `object name[size] hot;`.
+type ObjectDecl struct {
+	Name string
+	Size int64
+	// Hint is "", "hot", or "cold" (the D2 pragma).
+	Hint string
+	Line int
+}
+
+// ConstDecl binds a name to a compile-time constant.
+type ConstDecl struct {
+	Name  string
+	Value Expr
+	Line  int
+}
+
+// FuncDecl declares a zero-argument function; all functions return int
+// (the status code convention of the Match+Lambda ABI).
+type FuncDecl struct {
+	Name string
+	Body *Block
+	Line int
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// Block is a `{ ... }` statement list with its own variable scope.
+type Block struct {
+	Stmts []Stmt
+	Line  int
+}
+
+// VarDecl declares a local: `var x int = expr;`.
+type VarDecl struct {
+	Name string
+	Init Expr // nil means zero
+	Line int
+}
+
+// Assign assigns to a local: `x = expr;`.
+type Assign struct {
+	Name  string
+	Value Expr
+	Line  int
+}
+
+// StoreStmt writes one byte into an object: `obj[idx] = expr;`.
+type StoreStmt struct {
+	Object string
+	Index  Expr
+	Value  Expr
+	Line   int
+}
+
+// If is a conditional with optional else.
+type If struct {
+	Cond Expr
+	Then *Block
+	Else *Block // nil when absent
+	Line int
+}
+
+// While is a loop.
+type While struct {
+	Cond Expr
+	Body *Block
+	Line int
+}
+
+// Break exits the innermost loop.
+type Break struct{ Line int }
+
+// Continue restarts the innermost loop.
+type Continue struct{ Line int }
+
+// Return exits the function with a status value.
+type Return struct {
+	Value Expr
+	Line  int
+}
+
+// ExprStmt evaluates an expression for its side effects (builtin or
+// function calls).
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+func (*Block) stmtNode()     {}
+func (*VarDecl) stmtNode()   {}
+func (*Assign) stmtNode()    {}
+func (*StoreStmt) stmtNode() {}
+func (*If) stmtNode()        {}
+func (*While) stmtNode()     {}
+func (*Break) stmtNode()     {}
+func (*Continue) stmtNode()  {}
+func (*Return) stmtNode()    {}
+func (*ExprStmt) stmtNode()  {}
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// NumLit is an integer literal.
+type NumLit struct {
+	Value int64
+	Line  int
+}
+
+// VarRef reads a local variable or named constant.
+type VarRef struct {
+	Name string
+	Line int
+}
+
+// LoadExpr reads one byte from an object: `obj[idx]`.
+type LoadExpr struct {
+	Object string
+	Index  Expr
+	Line   int
+}
+
+// Unary is `-x` or `!x`.
+type Unary struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+// Binary is a binary operation.
+type Binary struct {
+	Op   string
+	L, R Expr
+	Line int
+}
+
+// Call invokes a builtin or a user function (zero or more arguments;
+// user functions take none and return nothing usable).
+type Call struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+func (*NumLit) exprNode()   {}
+func (*VarRef) exprNode()   {}
+func (*LoadExpr) exprNode() {}
+func (*Unary) exprNode()    {}
+func (*Binary) exprNode()   {}
+func (*Call) exprNode()     {}

@@ -1,0 +1,59 @@
+package mcl
+
+import "testing"
+
+const benchSource = `
+object table[256] hot;
+object inited[8];
+
+const SLOTS = 32;
+
+func setup() {
+	var i int = 0;
+	while (i < 256) {
+		table[i] = i & 255;
+		i = i + 1;
+	}
+	storew(inited, 0, 1);
+}
+
+func handler() int {
+	if (loadw(inited, 0) == 0) { setup(); }
+	var key int = hdr(7);
+	var slot int = (key * 31) % SLOTS;
+	var v int = table[slot * 8];
+	if (v == 0) {
+		emitbyte('M');
+		return STATUS_DROP;
+	}
+	emitbyte(v);
+	return STATUS_FORWARD;
+}
+`
+
+func BenchmarkCompile(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(benchSource); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseOnly(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(benchSource); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLexOnly(b *testing.B) {
+	b.SetBytes(int64(len(benchSource)))
+	for i := 0; i < b.N; i++ {
+		if _, err := lexAll(benchSource); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

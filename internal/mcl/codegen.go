@@ -1,0 +1,821 @@
+package mcl
+
+import (
+	"fmt"
+
+	"lambdanic/internal/matchlambda"
+	"lambdanic/internal/mcc"
+)
+
+// Compiled is the result of compiling one source file.
+type Compiled struct {
+	Funcs   []*mcc.Function
+	Objects []*mcc.Object
+}
+
+// CompileError reports a semantic error with its source line.
+type CompileError struct {
+	Line int
+	Msg  string
+}
+
+func (e *CompileError) Error() string {
+	return fmt.Sprintf("mcl:%d: %s", e.Line, e.Msg)
+}
+
+func cerrf(line int, format string, args ...any) error {
+	return &CompileError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Builtin status-code constants available to every program.
+var builtinConsts = map[string]int64{
+	"STATUS_DROP":    mcc.StatusDrop,
+	"STATUS_FORWARD": mcc.StatusForward,
+	"STATUS_TO_HOST": mcc.StatusToHost,
+}
+
+// Compile parses and compiles a source file to IR functions and memory
+// objects.
+func Compile(src string) (*Compiled, error) {
+	file, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return compileFile(file)
+}
+
+// CompileLambda compiles a source file into a Match+Lambda spec: the
+// function named entry becomes the lambda entry point; every other
+// function becomes a private helper; objects become the lambda's memory
+// objects.
+func CompileLambda(name string, id uint32, entry string, src string, uses []string) (*matchlambda.LambdaSpec, error) {
+	c, err := Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	spec := &matchlambda.LambdaSpec{Name: name, ID: id, Objects: c.Objects, Uses: uses}
+	for _, f := range c.Funcs {
+		if f.Name == entry {
+			spec.Entry = f
+		} else {
+			spec.Helpers = append(spec.Helpers, f)
+		}
+	}
+	if spec.Entry == nil {
+		return nil, fmt.Errorf("mcl: no entry function %q in source", entry)
+	}
+	return spec, nil
+}
+
+func compileFile(file *File) (*Compiled, error) {
+	out := &Compiled{}
+	objects := make(map[string]bool)
+	for _, o := range file.Objects {
+		if objects[o.Name] {
+			return nil, cerrf(o.Line, "duplicate object %q", o.Name)
+		}
+		objects[o.Name] = true
+		obj := &mcc.Object{Name: o.Name, Size: int(o.Size)}
+		switch o.Hint {
+		case "hot":
+			obj.Hint = mcc.HintHot
+		case "cold":
+			obj.Hint = mcc.HintCold
+		}
+		out.Objects = append(out.Objects, obj)
+	}
+
+	consts := make(map[string]int64, len(builtinConsts))
+	for k, v := range builtinConsts {
+		consts[k] = v
+	}
+	for _, c := range file.Consts {
+		if _, ok := consts[c.Name]; ok {
+			return nil, cerrf(c.Line, "duplicate const %q", c.Name)
+		}
+		v, err := evalConst(c.Value, consts)
+		if err != nil {
+			return nil, err
+		}
+		consts[c.Name] = v
+	}
+
+	funcNames := make(map[string]bool, len(file.Funcs))
+	for _, fn := range file.Funcs {
+		if funcNames[fn.Name] {
+			return nil, cerrf(fn.Line, "duplicate function %q", fn.Name)
+		}
+		funcNames[fn.Name] = true
+	}
+	for _, fn := range file.Funcs {
+		g := &codegen{
+			b:       mcc.NewBuilder(fn.Name),
+			consts:  consts,
+			objects: objects,
+			funcs:   funcNames,
+			locals:  map[string]mcc.Reg{},
+		}
+		if err := g.genBlock(fn.Body); err != nil {
+			return nil, err
+		}
+		// Implicit `return STATUS_FORWARD` at the end.
+		g.b.MovImm(g.scratch(), mcc.StatusForward)
+		g.b.Ret(g.scratch())
+		f, err := g.b.Build()
+		if err != nil {
+			return nil, err
+		}
+		out.Funcs = append(out.Funcs, f)
+	}
+	return out, nil
+}
+
+// evalConst folds a compile-time constant expression.
+func evalConst(e Expr, consts map[string]int64) (int64, error) {
+	switch e := e.(type) {
+	case *NumLit:
+		return e.Value, nil
+	case *VarRef:
+		if v, ok := consts[e.Name]; ok {
+			return v, nil
+		}
+		return 0, cerrf(e.Line, "constant expression references non-constant %q", e.Name)
+	case *Unary:
+		v, err := evalConst(e.X, consts)
+		if err != nil {
+			return 0, err
+		}
+		if e.Op == "-" {
+			return -v, nil
+		}
+		if v == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	case *Binary:
+		l, err := evalConst(e.L, consts)
+		if err != nil {
+			return 0, err
+		}
+		r, err := evalConst(e.R, consts)
+		if err != nil {
+			return 0, err
+		}
+		switch e.Op {
+		case "+":
+			return l + r, nil
+		case "-":
+			return l - r, nil
+		case "*":
+			return l * r, nil
+		case "/":
+			if r == 0 {
+				return 0, cerrf(e.Line, "constant division by zero")
+			}
+			return l / r, nil
+		case "%":
+			if r == 0 {
+				return 0, cerrf(e.Line, "constant modulo by zero")
+			}
+			return l % r, nil
+		case "&":
+			return l & r, nil
+		case "|":
+			return l | r, nil
+		case "^":
+			return l ^ r, nil
+		case "<<":
+			return l << uint64(r&63), nil
+		case ">>":
+			return int64(uint64(l) >> uint64(r&63)), nil
+		default:
+			return 0, cerrf(e.Line, "operator %q not allowed in constants", e.Op)
+		}
+	default:
+		return 0, cerrf(0, "expression not constant")
+	}
+}
+
+// codegen emits IR for one function.
+type codegen struct {
+	b       *mcc.Builder
+	consts  map[string]int64
+	objects map[string]bool
+	funcs   map[string]bool
+
+	locals    map[string]mcc.Reg
+	nextLocal mcc.Reg // next register for locals (starts at 1)
+	tempDepth int
+
+	labelSeq int
+	// loop stack for break/continue.
+	loops []loopLabels
+}
+
+type loopLabels struct{ start, end string }
+
+// Register budget: r1..r14 usable (r0 is the implicit return slot by
+// convention, r15 is the zero register). Locals grow up, temps grow
+// down.
+const (
+	firstLocal = mcc.Reg(1)
+	lastTemp   = mcc.Reg(14)
+)
+
+// scratch returns a register safe for trailing epilogue code.
+func (g *codegen) scratch() mcc.Reg { return lastTemp }
+
+func (g *codegen) label(prefix string) string {
+	g.labelSeq++
+	return fmt.Sprintf("%s_%d", prefix, g.labelSeq)
+}
+
+func (g *codegen) allocLocal(line int, name string) (mcc.Reg, error) {
+	if _, ok := g.locals[name]; ok {
+		return 0, cerrf(line, "variable %q already declared", name)
+	}
+	if _, ok := g.consts[name]; ok {
+		return 0, cerrf(line, "%q is a constant", name)
+	}
+	r := firstLocal + g.nextLocal
+	if int(r)+g.tempDepth > int(lastTemp) {
+		return 0, cerrf(line, "too many local variables (max %d)", int(lastTemp-firstLocal))
+	}
+	g.nextLocal++
+	g.locals[name] = r
+	return r, nil
+}
+
+// allocTemp reserves an expression temporary.
+func (g *codegen) allocTemp(line int) (mcc.Reg, error) {
+	r := lastTemp - mcc.Reg(g.tempDepth)
+	if r < firstLocal+g.nextLocal {
+		return 0, cerrf(line, "expression too complex (register pressure)")
+	}
+	g.tempDepth++
+	return r, nil
+}
+
+func (g *codegen) freeTemp() { g.tempDepth-- }
+
+func (g *codegen) genBlock(b *Block) error {
+	for _, s := range b.Stmts {
+		if err := g.genStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *codegen) genStmt(s Stmt) error {
+	switch s := s.(type) {
+	case *Block:
+		return g.genBlock(s)
+	case *VarDecl:
+		r, err := g.allocLocal(s.Line, s.Name)
+		if err != nil {
+			return err
+		}
+		if s.Init == nil {
+			g.b.MovImm(r, 0)
+			return nil
+		}
+		return g.genExpr(s.Init, r)
+	case *Assign:
+		r, ok := g.locals[s.Name]
+		if !ok {
+			return cerrf(s.Line, "assignment to undeclared variable %q", s.Name)
+		}
+		return g.genExpr(s.Value, r)
+	case *StoreStmt:
+		if !g.objects[s.Object] {
+			return cerrf(s.Line, "store to unknown object %q", s.Object)
+		}
+		idx, err := g.allocTemp(s.Line)
+		if err != nil {
+			return err
+		}
+		defer g.freeTemp()
+		if err := g.genExpr(s.Index, idx); err != nil {
+			return err
+		}
+		val, err := g.allocTemp(s.Line)
+		if err != nil {
+			return err
+		}
+		defer g.freeTemp()
+		if err := g.genExpr(s.Value, val); err != nil {
+			return err
+		}
+		g.b.Store(s.Object, idx, 0, val)
+		return nil
+	case *If:
+		return g.genIf(s)
+	case *While:
+		return g.genWhile(s)
+	case *Break:
+		if len(g.loops) == 0 {
+			return cerrf(s.Line, "break outside loop")
+		}
+		g.b.Jmp(g.loops[len(g.loops)-1].end)
+		return nil
+	case *Continue:
+		if len(g.loops) == 0 {
+			return cerrf(s.Line, "continue outside loop")
+		}
+		g.b.Jmp(g.loops[len(g.loops)-1].start)
+		return nil
+	case *Return:
+		r, err := g.allocTemp(s.Line)
+		if err != nil {
+			return err
+		}
+		defer g.freeTemp()
+		if err := g.genExpr(s.Value, r); err != nil {
+			return err
+		}
+		g.b.Ret(r)
+		return nil
+	case *ExprStmt:
+		call, ok := s.X.(*Call)
+		if !ok {
+			return cerrf(s.Line, "expression statement must be a call")
+		}
+		return g.genCallStmt(call)
+	default:
+		return cerrf(0, "unknown statement %T", s)
+	}
+}
+
+func (g *codegen) genIf(s *If) error {
+	cond, err := g.allocTemp(s.Line)
+	if err != nil {
+		return err
+	}
+	if err := g.genExpr(s.Cond, cond); err != nil {
+		g.freeTemp()
+		return err
+	}
+	elseLabel := g.label("else")
+	endLabel := g.label("endif")
+	g.b.Brz(cond, elseLabel)
+	g.freeTemp()
+	if err := g.genBlock(s.Then); err != nil {
+		return err
+	}
+	g.b.Jmp(endLabel)
+	g.b.Label(elseLabel)
+	if s.Else != nil {
+		if err := g.genBlock(s.Else); err != nil {
+			return err
+		}
+	}
+	g.b.Label(endLabel)
+	return nil
+}
+
+func (g *codegen) genWhile(s *While) error {
+	start := g.label("loop")
+	end := g.label("endloop")
+	g.b.Label(start)
+	cond, err := g.allocTemp(s.Line)
+	if err != nil {
+		return err
+	}
+	if err := g.genExpr(s.Cond, cond); err != nil {
+		g.freeTemp()
+		return err
+	}
+	g.b.Brz(cond, end)
+	g.freeTemp()
+	g.loops = append(g.loops, loopLabels{start: start, end: end})
+	err = g.genBlock(s.Body)
+	g.loops = g.loops[:len(g.loops)-1]
+	if err != nil {
+		return err
+	}
+	g.b.Jmp(start)
+	g.b.Label(end)
+	return nil
+}
+
+// genExpr evaluates e into dst.
+func (g *codegen) genExpr(e Expr, dst mcc.Reg) error {
+	switch e := e.(type) {
+	case *NumLit:
+		g.b.MovImm(dst, e.Value)
+		return nil
+	case *VarRef:
+		if r, ok := g.locals[e.Name]; ok {
+			g.b.Mov(dst, r)
+			return nil
+		}
+		if v, ok := g.consts[e.Name]; ok {
+			g.b.MovImm(dst, v)
+			return nil
+		}
+		return cerrf(e.Line, "undeclared identifier %q", e.Name)
+	case *LoadExpr:
+		if !g.objects[e.Object] {
+			return cerrf(e.Line, "load from unknown object %q", e.Object)
+		}
+		idx, err := g.allocTemp(e.Line)
+		if err != nil {
+			return err
+		}
+		defer g.freeTemp()
+		if err := g.genExpr(e.Index, idx); err != nil {
+			return err
+		}
+		g.b.Load(dst, e.Object, idx, 0)
+		return nil
+	case *Unary:
+		if err := g.genExpr(e.X, dst); err != nil {
+			return err
+		}
+		switch e.Op {
+		case "-":
+			g.b.Sub(dst, mcc.RegZero, dst)
+		case "!":
+			g.b.Eq(dst, dst, mcc.RegZero)
+		default:
+			return cerrf(e.Line, "unknown unary operator %q", e.Op)
+		}
+		return nil
+	case *Binary:
+		return g.genBinary(e, dst)
+	case *Call:
+		return g.genCallValue(e, dst)
+	default:
+		return cerrf(0, "unknown expression %T", e)
+	}
+}
+
+func (g *codegen) genBinary(e *Binary, dst mcc.Reg) error {
+	if err := g.genExpr(e.L, dst); err != nil {
+		return err
+	}
+	t, err := g.allocTemp(e.Line)
+	if err != nil {
+		return err
+	}
+	defer g.freeTemp()
+	if err := g.genExpr(e.R, t); err != nil {
+		return err
+	}
+	switch e.Op {
+	case "+":
+		g.b.Add(dst, dst, t)
+	case "-":
+		g.b.Sub(dst, dst, t)
+	case "*":
+		g.b.Mul(dst, dst, t)
+	case "&":
+		g.b.And(dst, dst, t)
+	case "|":
+		g.b.Or(dst, dst, t)
+	case "^":
+		g.b.Xor(dst, dst, t)
+	case "<<":
+		g.b.Shl(dst, dst, t)
+	case ">>":
+		g.b.Shr(dst, dst, t)
+	case "==":
+		g.b.Eq(dst, dst, t)
+	case "!=":
+		g.b.Eq(dst, dst, t)
+		g.b.Eq(dst, dst, mcc.RegZero)
+	case "<":
+		g.b.Lt(dst, dst, t)
+	case ">":
+		g.b.Lt(dst, t, dst)
+	case "<=":
+		g.b.Lt(dst, t, dst)
+		g.b.Eq(dst, dst, mcc.RegZero)
+	case ">=":
+		g.b.Lt(dst, dst, t)
+		g.b.Eq(dst, dst, mcc.RegZero)
+	case "&&":
+		// (L != 0) & (R != 0)
+		g.b.Eq(dst, dst, mcc.RegZero)
+		g.b.Eq(dst, dst, mcc.RegZero)
+		g.b.Eq(t, t, mcc.RegZero)
+		g.b.Eq(t, t, mcc.RegZero)
+		g.b.And(dst, dst, t)
+	case "||":
+		g.b.Or(dst, dst, t)
+		g.b.Eq(dst, dst, mcc.RegZero)
+		g.b.Eq(dst, dst, mcc.RegZero)
+	case "/", "%":
+		return g.genDivMod(e, dst, t)
+	default:
+		return cerrf(e.Line, "unknown operator %q", e.Op)
+	}
+	return nil
+}
+
+// genDivMod lowers division and modulo to repeated subtraction — NPUs
+// have no integer divide (§3.1b). Operands must be non-negative; a
+// non-positive divisor makes the quotient loop exit immediately with
+// quotient 0 and remainder = dividend.
+func (g *codegen) genDivMod(e *Binary, dst, divisor mcc.Reg) error {
+	q, err := g.allocTemp(e.Line)
+	if err != nil {
+		return err
+	}
+	defer g.freeTemp()
+	cond, err := g.allocTemp(e.Line)
+	if err != nil {
+		return err
+	}
+	defer g.freeTemp()
+	one, err := g.allocTemp(e.Line)
+	if err != nil {
+		return err
+	}
+	defer g.freeTemp()
+	loop := g.label("div")
+	done := g.label("divdone")
+	g.b.MovImm(q, 0)
+	g.b.MovImm(one, 1)
+	g.b.Label(loop)
+	// Stop when divisor <= 0 (guard) or dividend < divisor.
+	g.b.Lt(cond, mcc.RegZero, divisor) // divisor > 0
+	g.b.Brz(cond, done)
+	g.b.Lt(cond, dst, divisor)
+	g.b.Brnz(cond, done)
+	g.b.Sub(dst, dst, divisor)
+	g.b.Add(q, q, one)
+	g.b.Jmp(loop)
+	g.b.Label(done)
+	if e.Op == "/" {
+		g.b.Mov(dst, q)
+	}
+	// For "%", dst already holds the remainder.
+	return nil
+}
+
+// Builtin signatures: name -> arg count (-1 = special-cased).
+var builtins = map[string]int{
+	"hdr": 1, "sethdr": 2, "pkt": 1, "pktlen": 0,
+	"emit": 3, "emitbyte": 1, "memcpy": 5, "gray": 5, "hash": 3,
+	"loadw": 2, "storew": 3,
+}
+
+// valueBuiltins return a value and may appear in expressions.
+var valueBuiltins = map[string]bool{
+	"hdr": true, "pkt": true, "pktlen": true, "hash": true, "loadw": true,
+}
+
+// genCallStmt compiles a call in statement position.
+func (g *codegen) genCallStmt(call *Call) error {
+	if _, ok := builtins[call.Name]; ok {
+		if valueBuiltins[call.Name] {
+			// Evaluate for effect into a temp and discard.
+			t, err := g.allocTemp(call.Line)
+			if err != nil {
+				return err
+			}
+			defer g.freeTemp()
+			return g.genCallValue(call, t)
+		}
+		return g.genVoidBuiltin(call)
+	}
+	if g.funcs[call.Name] {
+		if len(call.Args) != 0 {
+			return cerrf(call.Line, "user functions take no arguments")
+		}
+		g.b.Call(call.Name)
+		return nil
+	}
+	return cerrf(call.Line, "unknown function %q", call.Name)
+}
+
+// genCallValue compiles a value-returning builtin into dst.
+func (g *codegen) genCallValue(call *Call, dst mcc.Reg) error {
+	argc, ok := builtins[call.Name]
+	if !ok {
+		if g.funcs[call.Name] {
+			return cerrf(call.Line, "user function %q returns no value", call.Name)
+		}
+		return cerrf(call.Line, "unknown function %q", call.Name)
+	}
+	if !valueBuiltins[call.Name] {
+		return cerrf(call.Line, "builtin %q returns no value", call.Name)
+	}
+	if len(call.Args) != argc {
+		return cerrf(call.Line, "%s expects %d arguments, got %d", call.Name, argc, len(call.Args))
+	}
+	switch call.Name {
+	case "hdr":
+		slot, err := evalConst(call.Args[0], g.consts)
+		if err != nil {
+			return cerrf(call.Line, "hdr slot must be a constant")
+		}
+		g.b.HdrGet(dst, slot)
+		return nil
+	case "pktlen":
+		g.b.PktLen(dst)
+		return nil
+	case "pkt":
+		t, err := g.allocTemp(call.Line)
+		if err != nil {
+			return err
+		}
+		defer g.freeTemp()
+		if err := g.genExpr(call.Args[0], t); err != nil {
+			return err
+		}
+		g.b.PktLoad(dst, t, 0)
+		return nil
+	case "hash":
+		obj, off, n, err := g.objArgs(call, 0)
+		if err != nil {
+			return err
+		}
+		defer g.freeTemp()
+		defer g.freeTemp()
+		g.b.Hash(dst, obj, off, n)
+		return nil
+	case "loadw":
+		obj, err := g.objectArg(call, 0)
+		if err != nil {
+			return err
+		}
+		t, err := g.allocTemp(call.Line)
+		if err != nil {
+			return err
+		}
+		defer g.freeTemp()
+		if err := g.genExpr(call.Args[1], t); err != nil {
+			return err
+		}
+		g.b.LoadW(dst, obj, t, 0)
+		return nil
+	default:
+		return cerrf(call.Line, "builtin %q not valid here", call.Name)
+	}
+}
+
+// genVoidBuiltin compiles a side-effecting builtin.
+func (g *codegen) genVoidBuiltin(call *Call) error {
+	argc := builtins[call.Name]
+	if len(call.Args) != argc {
+		return cerrf(call.Line, "%s expects %d arguments, got %d", call.Name, argc, len(call.Args))
+	}
+	switch call.Name {
+	case "sethdr":
+		slot, err := evalConst(call.Args[0], g.consts)
+		if err != nil {
+			return cerrf(call.Line, "sethdr slot must be a constant")
+		}
+		t, err := g.allocTemp(call.Line)
+		if err != nil {
+			return err
+		}
+		defer g.freeTemp()
+		if err := g.genExpr(call.Args[1], t); err != nil {
+			return err
+		}
+		g.b.HdrSet(slot, t)
+		return nil
+	case "emitbyte":
+		t, err := g.allocTemp(call.Line)
+		if err != nil {
+			return err
+		}
+		defer g.freeTemp()
+		if err := g.genExpr(call.Args[0], t); err != nil {
+			return err
+		}
+		g.b.EmitByte(t)
+		return nil
+	case "emit":
+		obj, off, n, err := g.objArgs(call, 0)
+		if err != nil {
+			return err
+		}
+		defer g.freeTemp()
+		defer g.freeTemp()
+		g.b.Emit(obj, off, n)
+		return nil
+	case "storew":
+		obj, err := g.objectArg(call, 0)
+		if err != nil {
+			return err
+		}
+		off, err := g.allocTemp(call.Line)
+		if err != nil {
+			return err
+		}
+		defer g.freeTemp()
+		if err := g.genExpr(call.Args[1], off); err != nil {
+			return err
+		}
+		v, err := g.allocTemp(call.Line)
+		if err != nil {
+			return err
+		}
+		defer g.freeTemp()
+		if err := g.genExpr(call.Args[2], v); err != nil {
+			return err
+		}
+		g.b.StoreW(obj, off, 0, v)
+		return nil
+	case "memcpy", "gray":
+		// (dstObj, dstOff, srcObj, srcOff, n); srcObj may be `pkt`.
+		dstObj, err := g.objectArg(call, 0)
+		if err != nil {
+			return err
+		}
+		srcObj, err := g.sourceArg(call, 2)
+		if err != nil {
+			return err
+		}
+		doff, err := g.allocTemp(call.Line)
+		if err != nil {
+			return err
+		}
+		defer g.freeTemp()
+		if err := g.genExpr(call.Args[1], doff); err != nil {
+			return err
+		}
+		soff, err := g.allocTemp(call.Line)
+		if err != nil {
+			return err
+		}
+		defer g.freeTemp()
+		if err := g.genExpr(call.Args[3], soff); err != nil {
+			return err
+		}
+		n, err := g.allocTemp(call.Line)
+		if err != nil {
+			return err
+		}
+		defer g.freeTemp()
+		if err := g.genExpr(call.Args[4], n); err != nil {
+			return err
+		}
+		if call.Name == "memcpy" {
+			g.b.Memcpy(dstObj, doff, srcObj, soff, n)
+		} else {
+			g.b.Gray(dstObj, doff, srcObj, soff, n)
+		}
+		return nil
+	default:
+		return cerrf(call.Line, "builtin %q not valid as a statement", call.Name)
+	}
+}
+
+// objectArg resolves an argument that must name a declared object.
+func (g *codegen) objectArg(call *Call, idx int) (string, error) {
+	ref, ok := call.Args[idx].(*VarRef)
+	if !ok || !g.objects[ref.Name] {
+		return "", cerrf(call.Line, "%s argument %d must name an object", call.Name, idx+1)
+	}
+	return ref.Name, nil
+}
+
+// sourceArg resolves an argument that names an object or the request
+// payload (`pkt`).
+func (g *codegen) sourceArg(call *Call, idx int) (string, error) {
+	ref, ok := call.Args[idx].(*VarRef)
+	if !ok {
+		return "", cerrf(call.Line, "%s argument %d must name an object or pkt", call.Name, idx+1)
+	}
+	if ref.Name == "pkt" {
+		return mcc.PayloadObject, nil
+	}
+	if !g.objects[ref.Name] {
+		return "", cerrf(call.Line, "%s argument %d: unknown object %q", call.Name, idx+1, ref.Name)
+	}
+	return ref.Name, nil
+}
+
+// objArgs resolves (object, offExpr, lenExpr) argument triples; the
+// caller must freeTemp twice.
+func (g *codegen) objArgs(call *Call, idx int) (string, mcc.Reg, mcc.Reg, error) {
+	obj, err := g.objectArg(call, idx)
+	if err != nil {
+		return "", 0, 0, err
+	}
+	off, err := g.allocTemp(call.Line)
+	if err != nil {
+		return "", 0, 0, err
+	}
+	if err := g.genExpr(call.Args[idx+1], off); err != nil {
+		g.freeTemp()
+		return "", 0, 0, err
+	}
+	n, err := g.allocTemp(call.Line)
+	if err != nil {
+		g.freeTemp()
+		return "", 0, 0, err
+	}
+	if err := g.genExpr(call.Args[idx+2], n); err != nil {
+		g.freeTemp()
+		g.freeTemp()
+		return "", 0, 0, err
+	}
+	return obj, off, n, nil
+}

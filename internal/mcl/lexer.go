@@ -1,0 +1,275 @@
+// Package mcl is a compiler frontend for a restricted C-like lambda
+// language, standing in for the Micro-C sources λ-NIC users write
+// (paper §4.1: "users provide one or more lambdas written in a
+// restricted C-like language, called Micro-C"). Programs are compiled
+// to the internal/mcc IR and from there optimized, linked, and executed
+// on the simulated NIC.
+//
+// The language is restricted the way NPUs are (§3.1b): integers only
+// (no floating point), static memory objects (no dynamic allocation),
+// and no recursion (rejected by the IR validator). A small example:
+//
+//	object scratch[64];
+//
+//	func handler() int {
+//		var id int = hdr(7);       // parsed header slot
+//		if (id > 2) { id = 0; }
+//		scratch[0] = 65 + id;
+//		emit(scratch, 0, 1);
+//		return 1;                  // STATUS_FORWARD
+//	}
+package mcl
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token types.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota + 1
+	tokIdent
+	tokNumber
+	tokKeyword
+	tokPunct // operators and delimiters
+)
+
+// token is one lexical token.
+type token struct {
+	kind tokenKind
+	text string
+	num  int64
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokNumber:
+		return fmt.Sprintf("number %d", t.num)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// keywords of the language.
+var keywords = map[string]bool{
+	"func": true, "var": true, "int": true, "if": true, "else": true,
+	"while": true, "return": true, "object": true, "hot": true,
+	"cold": true, "const": true, "break": true, "continue": true,
+}
+
+// SyntaxError reports a lexing or parsing failure with position.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("mcl:%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// lexer turns source text into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errorf(format string, args ...any) error {
+	return &SyntaxError{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// skipSpace consumes whitespace and // and /* */ comments.
+func (l *lexer) skipSpace() error {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos+1 < len(l.src) {
+				if l.peekByte() == '*' && l.src[l.pos+1] == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return l.errorf("unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// twoCharOps are the multi-byte operators, longest match first.
+var twoCharOps = []string{"==", "!=", "<=", ">=", "<<", ">>", "&&", "||"}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpace(); err != nil {
+		return token{}, err
+	}
+	start := token{line: l.line, col: l.col}
+	if l.pos >= len(l.src) {
+		start.kind = tokEOF
+		return start, nil
+	}
+	c := l.peekByte()
+	switch {
+	case unicode.IsLetter(rune(c)) || c == '_':
+		startPos := l.pos
+		for l.pos < len(l.src) {
+			c := rune(l.peekByte())
+			if !unicode.IsLetter(c) && !unicode.IsDigit(c) && c != '_' {
+				break
+			}
+			l.advance()
+		}
+		start.text = l.src[startPos:l.pos]
+		if keywords[start.text] {
+			start.kind = tokKeyword
+		} else {
+			start.kind = tokIdent
+		}
+		return start, nil
+	case unicode.IsDigit(rune(c)):
+		startPos := l.pos
+		for l.pos < len(l.src) {
+			c := l.peekByte()
+			isHexish := (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+				(c >= 'A' && c <= 'F') || c == 'x' || c == 'X'
+			if !isHexish {
+				break
+			}
+			l.advance()
+		}
+		start.text = l.src[startPos:l.pos]
+		n, err := strconv.ParseInt(start.text, 0, 64)
+		if err != nil {
+			// Allow full-range unsigned hex constants.
+			u, uerr := strconv.ParseUint(start.text, 0, 64)
+			if uerr != nil {
+				return token{}, &SyntaxError{Line: start.line, Col: start.col,
+					Msg: fmt.Sprintf("bad number %q", start.text)}
+			}
+			n = int64(u)
+		}
+		start.kind = tokNumber
+		start.num = n
+		return start, nil
+	case c == '\'':
+		// Character literal: 'a' or '\n'-style escapes.
+		l.advance()
+		if l.pos >= len(l.src) {
+			return token{}, l.errorf("unterminated character literal")
+		}
+		var v byte
+		ch := l.advance()
+		if ch == '\\' {
+			if l.pos >= len(l.src) {
+				return token{}, l.errorf("unterminated escape")
+			}
+			esc := l.advance()
+			switch esc {
+			case 'n':
+				v = '\n'
+			case 'r':
+				v = '\r'
+			case 't':
+				v = '\t'
+			case '0':
+				v = 0
+			case '\\', '\'':
+				v = esc
+			default:
+				return token{}, l.errorf("unknown escape \\%c", esc)
+			}
+		} else {
+			v = ch
+		}
+		if l.pos >= len(l.src) || l.advance() != '\'' {
+			return token{}, l.errorf("unterminated character literal")
+		}
+		start.kind = tokNumber
+		start.num = int64(v)
+		start.text = string(v)
+		return start, nil
+	default:
+		for _, op := range twoCharOps {
+			if l.pos+1 < len(l.src) && l.src[l.pos:l.pos+2] == op {
+				l.advance()
+				l.advance()
+				start.kind = tokPunct
+				start.text = op
+				return start, nil
+			}
+		}
+		switch c {
+		case '+', '-', '*', '/', '%', '<', '>', '=', '!', '&', '|', '^',
+			'(', ')', '{', '}', '[', ']', ';', ',':
+			l.advance()
+			start.kind = tokPunct
+			start.text = string(c)
+			return start, nil
+		}
+		return token{}, l.errorf("unexpected character %q", c)
+	}
+}
+
+// lexAll tokenizes the whole source.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

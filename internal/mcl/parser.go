@@ -1,0 +1,455 @@
+package mcl
+
+import "fmt"
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses a source file.
+func Parse(src string) (*File, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	f := &File{}
+	for !p.at(tokEOF, "") {
+		switch {
+		case p.at(tokKeyword, "object"):
+			o, err := p.objectDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Objects = append(f.Objects, o)
+		case p.at(tokKeyword, "const"):
+			c, err := p.constDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Consts = append(f.Consts, c)
+		case p.at(tokKeyword, "func"):
+			fn, err := p.funcDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, fn)
+		default:
+			return nil, p.errorf("expected object, const, or func declaration, got %s", p.cur())
+		}
+	}
+	return f, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) advance() token {
+	t := p.cur()
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	t := p.cur()
+	return &SyntaxError{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// expect consumes a required token.
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if !p.at(kind, text) {
+		want := text
+		if want == "" {
+			want = "identifier"
+		}
+		return token{}, p.errorf("expected %q, got %s", want, p.cur())
+	}
+	return p.advance(), nil
+}
+
+// accept consumes an optional token.
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+// objectDecl := "object" IDENT "[" NUM "]" ("hot"|"cold")? ";"
+func (p *parser) objectDecl() (*ObjectDecl, error) {
+	kw := p.advance() // object
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "["); err != nil {
+		return nil, err
+	}
+	size, err := p.expect(tokNumber, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "]"); err != nil {
+		return nil, err
+	}
+	hint := ""
+	if p.accept(tokKeyword, "hot") {
+		hint = "hot"
+	} else if p.accept(tokKeyword, "cold") {
+		hint = "cold"
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	if size.num <= 0 {
+		return nil, &SyntaxError{Line: size.line, Col: size.col, Msg: "object size must be positive"}
+	}
+	return &ObjectDecl{Name: name.text, Size: size.num, Hint: hint, Line: kw.line}, nil
+}
+
+// constDecl := "const" IDENT "=" expr ";"
+func (p *parser) constDecl() (*ConstDecl, error) {
+	kw := p.advance() // const
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "="); err != nil {
+		return nil, err
+	}
+	value, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return &ConstDecl{Name: name.text, Value: value, Line: kw.line}, nil
+}
+
+// funcDecl := "func" IDENT "(" ")" "int"? block
+func (p *parser) funcDecl() (*FuncDecl, error) {
+	kw := p.advance() // func
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	p.accept(tokKeyword, "int") // the return type is implied
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &FuncDecl{Name: name.text, Body: body, Line: kw.line}, nil
+}
+
+// block := "{" stmt* "}"
+func (p *parser) block() (*Block, error) {
+	open, err := p.expect(tokPunct, "{")
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{Line: open.line}
+	for !p.at(tokPunct, "}") {
+		if p.at(tokEOF, "") {
+			return nil, p.errorf("unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.advance() // }
+	return b, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	switch {
+	case p.at(tokPunct, "{"):
+		return p.block()
+	case p.at(tokKeyword, "var"):
+		return p.varDecl()
+	case p.at(tokKeyword, "if"):
+		return p.ifStmt()
+	case p.at(tokKeyword, "while"):
+		return p.whileStmt()
+	case p.at(tokKeyword, "break"):
+		t := p.advance()
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &Break{Line: t.line}, nil
+	case p.at(tokKeyword, "continue"):
+		t := p.advance()
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &Continue{Line: t.line}, nil
+	case p.at(tokKeyword, "return"):
+		t := p.advance()
+		value, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &Return{Value: value, Line: t.line}, nil
+	case p.at(tokIdent, ""):
+		return p.identStmt()
+	default:
+		return nil, p.errorf("expected statement, got %s", p.cur())
+	}
+}
+
+// varDecl := "var" IDENT "int"? ("=" expr)? ";"
+func (p *parser) varDecl() (Stmt, error) {
+	kw := p.advance() // var
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokKeyword, "int")
+	var init Expr
+	if p.accept(tokPunct, "=") {
+		init, err = p.expr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return &VarDecl{Name: name.text, Init: init, Line: kw.line}, nil
+}
+
+func (p *parser) ifStmt() (Stmt, error) {
+	kw := p.advance() // if
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	node := &If{Cond: cond, Then: then, Line: kw.line}
+	if p.accept(tokKeyword, "else") {
+		if p.at(tokKeyword, "if") {
+			// else-if chains: wrap the nested if in a block.
+			nested, err := p.ifStmt()
+			if err != nil {
+				return nil, err
+			}
+			node.Else = &Block{Stmts: []Stmt{nested}, Line: kw.line}
+		} else {
+			node.Else, err = p.block()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return node, nil
+}
+
+func (p *parser) whileStmt() (Stmt, error) {
+	kw := p.advance() // while
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &While{Cond: cond, Body: body, Line: kw.line}, nil
+}
+
+// identStmt disambiguates assignment, object store, and calls.
+func (p *parser) identStmt() (Stmt, error) {
+	name := p.advance()
+	switch {
+	case p.at(tokPunct, "="):
+		p.advance()
+		value, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &Assign{Name: name.text, Value: value, Line: name.line}, nil
+	case p.at(tokPunct, "["):
+		p.advance()
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		value, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &StoreStmt{Object: name.text, Index: idx, Value: value, Line: name.line}, nil
+	case p.at(tokPunct, "("):
+		call, err := p.callAfterName(name)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: call, Line: name.line}, nil
+	default:
+		return nil, p.errorf("expected '=', '[', or '(' after %q", name.text)
+	}
+}
+
+func (p *parser) callAfterName(name token) (*Call, error) {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	call := &Call{Name: name.text, Line: name.line}
+	for !p.at(tokPunct, ")") {
+		if len(call.Args) > 0 {
+			if _, err := p.expect(tokPunct, ","); err != nil {
+				return nil, err
+			}
+		}
+		arg, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		call.Args = append(call.Args, arg)
+	}
+	p.advance() // )
+	return call, nil
+}
+
+// Expression parsing with precedence climbing.
+
+// binaryPrec maps operators to precedence (higher binds tighter).
+var binaryPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) expr() (Expr, error) { return p.binaryExpr(1) }
+
+func (p *parser) binaryExpr(minPrec int) (Expr, error) {
+	left, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct {
+			return left, nil
+		}
+		prec, ok := binaryPrec[t.text]
+		if !ok || prec < minPrec {
+			return left, nil
+		}
+		p.advance()
+		right, err := p.binaryExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: t.text, L: left, R: right, Line: t.line}
+	}
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	t := p.cur()
+	if t.kind == tokPunct && (t.text == "-" || t.text == "!") {
+		p.advance()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: t.text, X: x, Line: t.line}, nil
+	}
+	return p.primaryExpr()
+}
+
+func (p *parser) primaryExpr() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.advance()
+		return &NumLit{Value: t.num, Line: t.line}, nil
+	case t.kind == tokPunct && t.text == "(":
+		p.advance()
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case t.kind == tokIdent:
+		p.advance()
+		switch {
+		case p.at(tokPunct, "("):
+			return p.callAfterName(t)
+		case p.at(tokPunct, "["):
+			p.advance()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			return &LoadExpr{Object: t.text, Index: idx, Line: t.line}, nil
+		default:
+			return &VarRef{Name: t.text, Line: t.line}, nil
+		}
+	default:
+		return nil, p.errorf("expected expression, got %s", t)
+	}
+}

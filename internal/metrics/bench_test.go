@@ -1,0 +1,32 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkSampleAddAndQuantile(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var s Sample
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Add(rng.Float64())
+		if i%1000 == 999 {
+			_ = s.Quantile(0.99)
+		}
+	}
+}
+
+func BenchmarkECDF(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var s Sample
+	for i := 0; i < 10000; i++ {
+		s.Add(rng.Float64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pts := s.ECDF(40); len(pts) != 40 {
+			b.Fatal("bad ecdf")
+		}
+	}
+}

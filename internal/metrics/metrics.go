@@ -1,0 +1,200 @@
+// Package metrics collects latency and throughput statistics for the
+// experiment harness: empirical CDFs, quantiles, and summary moments as
+// reported in the paper's Figures 6 and 8 and the throughput tables.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Sample accumulates scalar observations (latencies in seconds, counts,
+// sizes). The zero value is ready to use. Sample is not safe for
+// concurrent use; in simulations a single event-loop goroutine owns it.
+type Sample struct {
+	values []float64
+	sorted bool
+	sum    float64
+	sumSq  float64
+}
+
+// Add records one observation.
+func (s *Sample) Add(v float64) {
+	s.values = append(s.values, v)
+	s.sorted = false
+	s.sum += v
+	s.sumSq += v * v
+}
+
+// AddDuration records a latency observation in seconds.
+func (s *Sample) AddDuration(d time.Duration) { s.Add(d.Seconds()) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.values) }
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.values))
+}
+
+// Stddev returns the population standard deviation, or 0 for fewer than
+// two observations.
+func (s *Sample) Stddev() float64 {
+	n := float64(len(s.values))
+	if n < 2 {
+		return 0
+	}
+	mean := s.sum / n
+	variance := s.sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0 // guard against floating-point cancellation
+	}
+	return math.Sqrt(variance)
+}
+
+// Min returns the smallest observation, or 0 for an empty sample.
+func (s *Sample) Min() float64 {
+	s.ensureSorted()
+	if len(s.values) == 0 {
+		return 0
+	}
+	return s.values[0]
+}
+
+// Max returns the largest observation, or 0 for an empty sample.
+func (s *Sample) Max() float64 {
+	s.ensureSorted()
+	if len(s.values) == 0 {
+		return 0
+	}
+	return s.values[len(s.values)-1]
+}
+
+// Quantile returns the p-quantile (0 ≤ p ≤ 1) using linear
+// interpolation between order statistics, or 0 for an empty sample.
+func (s *Sample) Quantile(p float64) float64 {
+	s.ensureSorted()
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return s.values[0]
+	}
+	if p >= 1 {
+		return s.values[n-1]
+	}
+	pos := p * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.values[lo]
+	}
+	frac := pos - float64(lo)
+	return s.values[lo]*(1-frac) + s.values[hi]*frac
+}
+
+// P50, P99, and P999 are the quantiles the paper reports at the tail.
+func (s *Sample) P50() float64  { return s.Quantile(0.50) }
+func (s *Sample) P99() float64  { return s.Quantile(0.99) }
+func (s *Sample) P999() float64 { return s.Quantile(0.999) }
+
+func (s *Sample) ensureSorted() {
+	if s.sorted {
+		return
+	}
+	sort.Float64s(s.values)
+	s.sorted = true
+}
+
+// Point is one step of an empirical CDF: Frac of observations are ≤
+// Value.
+type Point struct {
+	Value float64
+	Frac  float64
+}
+
+// ECDF returns the empirical CDF evaluated at up to points evenly spaced
+// positions in rank order. points ≤ 0 yields one point per observation.
+func (s *Sample) ECDF(points int) []Point {
+	s.ensureSorted()
+	n := len(s.values)
+	if n == 0 {
+		return nil
+	}
+	if points <= 0 || points > n {
+		points = n
+	}
+	out := make([]Point, 0, points)
+	for i := 0; i < points; i++ {
+		idx := (i + 1) * n / points // 1-based rank of this step
+		out = append(out, Point{
+			Value: s.values[idx-1],
+			Frac:  float64(idx) / float64(n),
+		})
+	}
+	return out
+}
+
+// Summary is a compact distribution description used in experiment
+// reports.
+type Summary struct {
+	N      int
+	Mean   float64
+	Stddev float64
+	Min    float64
+	P50    float64
+	P90    float64
+	P99    float64
+	Max    float64
+}
+
+// Summarize computes a Summary from the sample.
+func (s *Sample) Summarize() Summary {
+	return Summary{
+		N:      s.N(),
+		Mean:   s.Mean(),
+		Stddev: s.Stddev(),
+		Min:    s.Min(),
+		P50:    s.Quantile(0.50),
+		P90:    s.Quantile(0.90),
+		P99:    s.Quantile(0.99),
+		Max:    s.Max(),
+	}
+}
+
+// String renders the summary with latency-style units (seconds in,
+// human-readable durations out).
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%s p50=%s p99=%s max=%s",
+		s.N, FormatSeconds(s.Mean), FormatSeconds(s.P50),
+		FormatSeconds(s.P99), FormatSeconds(s.Max))
+}
+
+// FormatSeconds renders a duration given in seconds with an appropriate
+// unit, e.g. "1.24ms" or "870ns".
+func FormatSeconds(sec float64) string {
+	return time.Duration(sec * float64(time.Second)).Round(time.Nanosecond).String()
+}
+
+// Throughput measures completed operations over a virtual-time window.
+type Throughput struct {
+	Completed uint64
+	Start     time.Duration
+	End       time.Duration
+}
+
+// PerSecond returns the completion rate in operations per second of
+// virtual time, or 0 if the window is empty.
+func (t Throughput) PerSecond() float64 {
+	window := (t.End - t.Start).Seconds()
+	if window <= 0 {
+		return 0
+	}
+	return float64(t.Completed) / window
+}

@@ -1,0 +1,218 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Mean() != 0 || s.Stddev() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("empty sample must report zeros")
+	}
+	if s.Quantile(0.5) != 0 {
+		t.Error("empty sample quantile must be 0")
+	}
+	if s.ECDF(10) != nil {
+		t.Error("empty sample ECDF must be nil")
+	}
+}
+
+func TestMoments(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if got := s.Mean(); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := s.Stddev(); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("Stddev = %v, want 2", got)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{10, 20, 30, 40} {
+		s.Add(v)
+	}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {1, 40}, {0.5, 25}, {1.0 / 3.0, 20}, {-1, 10}, {2, 40},
+	}
+	for _, tt := range tests {
+		if got := s.Quantile(tt.p); !almostEqual(got, tt.want, 1e-9) {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestAddAfterQuantileKeepsSorted(t *testing.T) {
+	var s Sample
+	s.Add(5)
+	s.Add(1)
+	_ = s.Quantile(0.5) // forces sort
+	s.Add(0)            // must invalidate sorted flag
+	if got := s.Min(); got != 0 {
+		t.Errorf("Min after late Add = %v, want 0", got)
+	}
+}
+
+func TestECDF(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	pts := s.ECDF(10)
+	if len(pts) != 10 {
+		t.Fatalf("len(ECDF) = %d, want 10", len(pts))
+	}
+	if pts[len(pts)-1].Frac != 1.0 {
+		t.Errorf("final Frac = %v, want 1.0", pts[len(pts)-1].Frac)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Value < pts[i-1].Value || pts[i].Frac <= pts[i-1].Frac {
+			t.Fatalf("ECDF not monotone at %d: %+v", i, pts)
+		}
+	}
+	// Values should correspond to deciles of 1..100.
+	if pts[0].Value != 10 || pts[4].Value != 50 {
+		t.Errorf("decile values = %v, %v; want 10, 50", pts[0].Value, pts[4].Value)
+	}
+}
+
+func TestECDFFullResolution(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{3, 1, 2} {
+		s.Add(v)
+	}
+	pts := s.ECDF(0)
+	if len(pts) != 3 {
+		t.Fatalf("len = %d, want 3", len(pts))
+	}
+	if pts[0].Value != 1 || pts[2].Value != 3 {
+		t.Errorf("full ECDF values wrong: %+v", pts)
+	}
+}
+
+func TestECDFMoreRequestedThanObservations(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	s.Add(2)
+	pts := s.ECDF(100)
+	if len(pts) != 2 {
+		t.Fatalf("len = %d, want clamped to 2", len(pts))
+	}
+}
+
+func TestECDFProperty(t *testing.T) {
+	// Property: for any sample, ECDF fractions are nondecreasing in
+	// (0, 1] and values are nondecreasing.
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		for _, v := range raw {
+			s.Add(float64(v))
+		}
+		pts := s.ECDF(0)
+		prevFrac, prevVal := 0.0, math.Inf(-1)
+		for _, p := range pts {
+			if p.Frac <= prevFrac || p.Frac > 1 || p.Value < prevVal {
+				return false
+			}
+			prevFrac, prevVal = p.Frac, p.Value
+		}
+		return prevFrac == 1.0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint16, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		for _, v := range raw {
+			s.Add(float64(v))
+		}
+		p, q := float64(a)/255, float64(b)/255
+		if p > q {
+			p, q = q, p
+		}
+		return s.Quantile(p) <= s.Quantile(q)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var s Sample
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		s.Add(rng.Float64())
+	}
+	sum := s.Summarize()
+	if sum.N != 10000 {
+		t.Errorf("N = %d", sum.N)
+	}
+	if !almostEqual(sum.Mean, 0.5, 0.02) {
+		t.Errorf("Mean = %v, want ~0.5", sum.Mean)
+	}
+	if !almostEqual(sum.P50, 0.5, 0.02) || !almostEqual(sum.P99, 0.99, 0.02) {
+		t.Errorf("quantiles off: p50=%v p99=%v", sum.P50, sum.P99)
+	}
+	if sum.String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+func TestAddDuration(t *testing.T) {
+	var s Sample
+	s.AddDuration(1500 * time.Microsecond)
+	if got := s.Mean(); !almostEqual(got, 0.0015, 1e-12) {
+		t.Errorf("Mean = %v, want 0.0015", got)
+	}
+}
+
+func TestFormatSeconds(t *testing.T) {
+	tests := []struct {
+		sec  float64
+		want string
+	}{
+		{0.0015, "1.5ms"},
+		{0.00000087, "870ns"},
+		{2, "2s"},
+	}
+	for _, tt := range tests {
+		if got := FormatSeconds(tt.sec); got != tt.want {
+			t.Errorf("FormatSeconds(%v) = %q, want %q", tt.sec, got, tt.want)
+		}
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	tp := Throughput{Completed: 500, Start: 0, End: 2 * time.Second}
+	if got := tp.PerSecond(); !almostEqual(got, 250, 1e-9) {
+		t.Errorf("PerSecond = %v, want 250", got)
+	}
+	empty := Throughput{Completed: 10}
+	if empty.PerSecond() != 0 {
+		t.Error("empty window must yield 0")
+	}
+}

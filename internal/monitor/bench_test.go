@@ -1,0 +1,38 @@
+package monitor
+
+import "testing"
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(DefaultLatencyBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) / 1e6)
+	}
+}
+
+func BenchmarkRender(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < 10; i++ {
+		r.MustCounter("c", "", map[string]string{"i": string(rune('a' + i))}).Add(uint64(i))
+	}
+	h := r.MustHistogram("lat", "", nil, DefaultLatencyBuckets)
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i) / 1e4)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := r.Render(); len(out) == 0 {
+			b.Fatal("empty render")
+		}
+	}
+}

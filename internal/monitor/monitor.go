@@ -1,0 +1,260 @@
+// Package monitor is a small Prometheus-style metrics engine, standing
+// in for the "Prometheus-based monitoring engine to analyze system
+// state" in the paper's baseline framework (§6.1.1). It provides
+// counters, gauges, and histograms registered in a Registry, rendered
+// in the Prometheus text exposition format, and servable over HTTP.
+package monitor
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value reads the counter.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram accumulates observations into cumulative buckets.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64 // upper bounds, ascending
+	counts  []uint64  // per-bucket (non-cumulative) counts
+	sum     float64
+	samples uint64
+}
+
+// DefaultLatencyBuckets spans 1µs..10s in decades (seconds).
+var DefaultLatencyBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10,
+}
+
+// NewHistogram builds a histogram with the given ascending upper
+// bounds; a +Inf bucket is implicit.
+func NewHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	idx := sort.SearchFloat64s(h.bounds, v)
+	h.counts[idx]++
+	h.sum += v
+	h.samples++
+}
+
+// Snapshot returns cumulative bucket counts, total sum, and count.
+func (h *Histogram) Snapshot() (bounds []float64, cumulative []uint64, sum float64, count uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	bounds = append([]float64(nil), h.bounds...)
+	cumulative = make([]uint64, len(h.counts))
+	running := uint64(0)
+	for i, c := range h.counts {
+		running += c
+		cumulative[i] = running
+	}
+	return bounds, cumulative, h.sum, h.samples
+}
+
+// metric is one registered metric with metadata.
+type metric struct {
+	name   string
+	help   string
+	labels string // pre-rendered {k="v",...} or ""
+	kind   string
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry holds registered metrics; safe for concurrent use.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	seen    map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{seen: make(map[string]bool)}
+}
+
+// renderLabels formats a label map deterministically.
+func renderLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%q", k, labels[k]))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func (r *Registry) register(m *metric) error {
+	key := m.name + m.labels
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.seen[key] {
+		return fmt.Errorf("monitor: metric %s%s already registered", m.name, m.labels)
+	}
+	r.seen[key] = true
+	r.metrics = append(r.metrics, m)
+	return nil
+}
+
+// Counter registers and returns a counter.
+func (r *Registry) Counter(name, help string, labels map[string]string) (*Counter, error) {
+	c := &Counter{}
+	err := r.register(&metric{name: name, help: help, labels: renderLabels(labels), kind: "counter", c: c})
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name, help string, labels map[string]string) (*Gauge, error) {
+	g := &Gauge{}
+	err := r.register(&metric{name: name, help: help, labels: renderLabels(labels), kind: "gauge", g: g})
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Histogram registers and returns a histogram.
+func (r *Registry) Histogram(name, help string, labels map[string]string, bounds []float64) (*Histogram, error) {
+	h := NewHistogram(bounds)
+	err := r.register(&metric{name: name, help: help, labels: renderLabels(labels), kind: "histogram", h: h})
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// MustCounter is Counter for static registrations.
+func (r *Registry) MustCounter(name, help string, labels map[string]string) *Counter {
+	c, err := r.Counter(name, help, labels)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// MustGauge is Gauge for static registrations.
+func (r *Registry) MustGauge(name, help string, labels map[string]string) *Gauge {
+	g, err := r.Gauge(name, help, labels)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// MustHistogram is Histogram for static registrations.
+func (r *Registry) MustHistogram(name, help string, labels map[string]string, bounds []float64) *Histogram {
+	h, err := r.Histogram(name, help, labels, bounds)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Render produces the Prometheus text exposition format.
+func (r *Registry) Render() string {
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+
+	var b strings.Builder
+	helped := map[string]bool{}
+	for _, m := range metrics {
+		if !helped[m.name] {
+			helped[m.name] = true
+			if m.help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", m.name, m.help)
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, m.kind)
+		}
+		switch m.kind {
+		case "counter":
+			fmt.Fprintf(&b, "%s%s %d\n", m.name, m.labels, m.c.Value())
+		case "gauge":
+			fmt.Fprintf(&b, "%s%s %g\n", m.name, m.labels, m.g.Value())
+		case "histogram":
+			bounds, cum, sum, count := m.h.Snapshot()
+			base := strings.TrimSuffix(m.labels, "}")
+			for i, ub := range bounds {
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", m.name, bucketLabels(base, m.labels, fmt.Sprintf("%g", ub)), cum[i])
+			}
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", m.name, bucketLabels(base, m.labels, "+Inf"), cum[len(cum)-1])
+			fmt.Fprintf(&b, "%s_sum%s %g\n", m.name, m.labels, sum)
+			fmt.Fprintf(&b, "%s_count%s %d\n", m.name, m.labels, count)
+		}
+	}
+	return b.String()
+}
+
+// bucketLabels merges the le label into an existing label set.
+func bucketLabels(base, full, le string) string {
+	if full == "" {
+		return fmt.Sprintf("{le=%q}", le)
+	}
+	return fmt.Sprintf("%s,le=%q}", base, le)
+}
+
+// Handler serves the registry over HTTP (GET /metrics style).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if _, err := w.Write([]byte(r.Render())); err != nil {
+			return
+		}
+	})
+}

@@ -1,0 +1,162 @@
+package monitor
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.MustCounter("requests_total", "total requests", nil)
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("Value = %d", c.Value())
+	}
+	out := r.Render()
+	for _, want := range []string{"# HELP requests_total total requests", "# TYPE requests_total counter", "requests_total 5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.MustGauge("inflight", "", map[string]string{"backend": "lambda-nic"})
+	g.Set(3)
+	g.Add(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 4.5 {
+		t.Errorf("Value = %v", got)
+	}
+	if !strings.Contains(r.Render(), `inflight{backend="lambda-nic"} 4.5`) {
+		t.Errorf("render:\n%s", r.Render())
+	}
+}
+
+func TestGaugeConcurrentAdd(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 8000 {
+		t.Errorf("concurrent adds = %v, want 8000", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.005, 0.005, 0.05, 5} {
+		h.Observe(v)
+	}
+	bounds, cum, sum, count := h.Snapshot()
+	if len(bounds) != 3 || count != 5 {
+		t.Fatalf("bounds=%v count=%d", bounds, count)
+	}
+	// cumulative: <=0.001: 1; <=0.01: 3; <=0.1: 4; +Inf: 5
+	want := []uint64{1, 3, 4, 5}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Errorf("cum[%d] = %d, want %d", i, cum[i], w)
+		}
+	}
+	if sum < 5.06 || sum > 5.07 {
+		t.Errorf("sum = %v", sum)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	r := NewRegistry()
+	h := r.MustHistogram("latency_seconds", "request latency",
+		map[string]string{"workload": "web"}, []float64{0.001, 0.1})
+	h.Observe(0.0004)
+	h.Observe(0.05)
+	out := r.Render()
+	for _, want := range []string{
+		`latency_seconds_bucket{workload="web",le="0.001"} 1`,
+		`latency_seconds_bucket{workload="web",le="0.1"} 2`,
+		`latency_seconds_bucket{workload="web",le="+Inf"} 2`,
+		`latency_seconds_count{workload="web"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramCumulativeProperty(t *testing.T) {
+	// Property: cumulative counts are nondecreasing and the +Inf bucket
+	// equals the sample count.
+	f := func(raw []uint16) bool {
+		h := NewHistogram(DefaultLatencyBuckets)
+		for _, v := range raw {
+			h.Observe(float64(v) / 1000)
+		}
+		_, cum, _, count := h.Snapshot()
+		prev := uint64(0)
+		for _, c := range cum {
+			if c < prev {
+				return false
+			}
+			prev = c
+		}
+		return cum[len(cum)-1] == count && count == uint64(len(raw))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDuplicateRegistrationRejected(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Counter("x", "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Counter("x", "", nil); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	// Same name with different labels is allowed.
+	if _, err := r.Counter("x", "", map[string]string{"a": "1"}); err != nil {
+		t.Errorf("labeled variant rejected: %v", err)
+	}
+}
+
+func TestLabelsDeterministic(t *testing.T) {
+	got := renderLabels(map[string]string{"z": "1", "a": "2", "m": "3"})
+	if got != `{a="2",m="3",z="1"}` {
+		t.Errorf("labels = %s", got)
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	r := NewRegistry()
+	r.MustCounter("hits", "", nil).Add(7)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 4096)
+	n, _ := resp.Body.Read(buf)
+	body := string(buf[:n])
+	if !strings.Contains(body, "hits 7") {
+		t.Errorf("body = %q", body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+}

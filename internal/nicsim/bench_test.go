@@ -1,0 +1,52 @@
+package nicsim
+
+import (
+	"testing"
+
+	"lambdanic/internal/sim"
+)
+
+func BenchmarkInjectDrainThousandRequests(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := sim.New(1)
+		n, err := New(s, testConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := n.Load(image(1, fakeLambda{instr: 500, emem: 2})); err != nil {
+			b.Fatal(err)
+		}
+		for r := 0; r < 1000; r++ {
+			n.Inject(&Request{LambdaID: 1}, nil)
+		}
+		if err := s.RunUntilIdle(); err != nil {
+			b.Fatal(err)
+		}
+		if n.Stats().Completed != 1000 {
+			b.Fatal("incomplete")
+		}
+	}
+	b.ReportMetric(1000, "requests/iter")
+}
+
+func BenchmarkSchedulerSaturatedWFQ(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := sim.New(1)
+		cfg := smallConfig(4)
+		cfg.Dispatch = DispatchWFQ
+		n, err := New(s, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		img := &fakeImage{lambdas: map[uint32]fakeLambda{1: {instr: 1000}, 2: {instr: 100}}, static: 100}
+		if err := n.Load(img); err != nil {
+			b.Fatal(err)
+		}
+		for r := 0; r < 500; r++ {
+			n.Inject(&Request{LambdaID: uint32(r%2) + 1, Payload: make([]byte, 64)}, nil)
+		}
+		if err := s.RunUntilIdle(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,420 @@
+// Package nicsim simulates an ASIC-based SmartNIC in the style of the
+// Netronome Agilio CX the paper evaluates on (§2.2, §5): a grid of
+// multi-threaded RISC NPU cores grouped into islands, a four-level
+// memory hierarchy (core-local memory, per-island CTM, on-chip IMEM,
+// external EMEM), a hardware packet scheduler, and run-to-completion
+// execution of Match+Lambda firmware.
+//
+// Execution is both functional and timed: each incoming request is run
+// through the loaded lambda program (typically an internal/mcc
+// interpreter), which returns the response payload and dynamic
+// execution statistics (instructions retired, memory accesses per
+// level). The simulator converts those statistics into NPU cycles using
+// the cluster cost model and advances a discrete-event clock, so every
+// latency and throughput figure emerges from the same mechanisms the
+// paper credits: massive thread parallelism, no OS, no context
+// switches, and memory placement (§4.2.1, D1-D3).
+package nicsim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"lambdanic/internal/cluster"
+	"lambdanic/internal/sim"
+	"lambdanic/internal/wfq"
+)
+
+// MemLevel identifies one level of the NIC memory hierarchy (§5).
+type MemLevel int
+
+// Memory levels, nearest first.
+const (
+	MemLocal MemLevel = iota + 1 // core-local memory
+	MemCTM                       // cluster target memory (per island)
+	MemIMEM                      // on-chip internal memory
+	MemEMEM                      // external DRAM
+	numMemLevels
+)
+
+// String returns the architectural name of the memory level.
+func (m MemLevel) String() string {
+	switch m {
+	case MemLocal:
+		return "LMEM"
+	case MemCTM:
+		return "CTM"
+	case MemIMEM:
+		return "IMEM"
+	case MemEMEM:
+		return "EMEM"
+	default:
+		return fmt.Sprintf("MemLevel(%d)", int(m))
+	}
+}
+
+// ExecStats are the dynamic costs of one lambda invocation, produced by
+// the program's interpreter and charged to the executing NPU thread.
+type ExecStats struct {
+	// Instructions retired (1 cycle each at CPI=1).
+	Instructions uint64
+	// MemAccesses counts accesses per memory level; each access stalls
+	// the thread for that level's latency.
+	MemAccesses [numMemLevels]uint64
+}
+
+// AddAccess records n accesses at the given level.
+func (e *ExecStats) AddAccess(level MemLevel, n uint64) {
+	if level > 0 && level < numMemLevels {
+		e.MemAccesses[level] += n
+	}
+}
+
+// Accesses returns the access count at a level.
+func (e *ExecStats) Accesses(level MemLevel) uint64 {
+	if level > 0 && level < numMemLevels {
+		return e.MemAccesses[level]
+	}
+	return 0
+}
+
+// Cycles converts the statistics to NPU cycles under the given NIC
+// configuration.
+func (e *ExecStats) Cycles(cfg cluster.NICConfig) uint64 {
+	cycles := e.Instructions
+	cycles += e.MemAccesses[MemLocal] * cfg.LocalLatency
+	cycles += e.MemAccesses[MemCTM] * cfg.CTMLatency
+	cycles += e.MemAccesses[MemIMEM] * cfg.IMEMLatency
+	cycles += e.MemAccesses[MemEMEM] * cfg.EMEMLatency
+	return cycles
+}
+
+// Request is one RPC arriving at the NIC. Multi-packet requests
+// (Packets > 1) model RDMA-committed payloads (§4.2.1, D3): the payload
+// is reordered/committed by the NIC before the lambda fires.
+type Request struct {
+	LambdaID uint32
+	Payload  []byte
+	// Packets is the number of wire packets the RPC spans (≥1).
+	Packets int
+}
+
+// Response is the lambda's reply.
+type Response struct {
+	Payload []byte
+	// Stats are the execution statistics for observability and tests.
+	Stats ExecStats
+}
+
+// Program is a loaded firmware image. Every core runs the same
+// Match+Lambda program (§5): the image parses the request, matches on
+// the lambda ID, and runs the selected lambda. It executes requests
+// functionally and reports their dynamic cost. Implementations live in
+// internal/mcc (compiled Match+Lambda programs) and in tests.
+type Program interface {
+	// Execute runs the image against the request (parse + match +
+	// lambda). It must be deterministic given the request (simulation
+	// determinism depends on it).
+	Execute(req *Request) (Response, error)
+	// Handles reports whether the image has a lambda for the ID;
+	// unmatched requests go to the host OS path (§4.1).
+	Handles(id uint32) bool
+	// StaticInstructions is the compiled code size, checked against the
+	// per-core instruction store when the firmware loads.
+	StaticInstructions() int
+	// MemoryBytes is the image's NIC memory footprint per level.
+	MemoryBytes() map[MemLevel]int
+}
+
+// Dispatch selects how the hardware scheduler assigns requests to
+// threads (§5: the Netronome scheduler is work-conserving and uniform;
+// WFQ is λ-NIC's policy from §4.2.1 D1).
+type Dispatch int
+
+// Dispatch policies.
+const (
+	DispatchUniform Dispatch = iota + 1
+	DispatchWFQ
+)
+
+// Errors returned by the NIC.
+var (
+	ErrProgramTooLarge = errors.New("nicsim: program exceeds per-core instruction store")
+	ErrMemoryExceeded  = errors.New("nicsim: program exceeds NIC memory capacity")
+	ErrNoFirmware      = errors.New("nicsim: no firmware loaded")
+	ErrNICDown         = errors.New("nicsim: firmware swap in progress")
+)
+
+// Config parameterizes the simulated NIC.
+type Config struct {
+	NIC cluster.NICConfig
+	// Dispatch policy; DispatchUniform if unset.
+	Dispatch Dispatch
+	// FirmwareSwapDowntime models the paper's §7 limitation: loading
+	// new firmware halts the NIC. Zero means hitless (future NICs).
+	FirmwareSwapDowntime time.Duration
+	// Preemptive replaces run-to-completion execution (§4.2.1 D1) with
+	// CPU-style time slicing: a lambda runs QuantumCycles, pays
+	// ContextSwitchCycles, and requeues. This exists only for the
+	// run-to-completion ablation — the paper's design deliberately
+	// avoids it.
+	Preemptive bool
+	// QuantumCycles is the time slice when Preemptive is set (default
+	// 5,000 cycles ≈ 8 µs at 633 MHz).
+	QuantumCycles uint64
+	// ContextSwitchCycles is the per-preemption state save/restore cost
+	// (default 500 cycles).
+	ContextSwitchCycles uint64
+}
+
+// Stats aggregates NIC-level counters.
+type Stats struct {
+	Completed     uint64
+	Dropped       uint64
+	SentToHost    uint64
+	BusyCycles    uint64
+	MaxQueueDepth int
+	// Preemptions counts time-slice expirations (ablation mode only).
+	Preemptions uint64
+}
+
+// NIC is the simulated SmartNIC. Create with New; drive by calling
+// Inject from simulation callbacks.
+type NIC struct {
+	sim  *sim.Sim
+	cfg  Config
+	fw   Program
+	down bool
+
+	freeThreads int
+	queue       *wfq.Scheduler
+	fifo        []*pending
+
+	// hostPath receives requests with no matching lambda ID (§4.1:
+	// "sends the packet to the host OS"). Nil drops them.
+	hostPath func(*Request)
+
+	stats Stats
+}
+
+type pending struct {
+	req  *Request
+	done func(Response, error)
+
+	// Preemption state: the response is computed functionally at first
+	// dispatch; remaining tracks unserved cycles across time slices.
+	started   bool
+	resp      Response
+	err       error
+	remaining uint64
+}
+
+// New constructs a NIC bound to the simulation.
+func New(s *sim.Sim, cfg Config) (*NIC, error) {
+	if cfg.NIC.NPUThreads() <= 0 {
+		return nil, errors.New("nicsim: configuration has no NPU threads")
+	}
+	if cfg.Dispatch == 0 {
+		cfg.Dispatch = DispatchUniform
+	}
+	q, err := wfq.New(1)
+	if err != nil {
+		return nil, err
+	}
+	return &NIC{
+		sim:         s,
+		cfg:         cfg,
+		freeThreads: cfg.NIC.NPUThreads(),
+		queue:       q,
+	}, nil
+}
+
+// SetHostPath installs the handler for unmatched requests.
+func (n *NIC) SetHostPath(fn func(*Request)) { n.hostPath = fn }
+
+// Stats returns a copy of the NIC counters.
+func (n *NIC) Stats() Stats { return n.stats }
+
+// MemoryUsed reports the loaded firmware's NIC memory footprint in
+// bytes (Table 3's "NIC Memory" row).
+func (n *NIC) MemoryUsed() int {
+	if n.fw == nil {
+		return 0
+	}
+	total := 0
+	for _, b := range n.fw.MemoryBytes() {
+		total += b
+	}
+	return total
+}
+
+// Load validates and installs a firmware image. If firmware is already
+// running and the configuration models swap downtime, the NIC is down
+// for that period and arriving requests are dropped (§7 "hot swapping
+// workloads").
+func (n *NIC) Load(fw Program) error {
+	if got, limit := fw.StaticInstructions(), n.cfg.NIC.InstrStorePerCore; got > limit {
+		return fmt.Errorf("%w: %d > %d", ErrProgramTooLarge, got, limit)
+	}
+	mem := fw.MemoryBytes()
+	if mem[MemCTM] > n.cfg.NIC.CTMPerIsland*n.cfg.NIC.Islands {
+		return fmt.Errorf("%w: CTM demand %d", ErrMemoryExceeded, mem[MemCTM])
+	}
+	if mem[MemIMEM] > n.cfg.NIC.IMEMBytes {
+		return fmt.Errorf("%w: IMEM demand %d", ErrMemoryExceeded, mem[MemIMEM])
+	}
+	if mem[MemEMEM] > n.cfg.NIC.EMEMBytes {
+		return fmt.Errorf("%w: EMEM demand %d", ErrMemoryExceeded, mem[MemEMEM])
+	}
+	swapping := n.fw != nil && n.cfg.FirmwareSwapDowntime > 0
+	n.fw = fw
+	if swapping {
+		n.down = true
+		n.sim.Schedule(n.cfg.FirmwareSwapDowntime, func() { n.down = false })
+	}
+	return nil
+}
+
+// Inject delivers a request to the NIC at the current simulation time.
+// done fires (in virtual time) when the response leaves the NIC. A nil
+// done is allowed for fire-and-forget traffic.
+func (n *NIC) Inject(req *Request, done func(Response, error)) {
+	complete := func(r Response, err error) {
+		if done != nil {
+			done(r, err)
+		}
+	}
+	if n.fw == nil {
+		n.stats.Dropped++
+		complete(Response{}, ErrNoFirmware)
+		return
+	}
+	if n.down {
+		n.stats.Dropped++
+		complete(Response{}, ErrNICDown)
+		return
+	}
+	if !n.fw.Handles(req.LambdaID) {
+		n.stats.SentToHost++
+		if n.hostPath != nil {
+			n.hostPath(req)
+		}
+		complete(Response{}, fmt.Errorf("nicsim: no lambda %d: sent to host", req.LambdaID))
+		return
+	}
+	p := &pending{req: req, done: complete}
+	if n.freeThreads > 0 {
+		n.freeThreads--
+		n.start(p)
+		return
+	}
+	n.enqueue(p)
+}
+
+func (n *NIC) enqueue(p *pending) {
+	if n.cfg.Dispatch == DispatchWFQ {
+		size := uint64(len(p.req.Payload))
+		if size == 0 {
+			size = 64
+		}
+		n.queue.Enqueue(&wfq.Item{Flow: p.req.LambdaID, Size: size, Payload: p})
+	} else {
+		n.fifo = append(n.fifo, p)
+	}
+	if d := n.queueDepth(); d > n.stats.MaxQueueDepth {
+		n.stats.MaxQueueDepth = d
+	}
+}
+
+func (n *NIC) queueDepth() int { return n.queue.Len() + len(n.fifo) }
+
+// start runs a request on an occupied thread. In the default
+// run-to-completion mode (D1) the whole service time is served in one
+// piece — no preemption, no context switch. In the ablation's
+// preemptive mode the request runs one quantum at a time, paying a
+// context-switch cost and requeueing between slices.
+func (n *NIC) start(p *pending) {
+	if !p.started {
+		p.started = true
+		p.resp, p.err = n.fw.Execute(p.req)
+		cycles := n.cfg.NIC.ParseMatchCycles
+		if pk := p.req.Packets; pk > 1 {
+			// Multi-packet RPC: the NIC reorders/commits packets before
+			// the lambda fires (§5 footnote: ~30 cycles per packet).
+			cycles += uint64(pk) * n.cfg.NIC.ReorderCyclesPerPacket
+		}
+		cycles += p.resp.Stats.Cycles(n.cfg.NIC)
+		p.remaining = cycles
+	}
+	quantum := n.cfg.QuantumCycles
+	if n.cfg.Preemptive && quantum == 0 {
+		quantum = 5000
+	}
+	if !n.cfg.Preemptive || p.remaining <= quantum {
+		// Run to completion.
+		n.stats.BusyCycles += p.remaining
+		service := sim.CyclesToDuration(p.remaining, n.cfg.NIC.ClockHz)
+		p.remaining = 0
+		n.sim.Schedule(service, func() {
+			n.stats.Completed++
+			p.done(p.resp, p.err)
+			n.finish()
+		})
+		return
+	}
+	// Serve one quantum, pay the switch, requeue behind other work.
+	cs := n.cfg.ContextSwitchCycles
+	if cs == 0 {
+		cs = 500
+	}
+	n.stats.BusyCycles += quantum + cs
+	n.stats.Preemptions++
+	p.remaining -= quantum
+	service := sim.CyclesToDuration(quantum+cs, n.cfg.NIC.ClockHz)
+	n.sim.Schedule(service, func() {
+		n.enqueue(p)
+		n.finish()
+	})
+}
+
+// finish releases the thread or immediately begins queued work.
+func (n *NIC) finish() {
+	if next := n.dequeue(); next != nil {
+		n.start(next)
+		return
+	}
+	n.freeThreads++
+}
+
+func (n *NIC) dequeue() *pending {
+	if n.cfg.Dispatch == DispatchWFQ {
+		it := n.queue.Dequeue()
+		if it == nil {
+			return nil
+		}
+		return it.Payload.(*pending)
+	}
+	// Uniform work-conserving hardware scheduler: FIFO drain.
+	if len(n.fifo) == 0 {
+		return nil
+	}
+	p := n.fifo[0]
+	n.fifo[0] = nil
+	n.fifo = n.fifo[1:]
+	return p
+}
+
+// Utilization returns the fraction of total NPU thread-cycles spent
+// busy over the elapsed virtual time.
+func (n *NIC) Utilization() float64 {
+	elapsed := n.sim.Now()
+	if elapsed <= 0 {
+		return 0
+	}
+	totalCycles := sim.DurationToCycles(elapsed, n.cfg.NIC.ClockHz) * uint64(n.cfg.NIC.NPUThreads())
+	if totalCycles == 0 {
+		return 0
+	}
+	return float64(n.stats.BusyCycles) / float64(totalCycles)
+}

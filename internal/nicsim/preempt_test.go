@@ -1,0 +1,122 @@
+package nicsim
+
+import (
+	"testing"
+
+	"lambdanic/internal/sim"
+)
+
+// Tests for the preemptive (time-sliced) ablation mode. The default
+// run-to-completion behavior is covered in nicsim_test.go.
+
+func TestPreemptiveSlicesLongRequest(t *testing.T) {
+	s := sim.New(1)
+	cfg := smallConfig(1)
+	cfg.Preemptive = true
+	cfg.QuantumCycles = 1000
+	cfg.ContextSwitchCycles = 100
+	n := newNIC(t, s, cfg)
+	loadSingle(t, n, image(1, fakeLambda{instr: 3500})) // needs 4 slices
+
+	done := false
+	n.Inject(&Request{LambdaID: 1}, func(Response, error) { done = true })
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("sliced request never completed")
+	}
+	st := n.Stats()
+	// 3620 total cycles (3500 + parse/match 120) at quantum 1000: three
+	// full slices then a final partial one -> 3 preemptions.
+	if st.Preemptions != 3 {
+		t.Errorf("Preemptions = %d, want 3", st.Preemptions)
+	}
+	// Busy cycles include the context-switch tax.
+	want := uint64(3500 + 120 + 3*100)
+	if st.BusyCycles != want {
+		t.Errorf("BusyCycles = %d, want %d", st.BusyCycles, want)
+	}
+}
+
+func TestPreemptiveInterleavesShortBehindLong(t *testing.T) {
+	// On one thread, a short request arriving behind a long one
+	// completes earlier under time slicing than under run-to-completion
+	// (that is the only thing preemption buys — at the cost of switch
+	// overhead and a later long-request finish).
+	run := func(preemptive bool) (shortDone, makespan sim.Time) {
+		s := sim.New(1)
+		cfg := smallConfig(1)
+		cfg.Preemptive = preemptive
+		cfg.QuantumCycles = 1000
+		cfg.ContextSwitchCycles = 50
+		n := newNIC(t, s, cfg)
+		img := &fakeImage{lambdas: map[uint32]fakeLambda{
+			1: {instr: 50_000}, // long
+			2: {instr: 200},    // short
+		}, static: 100}
+		if err := n.Load(img); err != nil {
+			t.Fatal(err)
+		}
+		n.Inject(&Request{LambdaID: 1}, nil)
+		n.Inject(&Request{LambdaID: 2}, func(Response, error) { shortDone = s.Now() })
+		if err := s.RunUntilIdle(); err != nil {
+			t.Fatal(err)
+		}
+		return shortDone, s.Now()
+	}
+	rtcShort, rtcMakespan := run(false)
+	preShort, preMakespan := run(true)
+	if !(preShort < rtcShort) {
+		t.Errorf("preemption did not help the short request: %v vs %v", preShort, rtcShort)
+	}
+	if !(preMakespan > rtcMakespan) {
+		t.Errorf("preemption paid no makespan tax: %v vs %v", preMakespan, rtcMakespan)
+	}
+}
+
+func TestPreemptiveExecutesOnce(t *testing.T) {
+	// The functional execution must happen exactly once even when the
+	// request is sliced many times.
+	s := sim.New(1)
+	cfg := smallConfig(1)
+	cfg.Preemptive = true
+	cfg.QuantumCycles = 500
+	n := newNIC(t, s, cfg)
+	img := image(1, fakeLambda{instr: 10_000})
+	if err := n.Load(img); err != nil {
+		t.Fatal(err)
+	}
+	var gotPayload []byte
+	n.Inject(&Request{LambdaID: 1, Payload: []byte("once")}, func(r Response, err error) {
+		if err != nil {
+			t.Errorf("err = %v", err)
+		}
+		gotPayload = r.Payload
+	})
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if img.execCount != 1 {
+		t.Errorf("Execute ran %d times, want 1", img.execCount)
+	}
+	if string(gotPayload) != "once" {
+		t.Errorf("payload = %q", gotPayload)
+	}
+}
+
+func TestRunToCompletionHasNoPreemptions(t *testing.T) {
+	s := sim.New(1)
+	cfg := smallConfig(2)
+	n := newNIC(t, s, cfg)
+	loadSingle(t, n, image(1, fakeLambda{instr: 1_000_000}))
+	for i := 0; i < 4; i++ {
+		n.Inject(&Request{LambdaID: 1}, nil)
+	}
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Stats().Preemptions; got != 0 {
+		t.Errorf("Preemptions = %d in RTC mode", got)
+	}
+}

@@ -1,0 +1,56 @@
+package raftkv
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkCommitThroughput3Nodes(b *testing.B) {
+	c := NewCluster(3, 1)
+	if _, err := c.ElectLeader(300); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Put(fmt.Sprintf("k%d", i%100), "v", 300); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCommitThroughput5Nodes(b *testing.B) {
+	c := NewCluster(5, 1)
+	if _, err := c.ElectLeader(300); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Put(fmt.Sprintf("k%d", i%100), "v", 300); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLeaderElection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := NewCluster(3, int64(i))
+		if _, err := c.ElectLeader(500); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCommandEncodeDecode(b *testing.B) {
+	cmd := Command{Op: OpPut, Key: "placement/web_server", Value: `{"workers":["m2","m3"]}`}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		data, err := EncodeCommand(cmd)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := DecodeCommand(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,319 @@
+package raftkv
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func electLeader(t *testing.T, c *Cluster) NodeID {
+	t.Helper()
+	l, err := c.ElectLeader(200)
+	if err != nil {
+		t.Fatalf("ElectLeader: %v", err)
+	}
+	return l
+}
+
+func TestSingleNodeBecomesLeaderAndCommits(t *testing.T) {
+	c := NewCluster(1, 1)
+	l := electLeader(t, c)
+	if l != 1 {
+		t.Fatalf("leader = %d", l)
+	}
+	if err := c.Put("k", "v", 100); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := c.Get(1, "k"); !ok || v != "v" {
+		t.Errorf("Get = %q/%v", v, ok)
+	}
+}
+
+func TestThreeNodeElection(t *testing.T) {
+	c := NewCluster(3, 42)
+	l := electLeader(t, c)
+	// Exactly one leader; the others are followers at the same term.
+	leaders := 0
+	for id := NodeID(1); id <= 3; id++ {
+		if c.Node(id).State() == Leader {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Errorf("leaders = %d, want 1", leaders)
+	}
+	for id := NodeID(1); id <= 3; id++ {
+		if id == l {
+			continue
+		}
+		// A few more ticks propagate leadership.
+		c.Tick()
+		if got := c.Node(id).Leader(); got != l {
+			t.Errorf("node %d sees leader %d, want %d", id, got, l)
+		}
+	}
+}
+
+func TestReplicationToAllNodes(t *testing.T) {
+	c := NewCluster(3, 7)
+	electLeader(t, c)
+	for i := 0; i < 10; i++ {
+		if err := c.Put(fmt.Sprintf("key%d", i), fmt.Sprintf("val%d", i), 200); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	// A few extra ticks let followers apply the final commit index.
+	for i := 0; i < 5; i++ {
+		c.Tick()
+	}
+	for id := NodeID(1); id <= 3; id++ {
+		for i := 0; i < 10; i++ {
+			v, ok := c.Get(id, fmt.Sprintf("key%d", i))
+			if !ok || v != fmt.Sprintf("val%d", i) {
+				t.Errorf("node %d key%d = %q/%v", id, i, v, ok)
+			}
+		}
+	}
+}
+
+func TestDeleteReplicates(t *testing.T) {
+	c := NewCluster(3, 9)
+	electLeader(t, c)
+	if err := c.Put("k", "v", 200); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete("k", 200); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		c.Tick()
+	}
+	for id := NodeID(1); id <= 3; id++ {
+		if _, ok := c.Get(id, "k"); ok {
+			t.Errorf("node %d still has deleted key", id)
+		}
+	}
+}
+
+func TestProposeOnFollowerFails(t *testing.T) {
+	c := NewCluster(3, 11)
+	l := electLeader(t, c)
+	var follower NodeID
+	for id := NodeID(1); id <= 3; id++ {
+		if id != l {
+			follower = id
+			break
+		}
+	}
+	_, err := c.Node(follower).Propose([]byte("x"))
+	if !errors.Is(err, ErrNotLeader) {
+		t.Errorf("err = %v, want ErrNotLeader", err)
+	}
+}
+
+func TestLeaderFailover(t *testing.T) {
+	c := NewCluster(3, 13)
+	l1 := electLeader(t, c)
+	if err := c.Put("before", "1", 200); err != nil {
+		t.Fatal(err)
+	}
+	c.Down(l1)
+	// Remaining two nodes elect a new leader.
+	var l2 NodeID
+	for i := 0; i < 400 && l2 == 0; i++ {
+		c.Tick()
+		l2 = c.Leader()
+	}
+	if l2 == 0 || l2 == l1 {
+		t.Fatalf("no new leader after failover (l1=%d l2=%d)", l1, l2)
+	}
+	if err := c.Put("after", "2", 200); err != nil {
+		t.Fatalf("Put after failover: %v", err)
+	}
+	// The old leader rejoins and catches up.
+	c.Up(l1)
+	for i := 0; i < 50; i++ {
+		c.Tick()
+	}
+	for _, key := range []string{"before", "after"} {
+		if v, ok := c.Get(l1, key); !ok || v == "" {
+			t.Errorf("rejoined node missing %q", key)
+		}
+	}
+	// Terms are monotonic: the new leader's term exceeds the old one's
+	// election term.
+	if c.Node(l2).Term() <= 1 {
+		t.Errorf("term did not advance: %d", c.Node(l2).Term())
+	}
+}
+
+func TestMinorityPartitionCannotCommit(t *testing.T) {
+	c := NewCluster(5, 17)
+	l := electLeader(t, c)
+	// Partition the leader plus one node away from the other three.
+	var minority, majority []NodeID
+	minority = append(minority, l)
+	for id := NodeID(1); id <= 5; id++ {
+		if id == l {
+			continue
+		}
+		if len(minority) < 2 {
+			minority = append(minority, id)
+		} else {
+			majority = append(majority, id)
+		}
+	}
+	c.Partition(minority, majority)
+
+	// The majority elects a fresh leader and commits.
+	var newLeader NodeID
+	for i := 0; i < 400; i++ {
+		c.Tick()
+		for _, id := range majority {
+			if c.Node(id).State() == Leader {
+				newLeader = id
+			}
+		}
+		if newLeader != 0 {
+			break
+		}
+	}
+	if newLeader == 0 {
+		t.Fatal("majority did not elect a leader")
+	}
+	data, err := EncodeCommand(Command{Op: OpPut, Key: "maj", Value: "yes"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := c.Node(newLeader).Propose(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		c.Tick()
+	}
+	if c.Node(newLeader).CommitIndex() < idx {
+		t.Error("majority could not commit")
+	}
+
+	// The minority leader must not have committed anything new.
+	dataMin, err := EncodeCommand(Command{Op: OpPut, Key: "min", Value: "no"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Node(l).Propose(dataMin); err == nil {
+		before := c.Node(l).CommitIndex()
+		for i := 0; i < 100; i++ {
+			c.Tick()
+		}
+		if c.Node(l).CommitIndex() > before {
+			t.Error("minority committed without quorum")
+		}
+	}
+
+	// Healing reconciles everyone onto the majority's history.
+	c.Heal()
+	for i := 0; i < 100; i++ {
+		c.Tick()
+	}
+	for id := NodeID(1); id <= 5; id++ {
+		if v, ok := c.Get(id, "maj"); !ok || v != "yes" {
+			t.Errorf("node %d missing majority write after heal", id)
+		}
+		if _, ok := c.Get(id, "min"); ok {
+			t.Errorf("node %d has uncommitted minority write", id)
+		}
+	}
+}
+
+func TestLogMatchingProperty(t *testing.T) {
+	// Property: after arbitrary small workloads, all nodes' applied
+	// prefixes agree (State Machine Safety).
+	f := func(ops []uint8) bool {
+		c := NewCluster(3, 23)
+		if _, err := c.ElectLeader(300); err != nil {
+			return false
+		}
+		for i, op := range ops {
+			if i >= 8 {
+				break
+			}
+			key := fmt.Sprintf("k%d", op%4)
+			if op%3 == 0 {
+				if err := c.Delete(key, 300); err != nil {
+					return false
+				}
+			} else {
+				if err := c.Put(key, fmt.Sprintf("v%d", i), 300); err != nil {
+					return false
+				}
+			}
+		}
+		for i := 0; i < 20; i++ {
+			c.Tick()
+		}
+		snap := c.KV(1).Snapshot()
+		for id := NodeID(2); id <= 3; id++ {
+			other := c.KV(id).Snapshot()
+			if len(other) != len(snap) {
+				return false
+			}
+			for k, v := range snap {
+				if other[k] != v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommandEncoding(t *testing.T) {
+	c := Command{Op: OpPut, Key: "a", Value: "b"}
+	data, err := EncodeCommand(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCommand(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != c {
+		t.Errorf("round trip: %+v", got)
+	}
+	if _, err := EncodeCommand(Command{Op: "bogus"}); err == nil {
+		t.Error("EncodeCommand accepted bogus op")
+	}
+	if _, err := DecodeCommand([]byte("{not json")); err == nil {
+		t.Error("DecodeCommand accepted garbage")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Follower.String() != "follower" || Candidate.String() != "candidate" || Leader.String() != "leader" {
+		t.Error("State.String wrong")
+	}
+	if State(9).String() != "State(9)" {
+		t.Error("unknown State.String wrong")
+	}
+}
+
+func TestDeterministicElections(t *testing.T) {
+	run := func() (NodeID, uint64) {
+		c := NewCluster(3, 99)
+		l, err := c.ElectLeader(300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l, c.Node(l).Term()
+	}
+	l1, t1 := run()
+	l2, t2 := run()
+	if l1 != l2 || t1 != t2 {
+		t.Errorf("elections not deterministic: (%d,%d) vs (%d,%d)", l1, t1, l2, t2)
+	}
+}

@@ -1,0 +1,147 @@
+package raftkv
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Log compaction and snapshot installation, the etcd features that keep
+// a long-running control store's log bounded: a node snapshots its
+// applied state and truncates the log prefix; a leader whose follower
+// has fallen behind the compacted prefix ships the snapshot instead of
+// log entries (Raft §7).
+
+// Snapshot captures applied state up to an index.
+type Snapshot struct {
+	Index uint64            `json:"index"`
+	Term  uint64            `json:"term"`
+	State map[string]string `json:"state"`
+}
+
+// MsgInstallSnapshot carries a snapshot to a lagging follower.
+const MsgInstallSnapshot MsgType = 99
+
+// snapshotThreshold is how many applied entries a node keeps before the
+// cluster harness compacts automatically.
+const snapshotThreshold = 256
+
+// CompactTo snapshots the given applied state machine contents at
+// index (which must be ≤ lastApplied) and truncates the log prefix.
+func (n *Node) CompactTo(index uint64, state map[string]string) error {
+	if index > n.lastApplied {
+		return fmt.Errorf("raftkv: compact index %d beyond applied %d", index, n.lastApplied)
+	}
+	if index <= n.snapIndex {
+		return nil // already compacted past here
+	}
+	offset := n.logOffset()
+	if index < offset {
+		return nil
+	}
+	term := n.entryAt(index).Term
+	// Keep a sentinel carrying the snapshot's index/term, then the
+	// suffix.
+	suffix := n.log[index-offset+1:]
+	newLog := make([]Entry, 0, len(suffix)+1)
+	newLog = append(newLog, Entry{Term: term, Index: index})
+	newLog = append(newLog, suffix...)
+	n.log = newLog
+	n.snapIndex = index
+	n.snapTerm = term
+	n.snapshot = cloneState(state)
+	return nil
+}
+
+// SnapshotIndex returns the compaction point (0 when never compacted).
+func (n *Node) SnapshotIndex() uint64 { return n.snapIndex }
+
+func cloneState(state map[string]string) map[string]string {
+	out := make(map[string]string, len(state))
+	for k, v := range state {
+		out[k] = v
+	}
+	return out
+}
+
+// logOffset is the index of the sentinel entry log[0].
+func (n *Node) logOffset() uint64 { return n.log[0].Index }
+
+// entryAt fetches a log entry by absolute index; callers must ensure it
+// is within [logOffset, lastLogIndex].
+func (n *Node) entryAt(index uint64) Entry { return n.log[index-n.logOffset()] }
+
+// sendSnapshot ships the compacted state to a lagging follower.
+func (n *Node) sendSnapshot(to NodeID) {
+	data, err := json.Marshal(Snapshot{Index: n.snapIndex, Term: n.snapTerm, State: n.snapshot})
+	if err != nil {
+		return
+	}
+	n.send(Message{
+		Type:     MsgInstallSnapshot,
+		To:       to,
+		LogIndex: n.snapIndex,
+		LogTerm:  n.snapTerm,
+		Entries:  []Entry{{Term: n.snapTerm, Index: n.snapIndex, Data: data}},
+	})
+}
+
+// stepInstallSnapshot applies an incoming snapshot on a follower.
+func (n *Node) stepInstallSnapshot(m Message) {
+	if m.Term < n.term || len(m.Entries) != 1 {
+		n.send(Message{Type: MsgAppendResponse, To: m.From, Granted: false, Match: n.commitIndex})
+		return
+	}
+	n.state = Follower
+	n.leader = m.From
+	n.resetElectionTimeout()
+	if m.LogIndex <= n.commitIndex {
+		// Already have this prefix; just ack.
+		n.send(Message{Type: MsgAppendResponse, To: m.From, Granted: true, Match: n.commitIndex})
+		return
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(m.Entries[0].Data, &snap); err != nil {
+		n.send(Message{Type: MsgAppendResponse, To: m.From, Granted: false, Match: n.commitIndex})
+		return
+	}
+	// Replace the log with the snapshot sentinel.
+	n.log = []Entry{{Term: snap.Term, Index: snap.Index}}
+	n.snapIndex = snap.Index
+	n.snapTerm = snap.Term
+	n.snapshot = cloneState(snap.State)
+	n.commitIndex = snap.Index
+	n.lastApplied = snap.Index
+	n.pendingSnapshot = &snap
+	n.send(Message{Type: MsgAppendResponse, To: m.From, Granted: true, Match: snap.Index})
+}
+
+// TakeInstalledSnapshot drains a snapshot installed by the leader, for
+// the state-machine owner to load. Returns nil when none is pending.
+func (n *Node) TakeInstalledSnapshot() *Snapshot {
+	s := n.pendingSnapshot
+	n.pendingSnapshot = nil
+	return s
+}
+
+// Load replaces a KV state machine's contents from a snapshot.
+func (kv *KV) Load(state map[string]string) {
+	kv.data = cloneState(state)
+}
+
+// CompactAll snapshots every live node at its applied index and
+// truncates logs — the cluster-level compaction etcd performs
+// periodically. The harness calls it automatically once logs exceed
+// snapshotThreshold.
+func (c *Cluster) CompactAll() {
+	for _, id := range c.order {
+		if c.downed[id] {
+			continue
+		}
+		n := c.nodes[id]
+		if n.lastApplied == 0 {
+			continue
+		}
+		// Snapshot the node's own applied state.
+		_ = n.CompactTo(n.lastApplied, c.kvs[id].Snapshot())
+	}
+}

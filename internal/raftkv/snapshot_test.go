@@ -1,0 +1,134 @@
+package raftkv
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCompactTruncatesLog(t *testing.T) {
+	c := NewCluster(3, 3)
+	if _, err := c.ElectLeader(300); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := c.Put(fmt.Sprintf("k%d", i), "v", 300); err != nil {
+			t.Fatal(err)
+		}
+	}
+	leader := c.Leader()
+	n := c.Node(leader)
+	before := n.LogLen()
+	if err := n.CompactTo(n.lastApplied, c.KV(leader).Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if n.LogLen() >= before {
+		t.Errorf("log not truncated: %d -> %d", before, n.LogLen())
+	}
+	if n.SnapshotIndex() == 0 {
+		t.Error("snapshot index not set")
+	}
+	// The cluster keeps committing after compaction.
+	if err := c.Put("post-compact", "yes", 300); err != nil {
+		t.Fatalf("Put after compaction: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		c.Tick()
+	}
+	for id := NodeID(1); id <= 3; id++ {
+		if v, ok := c.Get(id, "post-compact"); !ok || v != "yes" {
+			t.Errorf("node %d missing post-compaction write", id)
+		}
+	}
+}
+
+func TestCompactRejectsUnappliedIndex(t *testing.T) {
+	c := NewCluster(1, 1)
+	if _, err := c.ElectLeader(100); err != nil {
+		t.Fatal(err)
+	}
+	n := c.Node(1)
+	if err := n.CompactTo(99, nil); err == nil {
+		t.Error("compaction beyond applied accepted")
+	}
+	// Compacting to an already-compacted index is a no-op.
+	if err := c.Put("a", "b", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.CompactTo(n.lastApplied, c.KV(1).Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.CompactTo(n.SnapshotIndex(), nil); err != nil {
+		t.Errorf("idempotent compaction failed: %v", err)
+	}
+}
+
+func TestSnapshotInstallOnLaggingFollower(t *testing.T) {
+	// A follower that misses many entries past the leader's compaction
+	// point must catch up via snapshot installation, not log replay.
+	c := NewCluster(3, 4) // seed 4: node 1 is a follower
+	if _, err := c.ElectLeader(300); err != nil {
+		t.Fatal(err)
+	}
+	if c.Leader() == 1 {
+		t.Skip("node 1 leads under this seed")
+	}
+	c.Down(1)
+	for i := 0; i < 30; i++ {
+		if err := c.Put(fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i), 300); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Compact the live nodes so the prefix node 1 needs is gone.
+	c.CompactAll()
+	leader := c.Leader()
+	if c.Node(leader).SnapshotIndex() == 0 {
+		t.Fatal("leader did not compact")
+	}
+	// Node 1 rejoins; it must receive a snapshot.
+	c.Up(1)
+	for i := 0; i < 200; i++ {
+		c.Tick()
+	}
+	if got := c.Node(1).SnapshotIndex(); got == 0 {
+		t.Error("follower never installed a snapshot")
+	}
+	for i := 0; i < 30; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if v, ok := c.Get(1, key); !ok || v != fmt.Sprintf("v%d", i) {
+			t.Errorf("follower missing %s after snapshot (got %q, %v)", key, v, ok)
+		}
+	}
+	// And it continues replicating normally afterwards.
+	if err := c.Put("after-snap", "ok", 300); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		c.Tick()
+	}
+	if v, ok := c.Get(1, "after-snap"); !ok || v != "ok" {
+		t.Error("follower not replicating after snapshot install")
+	}
+}
+
+func TestAutoCompactionBoundsLogGrowth(t *testing.T) {
+	c := NewCluster(3, 9)
+	if _, err := c.ElectLeader(300); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < snapshotThreshold+100; i++ {
+		if err := c.Put(fmt.Sprintf("k%d", i%50), "v", 300); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id := NodeID(1); id <= 3; id++ {
+		if got := c.Node(id).LogLen(); got > snapshotThreshold+50 {
+			t.Errorf("node %d log grew to %d entries despite auto-compaction", id, got)
+		}
+	}
+	// State machines remain correct.
+	for i := 0; i < 50; i++ {
+		if v, ok := c.Get(c.Leader(), fmt.Sprintf("k%d", i)); !ok || v != "v" {
+			t.Errorf("key k%d lost after compaction", i)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package rdma
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"lambdanic/internal/cluster"
+	"lambdanic/internal/sim"
+)
+
+func testEngine(t *testing.T) (*sim.Sim, *Engine) {
+	t.Helper()
+	s := sim.New(1)
+	e := New(s, Config{
+		Link:         cluster.Default().Link,
+		PerPacketDMA: 200 * time.Nanosecond,
+		MTU:          1400,
+	})
+	return s, e
+}
+
+func TestRegisterAndWrite(t *testing.T) {
+	s, e := testEngine(t)
+	r, err := e.Register("img", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0x5A}, 1000)
+	var doneErr error
+	var doneAt sim.Time
+	e.Write(r.Key(), 100, data, func(err error) {
+		doneErr = err
+		doneAt = s.Now()
+	})
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if doneErr != nil {
+		t.Fatalf("write: %v", doneErr)
+	}
+	if doneAt <= 0 {
+		t.Error("write completed instantaneously; no transfer time charged")
+	}
+	if !bytes.Equal(r.Bytes()[100:1100], data) {
+		t.Error("data not committed to region")
+	}
+	writes, wbytes, violations := e.Stats()
+	if writes != 1 || wbytes != 1000 || violations != 0 {
+		t.Errorf("stats = %d/%d/%d", writes, wbytes, violations)
+	}
+}
+
+func TestWriteBadKey(t *testing.T) {
+	s, e := testEngine(t)
+	var gotErr error
+	e.Write(RKey(999), 0, []byte("x"), func(err error) { gotErr = err })
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(gotErr, ErrBadKey) {
+		t.Errorf("err = %v, want ErrBadKey", gotErr)
+	}
+}
+
+func TestWriteOutOfRegion(t *testing.T) {
+	s, e := testEngine(t)
+	r, err := e.Register("small", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotErr error
+	e.Write(r.Key(), 10, []byte("0123456789"), func(err error) { gotErr = err })
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(gotErr, ErrAccessDenied) {
+		t.Errorf("err = %v, want ErrAccessDenied", gotErr)
+	}
+	if _, _, violations := e.Stats(); violations != 1 {
+		t.Errorf("violations = %d, want 1", violations)
+	}
+}
+
+func TestDeregisterRevokesKey(t *testing.T) {
+	s, e := testEngine(t)
+	r, err := e.Register("tmp", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Deregister(r)
+	var gotErr error
+	e.Write(r.Key(), 0, []byte("x"), func(err error) { gotErr = err })
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(gotErr, ErrBadKey) {
+		t.Errorf("err = %v, want ErrBadKey after deregister", gotErr)
+	}
+}
+
+func TestIsolationBetweenRegions(t *testing.T) {
+	// A write authorized for one region must never touch another —
+	// the lambda working-set isolation requirement (§3.1c).
+	s, e := testEngine(t)
+	r1, err := e.Register("lambda1", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.Register("lambda2", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Write(r1.Key(), 0, bytes.Repeat([]byte{0xFF}, 64), nil)
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range r2.Bytes() {
+		if b != 0 {
+			t.Fatal("write to region 1 leaked into region 2")
+		}
+	}
+}
+
+func TestTransferTimeScalesWithSize(t *testing.T) {
+	s, e := testEngine(t)
+	r, err := e.Register("big", 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var smallAt, bigAt sim.Time
+	e.Write(r.Key(), 0, make([]byte, 1000), func(error) { smallAt = s.Now() })
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	start := s.Now()
+	e.Write(r.Key(), 0, make([]byte, 1_000_000), func(error) { bigAt = s.Now() - start })
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if bigAt < 100*smallAt {
+		t.Errorf("1MB transfer (%v) not ≫ 1KB transfer (%v)", bigAt, smallAt)
+	}
+	// 1 MB at 10 Gbps is 800 µs of serialization alone.
+	if bigAt < 800*time.Microsecond {
+		t.Errorf("1MB transfer = %v, want >= 800µs", bigAt)
+	}
+}
+
+func TestPackets(t *testing.T) {
+	_, e := testEngine(t)
+	tests := []struct {
+		bytes, want int
+	}{{0, 1}, {1, 1}, {1400, 1}, {1401, 2}, {14000, 10}}
+	for _, tt := range tests {
+		if got := e.Packets(tt.bytes); got != tt.want {
+			t.Errorf("Packets(%d) = %d, want %d", tt.bytes, got, tt.want)
+		}
+	}
+}
+
+func TestRegisterInvalidSize(t *testing.T) {
+	_, e := testEngine(t)
+	if _, err := e.Register("zero", 0); err == nil {
+		t.Error("Register(0) succeeded")
+	}
+}

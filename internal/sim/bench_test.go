@@ -1,0 +1,38 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := New(1)
+		for e := 0; e < 1000; e++ {
+			s.Schedule(time.Duration(e)*time.Nanosecond, func() {})
+		}
+		if err := s.RunUntilIdle(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(1000, "events/iter")
+}
+
+func BenchmarkNestedEventChain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New(1)
+		depth := 0
+		var next func()
+		next = func() {
+			depth++
+			if depth < 1000 {
+				s.Schedule(time.Nanosecond, next)
+			}
+		}
+		s.Schedule(0, next)
+		if err := s.RunUntilIdle(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

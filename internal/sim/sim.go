@@ -1,0 +1,213 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel is the substrate beneath both hardware models in this
+// repository: the SmartNIC simulator (internal/nicsim) and the host-CPU
+// simulator (internal/cpusim). Components schedule callbacks on a shared
+// virtual clock; the kernel executes them in timestamp order, breaking
+// ties by scheduling order so that runs are fully reproducible.
+//
+// The design is callback-driven rather than goroutine-driven: a single
+// goroutine owns the event loop, which keeps execution deterministic and
+// avoids any dependence on the Go runtime scheduler for simulated time.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, measured as a duration since the
+// simulation epoch (t = 0).
+type Time = time.Duration
+
+// ErrStopped is returned by Run when the simulation was halted by Stop
+// before the event queue drained or the horizon was reached.
+var ErrStopped = errors.New("sim: stopped")
+
+// Event is a scheduled callback. The callback runs exactly once, at the
+// event's timestamp, unless cancelled first.
+type Event struct {
+	at      Time
+	seq     uint64
+	fn      func()
+	index   int // heap index; -1 once removed
+	cancled bool
+}
+
+// Cancelled reports whether the event was cancelled before firing.
+func (e *Event) Cancelled() bool { return e.cancled }
+
+// At returns the virtual time the event fires at.
+func (e *Event) At() Time { return e.at }
+
+// eventQueue is a min-heap of events ordered by (at, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulation instance. The zero value is not
+// usable; construct with New. Sim is not safe for concurrent use: all
+// scheduling must happen from event callbacks or before Run.
+type Sim struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	rng     *rand.Rand
+	stopped bool
+
+	// Executed counts events that have fired, for diagnostics.
+	Executed uint64
+}
+
+// New returns a simulation with its clock at zero and a deterministic
+// random source seeded with seed.
+func New(seed int64) *Sim {
+	return &Sim{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Rand returns the simulation's deterministic random source. Components
+// must use this source (never the global one) so runs stay reproducible.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Schedule runs fn after delay of virtual time. A negative delay is
+// treated as zero. It returns the event so callers may cancel it.
+func (s *Sim) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.ScheduleAt(s.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute virtual time at. Times in the past are
+// clamped to the current time.
+func (s *Sim) ScheduleAt(at Time, fn func()) *Event {
+	if at < s.now {
+		at = s.now
+	}
+	e := &Event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (s *Sim) Cancel(e *Event) {
+	if e == nil || e.cancled || e.index < 0 {
+		if e != nil {
+			e.cancled = true
+		}
+		return
+	}
+	e.cancled = true
+	heap.Remove(&s.queue, e.index)
+}
+
+// Stop halts the event loop after the current callback returns.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Pending returns the number of events waiting to fire.
+func (s *Sim) Pending() int { return len(s.queue) }
+
+// Run executes events until the queue drains, the clock passes horizon,
+// or Stop is called. A zero horizon means no time limit. It returns
+// ErrStopped if halted by Stop, and nil otherwise.
+func (s *Sim) Run(horizon Time) error {
+	s.stopped = false
+	for len(s.queue) > 0 {
+		if s.stopped {
+			return ErrStopped
+		}
+		next := s.queue[0]
+		if horizon > 0 && next.at > horizon {
+			s.now = horizon
+			return nil
+		}
+		heap.Pop(&s.queue)
+		s.now = next.at
+		s.Executed++
+		next.fn()
+	}
+	if horizon > 0 && s.now < horizon {
+		s.now = horizon
+	}
+	return nil
+}
+
+// RunUntilIdle executes events until none remain, with no time horizon.
+func (s *Sim) RunUntilIdle() error { return s.Run(0) }
+
+// Step executes exactly one event, returning false when the queue is
+// empty.
+func (s *Sim) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	next := heap.Pop(&s.queue).(*Event)
+	s.now = next.at
+	s.Executed++
+	next.fn()
+	return true
+}
+
+// CyclesToDuration converts a cycle count at the given clock frequency
+// to virtual time, rounding to the nearest nanosecond. It is the single
+// conversion point used by both hardware simulators, so cycle accounting
+// is consistent across them.
+func CyclesToDuration(cycles uint64, hz uint64) Time {
+	if hz == 0 {
+		return 0
+	}
+	// Split to avoid overflow for large cycle counts: whole seconds
+	// first, then the fractional remainder at nanosecond resolution.
+	sec := cycles / hz
+	rem := cycles % hz
+	ns := (rem*1e9 + hz/2) / hz
+	return Time(sec)*time.Second + Time(ns)
+}
+
+// DurationToCycles converts virtual time to cycles at the given clock
+// frequency, rounding to the nearest cycle.
+func DurationToCycles(d Time, hz uint64) uint64 {
+	if d <= 0 || hz == 0 {
+		return 0
+	}
+	ns := uint64(d)
+	sec := ns / 1e9
+	rem := ns % 1e9
+	return sec*hz + (rem*hz+5e8)/1e9
+}

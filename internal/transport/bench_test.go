@@ -1,0 +1,72 @@
+package transport
+
+import (
+	"context"
+	"testing"
+
+	"lambdanic/internal/matchlambda"
+)
+
+func BenchmarkFragmentReassemble64K(b *testing.B) {
+	payload := make([]byte, 64*1024)
+	h := matchlambda.WireHeader{Version: matchlambda.Version1, WorkloadID: 1}
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.RequestID = uint64(i + 1)
+		pkts, err := Fragment(h, payload, DefaultMTU)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := NewReassembler()
+		var got *Message
+		for _, p := range pkts {
+			m, err := r.Add(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if m != nil {
+				got = m
+			}
+		}
+		if got == nil {
+			b.Fatal("no message")
+		}
+	}
+}
+
+func BenchmarkEndpointRoundTrip(b *testing.B) {
+	n := NewMemNetwork(1)
+	sc, err := n.Listen("server")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cc, err := n.Listen("client")
+	if err != nil {
+		b.Fatal(err)
+	}
+	server := NewEndpoint(sc, func(req *Message) ([]byte, error) { return req.Payload, nil })
+	client := NewEndpoint(cc, nil)
+	defer server.Close()
+	defer client.Close()
+	payload := []byte("benchmark-payload")
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Call(ctx, MemAddr("server"), 1, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireHeaderEncodeDecode(b *testing.B) {
+	h := matchlambda.WireHeader{Version: matchlambda.Version1, WorkloadID: 7, RequestID: 42}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pkt := h.Encode(nil)
+		if _, _, err := matchlambda.DecodeWireHeader(pkt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

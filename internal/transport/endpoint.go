@@ -1,0 +1,297 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lambdanic/internal/matchlambda"
+)
+
+// Handler serves one reassembled request and returns the response
+// payload. A non-nil error is conveyed to the caller with the error
+// flag set.
+type Handler func(req *Message) ([]byte, error)
+
+// Endpoint is a weakly-consistent RPC endpoint over a packet network
+// (§4.2.1 D3): at-least-once delivery with sender-side retransmission,
+// receiver-side reordering and duplicate suppression, and no connection
+// state — each RPC is independent, as serverless request-response pairs
+// are (§3.1b).
+type Endpoint struct {
+	conn    net.PacketConn
+	mtu     int
+	timeout time.Duration
+	retries int
+
+	handler Handler
+
+	mu      sync.Mutex
+	pending map[uint64]chan *Message
+	reasm   *Reassembler
+	// seen caches responses by (client, request ID) so retransmitted
+	// requests are answered without re-executing the lambda. The client
+	// address is part of the key because independent clients number
+	// their requests independently.
+	seen     map[string][]byte
+	seenErr  map[string]bool
+	seenFIFO []string
+	// inflight marks requests currently executing so duplicates that
+	// arrive before completion are dropped (the client retransmits if
+	// the eventual response is lost).
+	inflight map[string]bool
+
+	nextID uint64
+	wg     sync.WaitGroup
+	closed chan struct{}
+
+	// Stats.
+	retransmits atomic.Uint64
+	duplicates  atomic.Uint64
+}
+
+// EndpointOption configures an Endpoint.
+type EndpointOption func(*Endpoint)
+
+// WithMTU sets the fragment payload size.
+func WithMTU(mtu int) EndpointOption { return func(e *Endpoint) { e.mtu = mtu } }
+
+// WithTimeout sets the per-attempt response timeout.
+func WithTimeout(d time.Duration) EndpointOption { return func(e *Endpoint) { e.timeout = d } }
+
+// WithRetries sets how many times a request is retransmitted before the
+// call fails.
+func WithRetries(n int) EndpointOption { return func(e *Endpoint) { e.retries = n } }
+
+// Endpoint errors.
+var (
+	ErrTimeout = errors.New("transport: request timed out after retries")
+	ErrClosed  = errors.New("transport: endpoint closed")
+)
+
+// seenCap bounds the duplicate-suppression cache.
+const seenCap = 4096
+
+// NewEndpoint wraps a packet connection. handler may be nil for a
+// client-only endpoint. The endpoint owns the connection and closes it
+// on Close.
+func NewEndpoint(conn net.PacketConn, handler Handler, opts ...EndpointOption) *Endpoint {
+	e := &Endpoint{
+		conn:     conn,
+		mtu:      DefaultMTU,
+		timeout:  200 * time.Millisecond,
+		retries:  4,
+		handler:  handler,
+		pending:  make(map[uint64]chan *Message),
+		reasm:    NewReassembler(),
+		seen:     make(map[string][]byte),
+		seenErr:  make(map[string]bool),
+		inflight: make(map[string]bool),
+		closed:   make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	e.wg.Add(1)
+	go e.readLoop()
+	return e
+}
+
+// Addr returns the endpoint's local address.
+func (e *Endpoint) Addr() net.Addr { return e.conn.LocalAddr() }
+
+// Retransmits returns the number of request retransmissions performed.
+func (e *Endpoint) Retransmits() uint64 { return e.retransmits.Load() }
+
+// Duplicates returns the number of duplicate requests suppressed.
+func (e *Endpoint) Duplicates() uint64 { return e.duplicates.Load() }
+
+// Close shuts the endpoint down and waits for its goroutines.
+func (e *Endpoint) Close() error {
+	select {
+	case <-e.closed:
+		return nil
+	default:
+	}
+	close(e.closed)
+	err := e.conn.Close()
+	e.wg.Wait()
+	return err
+}
+
+// Call performs one RPC: it stamps a fresh request ID, fragments the
+// payload, and retransmits until a response arrives or retries are
+// exhausted (the sender-tracked delivery of D3).
+func (e *Endpoint) Call(ctx context.Context, to net.Addr, workloadID uint32, payload []byte) ([]byte, error) {
+	id := atomic.AddUint64(&e.nextID, 1)
+	h := matchlambda.WireHeader{
+		Version:    matchlambda.Version1,
+		WorkloadID: workloadID,
+		RequestID:  id,
+	}
+	pkts, err := Fragment(h, payload, e.mtu)
+	if err != nil {
+		return nil, err
+	}
+	respCh := make(chan *Message, 1)
+	e.mu.Lock()
+	e.pending[id] = respCh
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		delete(e.pending, id)
+		e.mu.Unlock()
+	}()
+
+	for attempt := 0; attempt <= e.retries; attempt++ {
+		if attempt > 0 {
+			e.retransmits.Add(1)
+		}
+		for _, pkt := range pkts {
+			if _, err := e.conn.WriteTo(pkt, to); err != nil {
+				return nil, fmt.Errorf("transport: send: %w", err)
+			}
+		}
+		timer := time.NewTimer(e.timeout)
+		select {
+		case msg := <-respCh:
+			timer.Stop()
+			if msg.Header.IsError() {
+				return nil, fmt.Errorf("transport: remote error: %s", msg.Payload)
+			}
+			return msg.Payload, nil
+		case <-timer.C:
+			// fall through to retransmit
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		case <-e.closed:
+			timer.Stop()
+			return nil, ErrClosed
+		}
+	}
+	return nil, fmt.Errorf("%w: request %d", ErrTimeout, id)
+}
+
+func (e *Endpoint) readLoop() {
+	defer e.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		n, from, err := e.conn.ReadFrom(buf)
+		if err != nil {
+			select {
+			case <-e.closed:
+				return
+			default:
+			}
+			// Transient decode/socket errors on a datagram socket are
+			// survivable; a closed socket is not.
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		e.handlePacket(pkt, from)
+	}
+}
+
+func (e *Endpoint) handlePacket(pkt []byte, from net.Addr) {
+	e.mu.Lock()
+	msg, err := e.reasm.AddFrom(pkt, from.String())
+	e.mu.Unlock()
+	if err != nil || msg == nil {
+		return
+	}
+	if msg.Header.IsResponse() {
+		e.mu.Lock()
+		ch, ok := e.pending[msg.Header.RequestID]
+		e.mu.Unlock()
+		if ok {
+			select {
+			case ch <- msg:
+			default: // response already delivered (retransmit race)
+			}
+		}
+		return
+	}
+	if e.handler == nil {
+		return
+	}
+	// Duplicate request: replay the cached response without re-running
+	// the lambda (at-least-once delivery made idempotent at the edge).
+	// Duplicates of a still-executing request are dropped; the client
+	// retransmits if the eventual response is lost.
+	id := from.String() + "/" + strconv.FormatUint(msg.Header.RequestID, 16)
+	e.mu.Lock()
+	if resp, ok := e.seen[id]; ok {
+		isErr := e.seenErr[id]
+		e.mu.Unlock()
+		e.duplicates.Add(1)
+		e.sendResponse(msg.Header, resp, isErr, from)
+		return
+	}
+	if e.inflight[id] {
+		e.mu.Unlock()
+		e.duplicates.Add(1)
+		return
+	}
+	e.inflight[id] = true
+	e.mu.Unlock()
+
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		resp, herr := e.handler(msg)
+		isErr := herr != nil
+		if isErr {
+			resp = []byte(herr.Error())
+		}
+		e.mu.Lock()
+		delete(e.inflight, id)
+		e.rememberLocked(id, resp, isErr)
+		e.mu.Unlock()
+		e.sendResponse(msg.Header, resp, isErr, from)
+	}()
+}
+
+// rememberLocked caches a response for duplicate suppression; e.mu must
+// be held.
+func (e *Endpoint) rememberLocked(id string, resp []byte, isErr bool) {
+	if len(e.seenFIFO) >= seenCap {
+		old := e.seenFIFO[0]
+		e.seenFIFO = e.seenFIFO[1:]
+		delete(e.seen, old)
+		delete(e.seenErr, old)
+	}
+	e.seen[id] = resp
+	e.seenErr[id] = isErr
+	e.seenFIFO = append(e.seenFIFO, id)
+}
+
+func (e *Endpoint) sendResponse(reqHeader matchlambda.WireHeader, payload []byte, isErr bool, to net.Addr) {
+	h := matchlambda.WireHeader{
+		Version:    matchlambda.Version1,
+		Flags:      matchlambda.FlagResponse,
+		WorkloadID: reqHeader.WorkloadID,
+		RequestID:  reqHeader.RequestID,
+	}
+	if isErr {
+		h.Flags |= matchlambda.FlagError
+	}
+	pkts, err := Fragment(h, payload, e.mtu)
+	if err != nil {
+		return
+	}
+	for _, pkt := range pkts {
+		if _, err := e.conn.WriteTo(pkt, to); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Package transport implements λ-NIC's network transport (paper §4.2.1
+// D3): small request-response RPCs with a weakly-consistent delivery
+// semantic instead of TCP. The sender (gateway or external service)
+// tracks outgoing RPCs and retransmits on timeout or loss; the receiver
+// reorders fragments of multi-packet RPCs. Packets carry the λ-NIC wire
+// header from internal/matchlambda.
+//
+// The package provides both the packet-level mechanics (fragmentation,
+// reordering reassembly, duplicate suppression) and a runnable RPC
+// endpoint over any net.PacketConn — real UDP for the daemons in cmd/,
+// or the in-memory pipe (with deterministic loss/reorder injection) for
+// tests.
+package transport
+
+import (
+	"errors"
+	"fmt"
+
+	"lambdanic/internal/matchlambda"
+)
+
+// DefaultMTU is the maximum payload bytes carried per fragment,
+// leaving room for the wire header inside a 1500-byte Ethernet MTU.
+const DefaultMTU = 1400
+
+// Message is one logical RPC (request or response) after reassembly.
+type Message struct {
+	Header  matchlambda.WireHeader
+	Payload []byte
+}
+
+// Fragmentation errors.
+var (
+	ErrTooManyFragments = errors.New("transport: payload needs too many fragments")
+	ErrInvalidMTU       = errors.New("transport: mtu must be positive")
+)
+
+// Fragment splits a logical message into wire packets of at most mtu
+// payload bytes each. Single-packet messages (the common case for
+// interactive lambdas, §4.2.1) produce exactly one packet.
+func Fragment(h matchlambda.WireHeader, payload []byte, mtu int) ([][]byte, error) {
+	if mtu <= 0 {
+		return nil, ErrInvalidMTU
+	}
+	n := (len(payload) + mtu - 1) / mtu
+	if n == 0 {
+		n = 1
+	}
+	if n > 0xFFFF {
+		return nil, fmt.Errorf("%w: %d", ErrTooManyFragments, n)
+	}
+	h.Total = uint16(n)
+	h.PayloadLen = uint32(len(payload))
+	pkts := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		h.Seq = uint16(i)
+		lo := i * mtu
+		hi := lo + mtu
+		if hi > len(payload) {
+			hi = len(payload)
+		}
+		pkt := h.Encode(make([]byte, 0, matchlambda.WireHeaderSize+hi-lo))
+		pkt = append(pkt, payload[lo:hi]...)
+		pkts = append(pkts, pkt)
+	}
+	return pkts, nil
+}
+
+// Reassembler reorders and reassembles fragments into messages, keyed
+// by (source, request ID) — the NIC-side packet reordering of §4.2.1
+// D3. Keying on the source prevents request-ID collisions across
+// independent clients from corrupting each other's messages. It also
+// suppresses duplicate fragments (retransmissions under at-least-once
+// delivery).
+type Reassembler struct {
+	partial map[messageKey]*partialMessage
+	// MaxPending bounds concurrent partial messages (DoS guard,
+	// §3.1c); zero means unlimited.
+	MaxPending int
+}
+
+// messageKey identifies one in-flight message.
+type messageKey struct {
+	src string
+	id  uint64
+}
+
+type partialMessage struct {
+	header    matchlambda.WireHeader
+	fragments [][]byte
+	have      int
+}
+
+// Reassembly errors.
+var (
+	ErrInconsistentFragment = errors.New("transport: fragment inconsistent with message")
+	ErrPendingLimit         = errors.New("transport: too many partial messages")
+)
+
+// NewReassembler returns an empty reassembler.
+func NewReassembler() *Reassembler {
+	return &Reassembler{partial: make(map[messageKey]*partialMessage)}
+}
+
+// Add processes one wire packet from an anonymous source; use AddFrom
+// when packets from multiple senders can interleave.
+func (r *Reassembler) Add(pkt []byte) (*Message, error) {
+	return r.AddFrom(pkt, "")
+}
+
+// AddFrom processes one wire packet from the named source. When the
+// packet completes a message it returns the assembled message;
+// otherwise it returns nil. Duplicate fragments are ignored.
+func (r *Reassembler) AddFrom(pkt []byte, src string) (*Message, error) {
+	h, payload, err := matchlambda.DecodeWireHeader(pkt)
+	if err != nil {
+		return nil, err
+	}
+	if h.Total <= 1 {
+		// Fast path: single-packet RPC needs no reassembly state.
+		return &Message{Header: h, Payload: append([]byte(nil), payload...)}, nil
+	}
+	key := messageKey{src: src, id: h.RequestID}
+	pm, ok := r.partial[key]
+	if !ok {
+		if r.MaxPending > 0 && len(r.partial) >= r.MaxPending {
+			return nil, ErrPendingLimit
+		}
+		pm = &partialMessage{header: h, fragments: make([][]byte, h.Total)}
+		r.partial[key] = pm
+	}
+	if h.Total != pm.header.Total || h.WorkloadID != pm.header.WorkloadID {
+		return nil, fmt.Errorf("%w: request %d", ErrInconsistentFragment, h.RequestID)
+	}
+	if int(h.Seq) >= len(pm.fragments) {
+		return nil, fmt.Errorf("%w: seq %d of %d", ErrInconsistentFragment, h.Seq, h.Total)
+	}
+	if pm.fragments[h.Seq] != nil {
+		return nil, nil // duplicate
+	}
+	pm.fragments[h.Seq] = append([]byte(nil), payload...)
+	pm.have++
+	if pm.have < int(pm.header.Total) {
+		return nil, nil
+	}
+	delete(r.partial, key)
+	full := make([]byte, 0, pm.header.PayloadLen)
+	for _, f := range pm.fragments {
+		full = append(full, f...)
+	}
+	msg := &Message{Header: pm.header, Payload: full}
+	msg.Header.Seq = 0
+	return msg, nil
+}
+
+// Pending returns the number of incomplete messages held.
+func (r *Reassembler) Pending() int { return len(r.partial) }
+
+// Drop discards partial state for an anonymous-source request (sender
+// gave up).
+func (r *Reassembler) Drop(requestID uint64) {
+	delete(r.partial, messageKey{id: requestID})
+}

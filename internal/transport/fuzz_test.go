@@ -1,0 +1,82 @@
+package transport
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lambdanic/internal/matchlambda"
+)
+
+// Robustness properties: hostile or corrupted packets must never panic
+// the reassembler or header decoder — the λ-NIC framework faces the
+// open network (§3.1c: "robust against security attacks ... from
+// outside actors").
+
+func TestDecodeWireHeaderNeverPanicsProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		_, _, _ = matchlambda.DecodeWireHeader(raw)
+		return true // reaching here without panic is the property
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReassemblerSurvivesGarbageProperty(t *testing.T) {
+	f := func(packets [][]byte) bool {
+		r := NewReassembler()
+		r.MaxPending = 16
+		for _, p := range packets {
+			_, _ = r.Add(p) // errors fine, panics are not
+		}
+		return r.Pending() <= 16
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReassemblerSurvivesForgedHeaders(t *testing.T) {
+	// Valid magic/version but adversarial field combinations.
+	f := func(wid uint32, rid uint64, seq, total uint16, plen uint32, payload []byte) bool {
+		h := matchlambda.WireHeader{
+			Version: matchlambda.Version1, WorkloadID: wid, RequestID: rid,
+			Seq: seq, Total: total, PayloadLen: plen,
+		}
+		pkt := h.Encode(nil)
+		pkt = append(pkt, payload...)
+		r := NewReassembler()
+		msg, err := r.Add(pkt)
+		if err != nil {
+			return true
+		}
+		if total <= 1 {
+			// Single-packet fast path must surface the payload as-is.
+			return msg != nil && len(msg.Payload) == len(payload)
+		}
+		// Multi-packet first fragment: incomplete.
+		return msg == nil && r.Pending() == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInconsistentFragmentsRejected(t *testing.T) {
+	// Two fragments of the same request claiming different totals: the
+	// second must be rejected, not corrupt the first's state.
+	h1 := matchlambda.WireHeader{Version: matchlambda.Version1, WorkloadID: 1, RequestID: 5, Seq: 0, Total: 3}
+	h2 := matchlambda.WireHeader{Version: matchlambda.Version1, WorkloadID: 1, RequestID: 5, Seq: 1, Total: 7}
+	r := NewReassembler()
+	if _, err := r.Add(append(h1.Encode(nil), 'a')); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Add(append(h2.Encode(nil), 'b')); err == nil {
+		t.Error("inconsistent total accepted")
+	}
+	// Different workload ID on the same request ID is also rejected.
+	h3 := matchlambda.WireHeader{Version: matchlambda.Version1, WorkloadID: 9, RequestID: 5, Seq: 2, Total: 3}
+	if _, err := r.Add(append(h3.Encode(nil), 'c')); err == nil {
+		t.Error("cross-workload fragment accepted")
+	}
+}

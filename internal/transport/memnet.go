@@ -1,0 +1,180 @@
+package transport
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// This file provides an in-memory packet network implementing
+// net.PacketConn, used by tests and examples to run the full λ-NIC
+// control plane without real sockets. The network injects configurable
+// packet loss, duplication, and reordering so the weakly-consistent
+// delivery path (§4.2.1 D3) can be exercised deterministically.
+
+// MemNetwork is a hub connecting named in-memory packet endpoints.
+type MemNetwork struct {
+	mu    sync.Mutex
+	nodes map[string]*MemConn
+	rng   *rand.Rand
+
+	// LossRate is the probability a packet is dropped in transit.
+	LossRate float64
+	// DupRate is the probability a packet is delivered twice.
+	DupRate float64
+	// ReorderRate is the probability a packet is delayed behind the
+	// next one.
+	ReorderRate float64
+}
+
+// NewMemNetwork returns a hub with deterministic fault injection.
+func NewMemNetwork(seed int64) *MemNetwork {
+	return &MemNetwork{
+		nodes: make(map[string]*MemConn),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// MemAddr is a node name on a MemNetwork.
+type MemAddr string
+
+// Network returns "mem".
+func (a MemAddr) Network() string { return "mem" }
+
+// String returns the node name.
+func (a MemAddr) String() string { return string(a) }
+
+type memPacket struct {
+	data []byte
+	from MemAddr
+}
+
+// MemConn is one endpoint on a MemNetwork. It implements
+// net.PacketConn.
+type MemConn struct {
+	net    *MemNetwork
+	addr   MemAddr
+	inbox  chan memPacket
+	closed chan struct{}
+	once   sync.Once
+
+	// delayed holds one packet being reordered behind the next.
+	mu      sync.Mutex
+	delayed *memPacket
+}
+
+var _ net.PacketConn = (*MemConn)(nil)
+
+// Listen attaches a new endpoint with the given name.
+func (n *MemNetwork) Listen(name string) (*MemConn, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nodes[name]; ok {
+		return nil, errors.New("transport: memnet address in use: " + name)
+	}
+	c := &MemConn{
+		net:    n,
+		addr:   MemAddr(name),
+		inbox:  make(chan memPacket, 1024),
+		closed: make(chan struct{}),
+	}
+	n.nodes[name] = c
+	return c, nil
+}
+
+// deliver routes a packet to its destination applying fault injection.
+func (n *MemNetwork) deliver(to string, pkt memPacket) {
+	n.mu.Lock()
+	dst, ok := n.nodes[to]
+	if !ok {
+		n.mu.Unlock()
+		return
+	}
+	drop := n.rng.Float64() < n.LossRate
+	dup := n.rng.Float64() < n.DupRate
+	reorder := n.rng.Float64() < n.ReorderRate
+	n.mu.Unlock()
+	if drop {
+		return
+	}
+	dst.receive(pkt, reorder)
+	if dup {
+		dst.receive(pkt, false)
+	}
+}
+
+func (c *MemConn) receive(pkt memPacket, delay bool) {
+	c.mu.Lock()
+	if delay && c.delayed == nil {
+		c.delayed = &pkt
+		c.mu.Unlock()
+		return
+	}
+	var flush *memPacket
+	if c.delayed != nil {
+		flush = c.delayed
+		c.delayed = nil
+	}
+	c.mu.Unlock()
+	c.push(pkt)
+	if flush != nil {
+		c.push(*flush)
+	}
+}
+
+func (c *MemConn) push(pkt memPacket) {
+	select {
+	case c.inbox <- pkt:
+	case <-c.closed:
+	default: // inbox full: drop, like a real NIC queue
+	}
+}
+
+// ReadFrom blocks until a packet arrives or the connection closes.
+func (c *MemConn) ReadFrom(p []byte) (int, net.Addr, error) {
+	select {
+	case pkt := <-c.inbox:
+		n := copy(p, pkt.data)
+		return n, pkt.from, nil
+	case <-c.closed:
+		return 0, nil, net.ErrClosed
+	}
+}
+
+// WriteTo sends a packet to the named endpoint.
+func (c *MemConn) WriteTo(p []byte, addr net.Addr) (int, error) {
+	select {
+	case <-c.closed:
+		return 0, net.ErrClosed
+	default:
+	}
+	data := make([]byte, len(p))
+	copy(data, p)
+	c.net.deliver(addr.String(), memPacket{data: data, from: c.addr})
+	return len(p), nil
+}
+
+// Close detaches the endpoint.
+func (c *MemConn) Close() error {
+	c.once.Do(func() {
+		close(c.closed)
+		c.net.mu.Lock()
+		delete(c.net.nodes, string(c.addr))
+		c.net.mu.Unlock()
+	})
+	return nil
+}
+
+// LocalAddr returns the endpoint's name.
+func (c *MemConn) LocalAddr() net.Addr { return c.addr }
+
+// SetDeadline is a no-op (the in-memory network has no deadlines).
+func (c *MemConn) SetDeadline(time.Time) error { return nil }
+
+// SetReadDeadline is a no-op.
+func (c *MemConn) SetReadDeadline(time.Time) error { return nil }
+
+// SetWriteDeadline is a no-op.
+func (c *MemConn) SetWriteDeadline(time.Time) error { return nil }

@@ -1,0 +1,36 @@
+package wfq
+
+import "testing"
+
+func BenchmarkEnqueueDequeue(b *testing.B) {
+	s, err := New(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Enqueue(&Item{Flow: uint32(i % 8), Size: 100})
+		if s.Len() > 1024 {
+			for s.Dequeue() != nil {
+			}
+		}
+	}
+}
+
+func BenchmarkSaturated8Flows(b *testing.B) {
+	s, err := New(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 1024; i++ {
+		s.Enqueue(&Item{Flow: uint32(i % 8), Size: 100})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := s.Dequeue()
+		if it == nil {
+			b.Fatal("empty")
+		}
+		s.Enqueue(&Item{Flow: it.Flow, Size: 100})
+	}
+}

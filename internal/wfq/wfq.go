@@ -1,0 +1,151 @@
+// Package wfq implements weighted fair queuing, the policy λ-NIC uses
+// to route requests between lambda threads (paper §4.2.1, D1).
+//
+// The implementation follows the classic virtual-finish-time WFQ
+// formulation (Parekh & Gallager [84] in the paper's references): each
+// flow f has a weight w_f; a packet of size L arriving on f is stamped
+// with finish time F = max(V, F_prev(f)) + L/w_f where V is the current
+// virtual time; packets are served in increasing finish-time order. With
+// equal weights this degrades to fair round-robin; with unequal weights
+// each backlogged flow receives service proportional to its weight.
+package wfq
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Item is a queued unit of work — in λ-NIC, one request destined for a
+// lambda.
+type Item struct {
+	// Flow identifies the queue (lambda ID in λ-NIC).
+	Flow uint32
+	// Size is the service demand used for fairness accounting; any
+	// consistent unit works (bytes, estimated cycles).
+	Size uint64
+	// Payload is the opaque work item.
+	Payload any
+
+	finish float64
+	seq    uint64
+	index  int
+}
+
+// Scheduler is a weighted fair queue. The zero value is not usable;
+// construct with New. Scheduler is not safe for concurrent use.
+type Scheduler struct {
+	weights    map[uint32]float64
+	lastFinish map[uint32]float64
+	virtual    float64
+	seq        uint64
+	heap       itemHeap
+	defaultW   float64
+}
+
+// New returns a scheduler whose flows default to the given weight.
+// defaultWeight must be positive.
+func New(defaultWeight float64) (*Scheduler, error) {
+	if defaultWeight <= 0 {
+		return nil, fmt.Errorf("wfq: default weight %v must be positive", defaultWeight)
+	}
+	return &Scheduler{
+		weights:    make(map[uint32]float64),
+		lastFinish: make(map[uint32]float64),
+		defaultW:   defaultWeight,
+	}, nil
+}
+
+// SetWeight assigns a weight to a flow. Weights must be positive.
+func (s *Scheduler) SetWeight(flow uint32, w float64) error {
+	if w <= 0 {
+		return fmt.Errorf("wfq: weight %v for flow %d must be positive", w, flow)
+	}
+	s.weights[flow] = w
+	return nil
+}
+
+func (s *Scheduler) weight(flow uint32) float64 {
+	if w, ok := s.weights[flow]; ok {
+		return w
+	}
+	return s.defaultW
+}
+
+// Enqueue adds an item, stamping its virtual finish time.
+func (s *Scheduler) Enqueue(it *Item) {
+	start := s.virtual
+	if last, ok := s.lastFinish[it.Flow]; ok && last > start {
+		start = last
+	}
+	size := it.Size
+	if size == 0 {
+		size = 1 // zero-size items still need a strictly increasing stamp
+	}
+	it.finish = start + float64(size)/s.weight(it.Flow)
+	it.seq = s.seq
+	s.seq++
+	s.lastFinish[it.Flow] = it.finish
+	heap.Push(&s.heap, it)
+}
+
+// Dequeue removes and returns the item with the smallest virtual finish
+// time, or nil if the scheduler is empty. Virtual time advances to the
+// served item's finish time.
+func (s *Scheduler) Dequeue() *Item {
+	if s.heap.Len() == 0 {
+		return nil
+	}
+	it := heap.Pop(&s.heap).(*Item)
+	if it.finish > s.virtual {
+		s.virtual = it.finish
+	}
+	return it
+}
+
+// Len returns the number of queued items.
+func (s *Scheduler) Len() int { return s.heap.Len() }
+
+// Backlog returns the number of queued items for one flow. It is O(n)
+// and intended for tests and diagnostics.
+func (s *Scheduler) Backlog(flow uint32) int {
+	n := 0
+	for _, it := range s.heap {
+		if it.Flow == flow {
+			n++
+		}
+	}
+	return n
+}
+
+type itemHeap []*Item
+
+func (h itemHeap) Len() int { return len(h) }
+
+func (h itemHeap) Less(i, j int) bool {
+	if h[i].finish != h[j].finish {
+		return h[i].finish < h[j].finish
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h itemHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *itemHeap) Push(x any) {
+	it := x.(*Item)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+
+func (h *itemHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.index = -1
+	*h = old[:n-1]
+	return it
+}

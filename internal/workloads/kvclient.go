@@ -1,0 +1,219 @@
+package workloads
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"lambdanic/internal/cpusim"
+	"lambdanic/internal/matchlambda"
+	"lambdanic/internal/mcc"
+)
+
+// The key-value client lambdas (§6.2b) query users' data from a
+// memcached server: the GET client reads keys, the SET client writes
+// them. The request payload carries a kvreq header: op (1 byte) and a
+// 4-byte key index. In Match+Lambda form the lambda builds the
+// memcached text command into its scratch object and emits it; the
+// register-only packet-assembly helper is carried privately by each
+// client with an identical body — the duplicate logic the paper's
+// lambda coalescing merges ("they contain equivalent logic to generate
+// a new packet to query memcached, which we can combine and reuse",
+// §6.4).
+
+// kvKeySpace is the number of distinct keys the clients cycle through.
+const kvKeySpace = 1000
+
+// KVGetClient returns the memcached GET client workload.
+func KVGetClient() *Workload {
+	return &Workload{
+		Name: "kv_get_client",
+		ID:   KVGetClientID,
+		Spec: &matchlambda.LambdaSpec{
+			Name:  "kv_get_client",
+			ID:    KVGetClientID,
+			Entry: buildKVEntry("kv_get_client", "kvget", "get "),
+			Helpers: []*mcc.Function{
+				buildKVPacketHelper("kvget_build_req"),
+			},
+			Objects: []*mcc.Object{
+				{Name: "kvget_scratch", Size: 256, Hint: mcc.HintHot},
+			},
+			Uses: []string{"kvreq"},
+		},
+		Profile: cpusim.Profile{
+			ID:                     KVGetClientID,
+			NativeInstructions:     900,
+			GILFraction:            1,
+			ExternalConnPerRequest: true,
+		},
+		MakeRequest: func(i int) []byte {
+			return kvRequestPayload(0, uint32(i%kvKeySpace))
+		},
+		Handle: func(payload []byte, deps *Deps) ([]byte, error) {
+			_, key, err := parseKVRequest(payload)
+			if err != nil {
+				return nil, err
+			}
+			if deps == nil || deps.KV == nil {
+				return nil, fmt.Errorf("kv_get_client: no memcached dependency")
+			}
+			v, ok, err := deps.KV.Get(kvKeyName(key))
+			if err != nil {
+				return nil, fmt.Errorf("kv_get_client: %w", err)
+			}
+			if !ok {
+				return []byte("MISS"), nil
+			}
+			return v, nil
+		},
+	}
+}
+
+// KVSetClient returns the memcached SET client workload.
+func KVSetClient() *Workload {
+	return &Workload{
+		Name: "kv_set_client",
+		ID:   KVSetClientID,
+		Spec: &matchlambda.LambdaSpec{
+			Name:  "kv_set_client",
+			ID:    KVSetClientID,
+			Entry: buildKVEntry("kv_set_client", "kvset", "set "),
+			Helpers: []*mcc.Function{
+				buildKVPacketHelper("kvset_build_req"),
+			},
+			Objects: []*mcc.Object{
+				{Name: "kvset_scratch", Size: 256, Hint: mcc.HintHot},
+			},
+			Uses: []string{"kvreq"},
+		},
+		Profile: cpusim.Profile{
+			ID:                     KVSetClientID,
+			NativeInstructions:     1100,
+			GILFraction:            1,
+			ExternalConnPerRequest: true,
+		},
+		MakeRequest: func(i int) []byte {
+			return kvRequestPayload(1, uint32(i%kvKeySpace))
+		},
+		Handle: func(payload []byte, deps *Deps) ([]byte, error) {
+			_, key, err := parseKVRequest(payload)
+			if err != nil {
+				return nil, err
+			}
+			if deps == nil || deps.KV == nil {
+				return nil, fmt.Errorf("kv_set_client: no memcached dependency")
+			}
+			value := fmt.Sprintf("value-%d", key)
+			if err := deps.KV.Set(kvKeyName(key), 0, []byte(value)); err != nil {
+				return nil, fmt.Errorf("kv_set_client: %w", err)
+			}
+			return []byte("STORED"), nil
+		},
+	}
+}
+
+// kvKeyName formats the memcached key for an index.
+func kvKeyName(idx uint32) string { return fmt.Sprintf("user:%04d", idx%kvKeySpace) }
+
+// kvRequestPayload builds the kvreq wire payload: op byte + 4-byte key.
+func kvRequestPayload(op byte, key uint32) []byte {
+	p := make([]byte, 5)
+	p[0] = op
+	binary.BigEndian.PutUint32(p[1:], key)
+	return p
+}
+
+// parseKVRequest decodes a kvreq payload.
+func parseKVRequest(payload []byte) (op byte, key uint32, err error) {
+	if len(payload) < 5 {
+		return 0, 0, fmt.Errorf("kv client: short request (%d bytes)", len(payload))
+	}
+	return payload[0], binary.BigEndian.Uint32(payload[1:5]), nil
+}
+
+// buildKVEntry generates a key-value client's entry function: runtime
+// init, kvreq validation, memcached command construction into the
+// client's scratch buffer (unrolled template stores plus key-digit
+// conversion), the shared packet-assembly helper, and the emit.
+func buildKVEntry(name, prefix, verb string) *mcc.Function {
+	scratch := prefix + "_scratch"
+	b := mcc.NewBuilder(name)
+	b.Call("lib_runtime")
+	// Validate the parsed kvreq header.
+	b.HdrGet(1, mcc.FieldArg0) // op
+	b.HdrGet(2, mcc.FieldArg1) // key index
+	// Write the command verb, one byte per unrolled store.
+	for i, c := range []byte(verb) {
+		b.MovImm(3, int64(c))
+		b.MovImm(4, 0)
+		b.Store(scratch, 4, int64(i), 3)
+	}
+	// Write the key template "user:0000" then patch in the digits.
+	keyBase := len(verb)
+	for i, c := range []byte("user:0000") {
+		b.MovImm(3, int64(c))
+		b.MovImm(4, 0)
+		b.Store(scratch, 4, int64(keyBase+i), 3)
+	}
+	// Digit conversion: four iterations of divide-by-10 via repeated
+	// subtraction (NPUs lack integer division), unrolled.
+	b.Mov(5, 2) // remaining value
+	for d := 3; d >= 0; d-- {
+		// r6 = r5 % 10; r5 = r5 / 10 by subtract-count.
+		b.MovImm(7, 0) // quotient
+		b.MovImm(8, 10)
+		loop := fmt.Sprintf("div%d", d)
+		done := fmt.Sprintf("div%d_done", d)
+		b.Label(loop)
+		b.Lt(9, 5, 8)
+		b.Brnz(9, done)
+		b.Sub(5, 5, 8)
+		b.MovImm(10, 1)
+		b.Add(7, 7, 10)
+		b.Jmp(loop)
+		b.Label(done)
+		// r5 now holds the digit; store '0'+digit.
+		b.MovImm(10, '0')
+		b.Add(10, 10, 5)
+		b.MovImm(4, 0)
+		b.Store(scratch, 4, int64(keyBase+5+d), 10)
+		b.Mov(5, 7)
+	}
+	// Terminate with \r\n.
+	b.MovImm(3, '\r')
+	b.MovImm(4, 0)
+	b.Store(scratch, 4, int64(keyBase+9), 3)
+	b.MovImm(3, '\n')
+	b.MovImm(4, 0)
+	b.Store(scratch, 4, int64(keyBase+10), 3)
+	// Shared packet assembly (framing, checksum) — register-only logic
+	// identical across the two clients.
+	b.Call(prefix + "_build_req")
+	// Emit the command.
+	b.MovImm(4, 0)
+	b.MovImm(5, int64(keyBase+11))
+	b.Emit(scratch, 4, 5)
+	// Post-processing pad: response validation loop the real client
+	// performs on memcached replies.
+	padChecksum(b, scratch, 15)
+	b.MovImm(1, mcc.StatusForward)
+	b.Ret(1)
+	return b.MustBuild()
+}
+
+// buildKVPacketHelper generates the packet-assembly helper: UDP framing
+// words, the memcached frame header, and a checksum over the command —
+// all register arithmetic, so the two clients' copies are structurally
+// identical and coalescing merges them.
+func buildKVPacketHelper(name string) *mcc.Function {
+	b := mcc.NewBuilder(name)
+	b.MovImm(1, 0x11211) // memcached port pair seed
+	b.MovImm(2, 16)
+	for i := 0; i < 86; i++ {
+		b.Shl(3, 1, 2)
+		b.Xor(1, 1, 3)
+		b.Add(1, 1, 2)
+	}
+	b.Ret(1)
+	return b.MustBuild()
+}

@@ -1,0 +1,250 @@
+package workloads
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"lambdanic/internal/cpusim"
+	"lambdanic/internal/matchlambda"
+	"lambdanic/internal/mcc"
+)
+
+// This file implements the paper's §7 extension: "Certain types of data
+// stores (like key-value stores) can also benefit from λ-NIC. Their
+// restricted compute pattern lends itself nicely to run on λ-NIC's
+// Match+Lambda machine model." The KV-store lambda serves GET and PUT
+// requests entirely from NIC memory — a NetCache-style in-network store
+// — with an open-addressing hash table in a CTM-resident object.
+//
+// Request payload (kvsreq header):
+//
+//	op(1) key(8, big-endian) [value(16) for PUT]
+//
+// Responses: value bytes on a GET hit, 'M' on a miss, 'S' on a stored
+// PUT, 'F' when the probe chain is exhausted (table full around that
+// hash). Probing is bounded (no unbounded loops on NPUs): slots are
+// examined up to kvsProbes times; deletion is not supported.
+
+// KVStoreLambdaID is the extension workload's well-known ID.
+const KVStoreLambdaID uint32 = 5
+
+// Hash-table geometry. The table object is power-of-two sized so the
+// probe wrap is a mask.
+const (
+	kvsBuckets   = 64
+	kvsSlotSize  = 32 // flag(8) key(8) value(16)
+	kvsTableSize = kvsBuckets * kvsSlotSize
+	kvsProbes    = 8
+	kvsValueSize = 16
+)
+
+// KV-store response codes.
+const (
+	KVSMiss   = 'M'
+	KVSStored = 'S'
+	KVSFull   = 'F'
+)
+
+// KVStoreOp builds a request payload.
+func KVStoreOp(put bool, key uint64, value []byte) []byte {
+	p := make([]byte, 9, 9+kvsValueSize)
+	if put {
+		p[0] = 1
+	}
+	binary.BigEndian.PutUint64(p[1:9], key)
+	if put {
+		v := make([]byte, kvsValueSize)
+		copy(v, value)
+		p = append(p, v...)
+	}
+	return p
+}
+
+// KVStoreHeader is the kvsreq application header: op and key parsed
+// into header slots.
+func KVStoreHeader() matchlambda.HeaderSpec {
+	return matchlambda.HeaderSpec{Name: "kvsreq", Fields: []matchlambda.FieldSpec{
+		{Slot: mcc.FieldArg0, Offset: 0, Bytes: 1},
+		{Slot: mcc.FieldArg1, Offset: 1, Bytes: 8},
+	}}
+}
+
+// KVStoreLambda returns the NIC-resident key-value store workload.
+func KVStoreLambda() *Workload {
+	model := newKVSModel()
+	return &Workload{
+		Name: "kv_store",
+		ID:   KVStoreLambdaID,
+		Spec: &matchlambda.LambdaSpec{
+			Name:  "kv_store",
+			ID:    KVStoreLambdaID,
+			Entry: buildKVStoreEntry(),
+			Objects: []*mcc.Object{
+				{Name: "kvs_table", Size: kvsTableSize},
+			},
+			Uses: []string{"kvsreq"},
+		},
+		Profile: cpusim.Profile{
+			ID:                 KVStoreLambdaID,
+			NativeInstructions: 800,
+			GILFraction:        1,
+		},
+		MakeRequest: func(i int) []byte {
+			if i%2 == 0 {
+				return KVStoreOp(true, uint64(i/2), []byte(fmt.Sprintf("v%d", i/2)))
+			}
+			return KVStoreOp(false, uint64(i/2), nil)
+		},
+		// The native handler mirrors the NIC table's exact semantics
+		// (bounded probing, no deletion) so the two paths are
+		// equivalence-testable.
+		Handle: func(payload []byte, _ *Deps) ([]byte, error) {
+			return model.handle(payload)
+		},
+	}
+}
+
+// kvsModel is the native mirror of the NIC hash table.
+type kvsModel struct {
+	flags  [kvsBuckets]bool
+	keys   [kvsBuckets]uint64
+	values [kvsBuckets][kvsValueSize]byte
+}
+
+func newKVSModel() *kvsModel { return &kvsModel{} }
+
+// kvsHash is the multiplicative hash both implementations use
+// (Fibonacci hashing: golden-ratio multiplier, top bits).
+func kvsHash(key uint64) uint64 {
+	const phi = 0x9E3779B97F4A7C15
+	return (key * phi) >> 56
+}
+
+func (m *kvsModel) handle(payload []byte) ([]byte, error) {
+	if len(payload) < 9 {
+		return nil, fmt.Errorf("kv_store: short request")
+	}
+	put := payload[0] == 1
+	key := binary.BigEndian.Uint64(payload[1:9])
+	if put && len(payload) < 9+kvsValueSize {
+		return nil, fmt.Errorf("kv_store: put without value")
+	}
+	bucket := int(kvsHash(key) % kvsBuckets)
+	for probe := 0; probe < kvsProbes; probe++ {
+		slot := (bucket + probe) % kvsBuckets
+		if !m.flags[slot] {
+			if !put {
+				return []byte{KVSMiss}, nil
+			}
+			m.flags[slot] = true
+			m.keys[slot] = key
+			copy(m.values[slot][:], payload[9:9+kvsValueSize])
+			return []byte{KVSStored}, nil
+		}
+		if m.keys[slot] == key {
+			if put {
+				copy(m.values[slot][:], payload[9:9+kvsValueSize])
+				return []byte{KVSStored}, nil
+			}
+			out := make([]byte, kvsValueSize)
+			copy(out, m.values[slot][:])
+			return out, nil
+		}
+	}
+	if put {
+		return []byte{KVSFull}, nil
+	}
+	return []byte{KVSMiss}, nil
+}
+
+// buildKVStoreEntry generates the IR: hash the key, probe up to
+// kvsProbes slots (unrolled — NPUs have no unbounded loops), and serve
+// the hit/miss/insert paths. Register plan: r1 op, r2 key, r4 slot
+// byte-offset, r7-r10 scratch.
+func buildKVStoreEntry() *mcc.Function {
+	b := mcc.NewBuilder("kv_store")
+	b.HdrGet(1, mcc.FieldArg0) // op: 0 get, 1 put
+	b.HdrGet(2, mcc.FieldArg1) // key
+	// bucket = kvsHash(key) % buckets; slot offset = bucket * slotSize.
+	b.MovImm(3, -0x61C8864680B583EB) // 0x9E3779B97F4A7C15 as int64
+	b.Mul(4, 2, 3)
+	b.MovImm(3, 56)
+	b.Shr(4, 4, 3)
+	b.MovImm(3, kvsBuckets-1)
+	b.And(4, 4, 3)
+	b.MovImm(3, kvsSlotSize)
+	b.Mul(4, 4, 3)
+	for probe := 0; probe < kvsProbes; probe++ {
+		next := fmt.Sprintf("probe%d", probe+1)
+		empty := fmt.Sprintf("empty%d", probe)
+		cont := fmt.Sprintf("cont%d", probe)
+		if probe > 0 {
+			b.Label(fmt.Sprintf("probe%d", probe))
+		}
+		b.LoadW(7, "kvs_table", 4, 0) // flag
+		b.Brz(7, empty)
+		b.LoadW(8, "kvs_table", 4, 8) // stored key
+		b.Eq(9, 8, 2)
+		b.Brnz(9, "found")
+		b.Jmp(cont)
+		// Empty slot: a PUT claims it; a GET misses.
+		b.Label(empty)
+		b.Brnz(1, "insert")
+		b.Jmp("miss")
+		// Advance to the next slot, wrapping the table.
+		b.Label(cont)
+		b.MovImm(10, kvsSlotSize)
+		b.Add(4, 4, 10)
+		b.MovImm(10, kvsTableSize-1)
+		b.And(4, 4, 10)
+		if probe == kvsProbes-1 {
+			b.Jmp("exhausted")
+		} else {
+			_ = next
+		}
+	}
+	// Probe chain exhausted.
+	b.Label("exhausted")
+	b.Brnz(1, "full")
+	b.Jmp("miss")
+
+	// Hit: PUT overwrites the value, GET emits it.
+	b.Label("found")
+	b.Brnz(1, "store_value")
+	b.MovImm(7, 16)
+	b.Add(7, 4, 7) // value offset
+	b.MovImm(8, kvsValueSize)
+	b.Emit("kvs_table", 7, 8)
+	b.MovImm(1, mcc.StatusForward)
+	b.Ret(1)
+
+	// Insert: claim the slot, write flag + key, then the value.
+	b.Label("insert")
+	b.MovImm(7, 1)
+	b.StoreW("kvs_table", 4, 0, 7)
+	b.StoreW("kvs_table", 4, 8, 2)
+	b.Label("store_value")
+	// Value bytes live at payload offset 9.
+	b.MovImm(7, 9)
+	b.MovImm(8, kvsValueSize)
+	b.MovImm(9, 16)
+	b.Add(9, 4, 9)
+	b.Memcpy("kvs_table", 9, mcc.PayloadObject, 7, 8)
+	b.MovImm(7, KVSStored)
+	b.EmitByte(7)
+	b.MovImm(1, mcc.StatusForward)
+	b.Ret(1)
+
+	b.Label("miss")
+	b.MovImm(7, KVSMiss)
+	b.EmitByte(7)
+	b.MovImm(1, mcc.StatusForward)
+	b.Ret(1)
+
+	b.Label("full")
+	b.MovImm(7, KVSFull)
+	b.EmitByte(7)
+	b.MovImm(1, mcc.StatusForward)
+	b.Ret(1)
+	return b.MustBuild()
+}

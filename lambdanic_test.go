@@ -1,0 +1,224 @@
+package lambdanic
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPublicAPICustomLambda exercises the whole compiler path through
+// the public façade: build a lambda with the IR builder, compose,
+// optimize, link, execute.
+func TestPublicAPICustomLambda(t *testing.T) {
+	// A counter lambda: increments a persistent word and emits it.
+	b := NewBuilder("counter")
+	b.MovImm(1, 0)
+	b.LoadW(2, "state", 1, 0)
+	b.MovImm(3, 1)
+	b.Add(2, 2, 3)
+	b.StoreW("state", 1, 0, 2)
+	b.EmitByte(2)
+	b.MovImm(4, StatusForward)
+	b.Ret(4)
+	entry := b.MustBuild()
+
+	spec := &LambdaSpec{
+		Name:    "counter",
+		ID:      42,
+		Entry:   entry,
+		Objects: []*Object{{Name: "state", Size: 8, Hint: HintHot}},
+	}
+	prog, err := Compose([]*LambdaSpec{spec}, ComposeOptions{})
+	if err != nil {
+		t.Fatalf("Compose: %v", err)
+	}
+	opt, results, err := Optimize(prog, AllPasses())
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if len(results) != 4 {
+		t.Errorf("pass trajectory = %d entries", len(results))
+	}
+	exe, err := Link(opt, LinkOptions{})
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	for want := byte(1); want <= 3; want++ {
+		resp, err := exe.Execute(&NICRequest{LambdaID: 42, Packets: 1})
+		if err != nil {
+			t.Fatalf("Execute: %v", err)
+		}
+		if len(resp.Payload) != 1 || resp.Payload[0] != want {
+			t.Errorf("counter = %v, want %d", resp.Payload, want)
+		}
+	}
+}
+
+func TestSimulationBackends(t *testing.T) {
+	s := NewSimulation(7)
+	nic, err := s.LambdaNICBackend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := []*Workload{WebServer(), KVGetClient(), KVSetClient(), ImageTransformer(8, 8)}
+	if err := nic.Deploy(set); err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	nic.Invoke(WebServer().ID, WebServer().MakeRequest(0), func(r Result) {
+		if r.Err != nil {
+			t.Fatalf("Invoke: %v", r.Err)
+		}
+		got = r.Payload
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(got), "lambda-nic page 0") {
+		t.Errorf("response = %q", got)
+	}
+	if s.Now() <= 0 {
+		t.Error("virtual time did not advance")
+	}
+
+	if _, err := s.BareMetalBackend(false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ContainerBackend(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultTestbedAndWorkloads(t *testing.T) {
+	tb := DefaultTestbed()
+	if tb.NIC.NPUThreads() != 448 {
+		t.Errorf("NPUThreads = %d", tb.NIC.NPUThreads())
+	}
+	if len(BenchmarkWorkloads()) != 4 {
+		t.Error("BenchmarkWorkloads wrong")
+	}
+}
+
+func TestDeploymentEndToEnd(t *testing.T) {
+	d, err := NewDeployment(DeploymentConfig{Workers: 2, Seed: 3})
+	if err != nil {
+		t.Fatalf("NewDeployment: %v", err)
+	}
+	defer func() {
+		if err := d.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	for _, w := range []*Workload{WebServer(), KVGetClient(), KVSetClient()} {
+		if err := d.Deploy(w); err != nil {
+			t.Fatalf("Deploy %s: %v", w.Name, err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	if resp, err := d.Invoke(ctx, KVSetClient().ID, KVSetClient().MakeRequest(11)); err != nil || string(resp) != "STORED" {
+		t.Fatalf("kv set: %q/%v", resp, err)
+	}
+	if resp, err := d.Invoke(ctx, KVGetClient().ID, KVGetClient().MakeRequest(11)); err != nil || string(resp) != "value-11" {
+		t.Fatalf("kv get: %q/%v", resp, err)
+	}
+	resp, err := d.Invoke(ctx, WebServer().ID, WebServer().MakeRequest(1))
+	if err != nil || !strings.Contains(string(resp), "page 1") {
+		t.Fatalf("web: %q/%v", resp, err)
+	}
+	fwd, unrouted := d.GatewayStats()
+	if fwd < 3 || unrouted != 0 {
+		t.Errorf("gateway stats = %d/%d", fwd, unrouted)
+	}
+	// Placement visible through the manager's control store.
+	p, err := d.Manager().Placement("web_server")
+	if err != nil || len(p.Workers) != 2 {
+		t.Errorf("placement = %+v, %v", p, err)
+	}
+}
+
+func TestDeploymentSurvivesPacketLoss(t *testing.T) {
+	d, err := NewDeployment(DeploymentConfig{Workers: 1, Seed: 5, LossRate: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Deploy(WebServer()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i := 0; i < 10; i++ {
+		resp, err := d.Invoke(ctx, WebServer().ID, WebServer().MakeRequest(i))
+		if err != nil {
+			t.Fatalf("request %d under loss: %v", i, err)
+		}
+		if !strings.Contains(string(resp), "lambda-nic page") {
+			t.Errorf("request %d corrupt: %q", i, resp)
+		}
+	}
+}
+
+func TestDeploymentMetrics(t *testing.T) {
+	d, err := NewDeployment(DeploymentConfig{Workers: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	web := WebServer()
+	if err := d.Deploy(web); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i := 0; i < 5; i++ {
+		if _, err := d.Invoke(ctx, web.ID, web.MakeRequest(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := d.Metrics().Render()
+	for _, want := range []string{
+		"lnic_gateway_forwarded_total 5",
+		`lnic_worker_requests_total{workload="web_server"} 5`,
+		"lnic_worker_latency_seconds_count 5",
+		"lnic_gateway_upstream_latency_seconds_bucket",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDeploymentSurvivesWorkerCrash(t *testing.T) {
+	d, err := NewDeployment(DeploymentConfig{Workers: 2, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	web := WebServer()
+	if err := d.Deploy(web); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	// Prime the pipeline.
+	if _, err := d.Invoke(ctx, web.ID, web.MakeRequest(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Crash one worker: the gateway's failover keeps the lambda served
+	// by the survivor.
+	if err := d.workers[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		resp, err := d.Invoke(ctx, web.ID, web.MakeRequest(i))
+		if err != nil {
+			t.Fatalf("request %d after worker crash: %v", i, err)
+		}
+		if !strings.Contains(string(resp), "lambda-nic page") {
+			t.Errorf("request %d corrupt: %q", i, resp)
+		}
+	}
+}

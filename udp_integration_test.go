@@ -1,0 +1,159 @@
+package lambdanic
+
+// Integration test running the full control plane over real loopback
+// UDP sockets — the path the cmd/ daemons use — rather than the
+// in-memory network: memcached substitute, worker, gateway, client.
+
+import (
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"lambdanic/internal/autoscale"
+	"lambdanic/internal/core"
+	"lambdanic/internal/gateway"
+	"lambdanic/internal/kvstore"
+	"lambdanic/internal/transport"
+	"lambdanic/internal/workloads"
+)
+
+func udpListen(t *testing.T) net.PacketConn {
+	t.Helper()
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback UDP unavailable: %v", err)
+	}
+	return conn
+}
+
+func TestRealUDPCluster(t *testing.T) {
+	// memcached substitute.
+	mcConn := udpListen(t)
+	mcSrv := kvstore.NewServer(kvstore.NewStore(), mcConn)
+	defer mcSrv.Close()
+
+	// Worker with a memcached client dependency.
+	kvCliConn := udpListen(t)
+	deps := &workloads.Deps{KV: kvstore.NewClient(kvCliConn, mcSrv.Addr())}
+	wConn := udpListen(t)
+	worker := core.NewWorker(wConn, deps)
+	defer worker.Close()
+	defer kvCliConn.Close()
+
+	set := []*Workload{WebServer(), KVGetClient(), KVSetClient(), ImageTransformer(16, 16)}
+	for _, w := range set {
+		if err := worker.Install(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Gateway routing all workloads to the worker.
+	gwConn := udpListen(t)
+	gw := gateway.New(gwConn)
+	defer gw.Close()
+	for _, w := range set {
+		gw.SetRoute(w.ID, []net.Addr{worker.Addr()})
+	}
+
+	// Client.
+	cliConn := udpListen(t)
+	cli := transport.NewEndpoint(cliConn, nil,
+		transport.WithTimeout(500*time.Millisecond), transport.WithRetries(4))
+	defer cli.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	// Web page over real sockets.
+	resp, err := cli.Call(ctx, gw.Addr(), WebServer().ID, WebServer().MakeRequest(2))
+	if err != nil {
+		t.Fatalf("web over UDP: %v", err)
+	}
+	if !strings.Contains(string(resp), "lambda-nic page 2") {
+		t.Errorf("web resp = %q", resp)
+	}
+
+	// KV set/get through the memcached substitute.
+	if resp, err := cli.Call(ctx, gw.Addr(), KVSetClient().ID, KVSetClient().MakeRequest(3)); err != nil || string(resp) != "STORED" {
+		t.Fatalf("kv set over UDP: %q/%v", resp, err)
+	}
+	if resp, err := cli.Call(ctx, gw.Addr(), KVGetClient().ID, KVGetClient().MakeRequest(3)); err != nil || string(resp) != "value-3" {
+		t.Fatalf("kv get over UDP: %q/%v", resp, err)
+	}
+
+	// Multi-packet image transformation (fragmentation over UDP).
+	img := ImageTransformer(16, 16)
+	resp, err = cli.Call(ctx, gw.Addr(), img.ID, img.MakeRequest(0))
+	if err != nil {
+		t.Fatalf("image over UDP: %v", err)
+	}
+	if len(resp) != 16*16 {
+		t.Errorf("image resp = %d bytes, want 256", len(resp))
+	}
+
+	if gw.Forwarded() < 4 {
+		t.Errorf("gateway forwarded = %d", gw.Forwarded())
+	}
+}
+
+// TestAutoscalerRescalesLiveDeployment closes the control loop: the
+// autoscaler observes load, its decision becomes a placement update in
+// the Raft store, and the gateway's watch repoints routes — while
+// requests keep flowing.
+func TestAutoscalerRescalesLiveDeployment(t *testing.T) {
+	d, err := NewDeployment(DeploymentConfig{Workers: 3, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	web := WebServer()
+	if err := d.Deploy(web); err != nil {
+		t.Fatal(err)
+	}
+	// Start pinned to one worker.
+	if err := d.Manager().RecordPlacement(web.Name, []string{"m2"}); err != nil {
+		t.Fatal(err)
+	}
+
+	policy := autoscale.Policy{
+		TargetPerReplica: 100,
+		MinReplicas:      1,
+		MaxReplicas:      3,
+		UpThreshold:      1.2,
+		DownThreshold:    0.4,
+		Cooldown:         time.Millisecond,
+		Smoothing:        1,
+	}
+	scaler, err := autoscale.New(policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaler.Track(web.Name, 1)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	// Overload: 350 req/s observed on one replica.
+	if err := scaler.Observe(web.Name, 350, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	pool := []string{"m2", "m3", "m4"}
+	for _, dec := range scaler.Decide(time.Now()) {
+		if err := d.Manager().RecordPlacement(dec.Workload, pool[:dec.To]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := scaler.Replicas(web.Name); got != 3 {
+		t.Fatalf("replicas = %d, want 3", got)
+	}
+	// The gateway's watch repointed routes; requests flow to all three.
+	for i := 0; i < 9; i++ {
+		if _, err := d.Invoke(ctx, web.ID, web.MakeRequest(i)); err != nil {
+			t.Fatalf("request %d after scale-up: %v", i, err)
+		}
+	}
+	p, err := d.Manager().Placement(web.Name)
+	if err != nil || len(p.Workers) != 3 {
+		t.Fatalf("placement = %+v, %v", p, err)
+	}
+}
