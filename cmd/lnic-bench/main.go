@@ -5,10 +5,13 @@
 // Usage:
 //
 //	lnic-bench [-quick] [-seed N] [-experiment all|table1|fig6|fig7|fig8|table2|table3|table4|fig9]
+//	           [-trace-out trace.json]
 //
 // -quick shrinks sample counts and the benchmark image for fast runs;
 // the default configuration reproduces the numbers recorded in
-// EXPERIMENTS.md.
+// EXPERIMENTS.md. -trace-out writes the breakdown experiment's
+// request-lifecycle trace as Chrome trace-event JSON (load it in
+// chrome://tracing or https://ui.perfetto.dev).
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"strings"
 
 	"lambdanic/internal/experiments"
+	"lambdanic/internal/obs"
 )
 
 func main() {
@@ -32,7 +36,9 @@ func run(args []string) error {
 	quick := fs.Bool("quick", false, "reduced sample counts and image size")
 	seed := fs.Int64("seed", 42, "simulation seed")
 	experiment := fs.String("experiment", "all",
-		"which experiment to run: all, table1, fig6, fig7, fig8, table2, table3, table4, fig9, optimizer, scaleout, loadcurve, nicclasses, ablations")
+		"which experiment to run: all, table1, fig6, fig7, fig8, table2, table3, table4, fig9, optimizer, scaleout, loadcurve, nicclasses, ablations, breakdown")
+	traceOut := fs.String("trace-out", "",
+		"write the breakdown experiment's Chrome trace-event JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -129,6 +135,20 @@ func run(args []string) error {
 			return err
 		}
 		out(experiments.RenderAblations(results))
+	}
+	if want == "all" || want == "breakdown" {
+		rep, err := experiments.LatencyBreakdown(cfg)
+		if err != nil {
+			return err
+		}
+		out(experiments.RenderLatencyBreakdown(rep))
+		if *traceOut != "" {
+			if err := obs.WriteChromeTraceFile(*traceOut, rep.Requests); err != nil {
+				return err
+			}
+			fmt.Printf("lnic-bench: wrote Chrome trace (%d requests) to %s\n",
+				len(rep.Requests), *traceOut)
+		}
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", *experiment)

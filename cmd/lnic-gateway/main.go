@@ -6,10 +6,13 @@
 // Usage:
 //
 //	lnic-gateway -listen 127.0.0.1:8080 \
-//	    -route "1=127.0.0.1:9000,127.0.0.1:9001" -route "4=127.0.0.1:9000"
+//	    -route "1=127.0.0.1:9000,127.0.0.1:9001" -route "4=127.0.0.1:9000" \
+//	    [-metrics :9101] [-trace-out trace.json]
 //
-// Each -route maps one workload ID to its worker addresses. Stop with
-// SIGINT/SIGTERM.
+// Each -route maps one workload ID to its worker addresses. -trace-out
+// records every proxied request's lifecycle (upstream RPC attempts and
+// retransmits) and writes a Chrome trace-event JSON file on shutdown.
+// Stop with SIGINT/SIGTERM.
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 
 	"lambdanic/internal/gateway"
 	"lambdanic/internal/monitor"
+	"lambdanic/internal/obs"
 )
 
 // routeFlags collects repeated -route flags.
@@ -50,6 +54,7 @@ func run(args []string) error {
 	var routes routeFlags
 	fs.Var(&routes, "route", "workloadID=addr1,addr2 (repeatable)")
 	metricsAddr := fs.String("metrics", "", "serve Prometheus-style metrics on this HTTP address")
+	traceOut := fs.String("trace-out", "", "write a Chrome trace of proxied requests to this file on shutdown")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -63,6 +68,19 @@ func run(args []string) error {
 	}
 	gw := gateway.New(conn)
 	defer gw.Close()
+
+	var collector *obs.Collector
+	if *traceOut != "" {
+		// Create the file up front so a bad path fails at startup, not
+		// after a long run when the trace would be lost.
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		f.Close()
+		collector = obs.NewCollector(obs.WallClock())
+		gw.EnableTracing(collector)
+	}
 
 	if *metricsAddr != "" {
 		reg := monitor.NewRegistry()
@@ -93,6 +111,13 @@ func run(args []string) error {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	fmt.Printf("lnic-gateway: forwarded=%d unrouted=%d\n", gw.Forwarded(), gw.Unrouted())
+	if collector != nil {
+		reqs := collector.Requests()
+		if err := obs.WriteChromeTraceFile(*traceOut, reqs); err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		fmt.Printf("lnic-gateway: wrote Chrome trace (%d requests) to %s\n", len(reqs), *traceOut)
+	}
 	return nil
 }
 

@@ -6,10 +6,13 @@
 // Usage:
 //
 //	lnicd -listen 127.0.0.1:9000 [-memcached 127.0.0.1:11211] \
-//	      [-workloads web,kvget,kvset,image] [-serve-memcached :11211]
+//	      [-workloads web,kvget,kvset,image] [-serve-memcached :11211] \
+//	      [-metrics :9100] [-trace-out trace.json]
 //
 // The key-value client lambdas require -memcached (or an embedded
-// server via -serve-memcached). Stop with SIGINT/SIGTERM.
+// server via -serve-memcached). -trace-out records every served
+// request's lifecycle and writes a Chrome trace-event JSON file on
+// shutdown. Stop with SIGINT/SIGTERM.
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"lambdanic/internal/core"
 	"lambdanic/internal/kvstore"
 	"lambdanic/internal/monitor"
+	"lambdanic/internal/obs"
 	"lambdanic/internal/workloads"
 )
 
@@ -44,6 +48,7 @@ func run(args []string) error {
 	imgW := fs.Int("image-width", workloads.DefaultImageWidth, "image transformer max width")
 	imgH := fs.Int("image-height", workloads.DefaultImageHeight, "image transformer max height")
 	metricsAddr := fs.String("metrics", "", "serve Prometheus-style metrics on this HTTP address")
+	traceOut := fs.String("trace-out", "", "write a Chrome trace of served requests to this file on shutdown")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -81,6 +86,19 @@ func run(args []string) error {
 	}
 	worker := core.NewWorker(conn, deps)
 	defer worker.Close()
+
+	var collector *obs.Collector
+	if *traceOut != "" {
+		// Create the file up front so a bad path fails at startup, not
+		// after a long run when the trace would be lost.
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		f.Close()
+		collector = obs.NewCollector(obs.WallClock())
+		worker.EnableTracing(collector)
+	}
 
 	if *metricsAddr != "" {
 		reg := monitor.NewRegistry()
@@ -126,5 +144,12 @@ func run(args []string) error {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	fmt.Println("lnicd: shutting down")
+	if collector != nil {
+		reqs := collector.Requests()
+		if err := obs.WriteChromeTraceFile(*traceOut, reqs); err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		fmt.Printf("lnicd: wrote Chrome trace (%d requests) to %s\n", len(reqs), *traceOut)
+	}
 	return nil
 }

@@ -23,6 +23,7 @@ import (
 	"lambdanic/internal/cpusim"
 	"lambdanic/internal/mcc"
 	"lambdanic/internal/nicsim"
+	"lambdanic/internal/obs"
 	"lambdanic/internal/rdma"
 	"lambdanic/internal/sim"
 	"lambdanic/internal/workloads"
@@ -57,6 +58,12 @@ type Backend interface {
 	Invoke(id uint32, payload []byte, done func(Result))
 	// Usage reports added resource consumption (call after a run).
 	Usage() Usage
+}
+
+// Traced is implemented by backends that can attach a request-lifecycle
+// span container to each invocation. A nil tr behaves like Invoke.
+type Traced interface {
+	InvokeTraced(id uint32, payload []byte, tr *obs.Req, done func(Result))
 }
 
 // ErrNotDeployed is returned when Invoke precedes Deploy.
@@ -146,6 +153,13 @@ func (b *LambdaNIC) Deploy(ws []*workloads.Workload) error {
 // multi-packet RPCs), run-to-completion execution on an NPU thread, and
 // the response's wire trip back.
 func (b *LambdaNIC) Invoke(id uint32, payload []byte, done func(Result)) {
+	b.InvokeTraced(id, payload, nil, done)
+}
+
+// InvokeTraced implements Traced: like Invoke, additionally recording
+// the transport hops (wire trips, RDMA commit) into tr and threading tr
+// through the NIC so queue wait and execution are attributed too.
+func (b *LambdaNIC) InvokeTraced(id uint32, payload []byte, tr *obs.Req, done func(Result)) {
 	if done == nil {
 		done = func(Result) {}
 	}
@@ -165,8 +179,9 @@ func (b *LambdaNIC) Invoke(id uint32, payload []byte, done func(Result)) {
 		done(r)
 	}
 	packets := workloads.Packets(len(payload))
+	sent := b.sim.Now()
 	inject := func() {
-		req := &nicsim.Request{LambdaID: id, Payload: payload, Packets: packets}
+		req := &nicsim.Request{LambdaID: id, Payload: payload, Packets: packets, Trace: tr}
 		b.nic.Inject(req, func(resp nicsim.Response, err error) {
 			if err != nil {
 				finish(Result{Err: err})
@@ -174,6 +189,10 @@ func (b *LambdaNIC) Invoke(id uint32, payload []byte, done func(Result)) {
 			}
 			// Response wire trip back to the caller.
 			back := b.testbed.Link.OneWay(len(resp.Payload))
+			if tr != nil {
+				now := b.sim.Now()
+				tr.AddSpan(obs.StageTransport, "net", "response-wire", now, now+back)
+			}
 			b.sim.Schedule(back, func() {
 				finish(Result{Payload: resp.Payload})
 			})
@@ -187,12 +206,19 @@ func (b *LambdaNIC) Invoke(id uint32, payload []byte, done func(Result)) {
 				finish(Result{Err: err})
 				return
 			}
+			if tr != nil {
+				tr.AddSpan(obs.StageTransport, "net", "rdma-commit", sent, b.sim.Now())
+			}
 			inject()
 		})
 		return
 	}
 	// Single-packet RPC: one wire hop into the parse+match pipeline.
-	b.sim.Schedule(b.testbed.Link.OneWay(len(payload)), inject)
+	wire := b.testbed.Link.OneWay(len(payload))
+	if tr != nil {
+		tr.AddSpan(obs.StageTransport, "net", "request-wire", sent, sent+wire)
+	}
+	b.sim.Schedule(wire, inject)
 }
 
 // Usage implements Backend: λ-NIC consumes NIC memory (firmware plus
@@ -271,6 +297,14 @@ func (h *Host) Deploy(ws []*workloads.Workload) error {
 // Invoke implements Backend: wire trip, kernel + dispatch + execution
 // on the CPU model, wire trip back.
 func (h *Host) Invoke(id uint32, payload []byte, done func(Result)) {
+	h.InvokeTraced(id, payload, nil, done)
+}
+
+// InvokeTraced implements Traced: the wire trips are attributed to
+// transport and the whole CPU-side service (kernel, dispatch,
+// execution, context switches) to the host stage — the paper's point
+// is precisely that the host path is one opaque expensive stage.
+func (h *Host) InvokeTraced(id uint32, payload []byte, tr *obs.Req, done func(Result)) {
 	if done == nil {
 		done = func(Result) {}
 	}
@@ -283,9 +317,21 @@ func (h *Host) Invoke(id uint32, payload []byte, done func(Result)) {
 		h.maxInflight = h.inflight
 	}
 	packets := workloads.Packets(len(payload))
-	h.sim.Schedule(h.testbed.Link.OneWay(len(payload)), func() {
+	sent := h.sim.Now()
+	wire := h.testbed.Link.OneWay(len(payload))
+	if tr != nil {
+		tr.AddSpan(obs.StageTransport, "net", "request-wire", sent, sent+wire)
+	}
+	h.sim.Schedule(wire, func() {
+		submitted := h.sim.Now()
 		h.host.Submit(id, len(payload), packets, func(err error) {
-			h.sim.Schedule(h.testbed.Link.OneWay(256), func() {
+			now := h.sim.Now()
+			back := h.testbed.Link.OneWay(256)
+			if tr != nil {
+				tr.AddSpan(obs.StageHost, "host/"+h.name, "service", submitted, now)
+				tr.AddSpan(obs.StageTransport, "net", "response-wire", now, now+back)
+			}
+			h.sim.Schedule(back, func() {
 				h.inflight--
 				done(Result{Err: err})
 			})

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"lambdanic/internal/monitor"
+	"lambdanic/internal/obs"
 	"lambdanic/internal/transport"
 	"lambdanic/internal/workloads"
 )
@@ -24,10 +25,14 @@ type Worker struct {
 	names    map[uint32]string
 
 	// Optional monitoring-engine instrumentation (§6.1.1).
-	registry  *monitor.Registry
-	mRequests map[uint32]*monitor.Counter
-	mErrors   *monitor.Counter
-	mLatency  *monitor.Histogram
+	registry   *monitor.Registry
+	mRequests  map[uint32]*monitor.Counter
+	mWlLatency map[uint32]*monitor.Histogram
+	mErrors    *monitor.Counter
+	mLatency   *monitor.Histogram
+
+	// Optional request-lifecycle tracing.
+	tracer obs.Tracer
 }
 
 // NewWorker starts a worker on conn with the given external-service
@@ -65,9 +70,18 @@ func (w *Worker) EnableMetrics(reg *monitor.Registry) error {
 	defer w.mu.Unlock()
 	w.registry = reg
 	w.mRequests = make(map[uint32]*monitor.Counter)
+	w.mWlLatency = make(map[uint32]*monitor.Histogram)
 	w.mErrors = errs
 	w.mLatency = latency
 	return nil
+}
+
+// EnableTracing records each served request's lifecycle (lambda
+// execution span per request) in the tracer. Enable before serving.
+func (w *Worker) EnableTracing(t obs.Tracer) {
+	w.mu.Lock()
+	w.tracer = t
+	w.mu.Unlock()
 }
 
 // Install deploys a workload's native handler.
@@ -89,6 +103,13 @@ func (w *Worker) Install(wl *workloads.Workload) error {
 			return err
 		}
 		w.mRequests[wl.ID] = c
+		h, err := w.registry.Histogram("lnic_worker_workload_latency_seconds",
+			"lambda service latency per workload",
+			map[string]string{"workload": wl.Name}, monitor.DefaultLatencyBuckets)
+		if err != nil {
+			return err
+		}
+		w.mWlLatency[wl.ID] = h
 	}
 	return nil
 }
@@ -115,21 +136,38 @@ func (w *Worker) Installed() []uint32 {
 func (w *Worker) handle(req *transport.Message) ([]byte, error) {
 	w.mu.RLock()
 	h, ok := w.handlers[req.Header.WorkloadID]
+	name := w.names[req.Header.WorkloadID]
 	counter := w.mRequests[req.Header.WorkloadID]
+	wlLatency := w.mWlLatency[req.Header.WorkloadID]
 	errs, latency := w.mErrors, w.mLatency
+	tracer := w.tracer
 	w.mu.RUnlock()
+	var tr *obs.Req
+	if tracer != nil {
+		tr = tracer.Begin(req.Header.WorkloadID, name)
+	}
 	if !ok {
 		// The match stage's fall-through: unmatched IDs go to the host
 		// OS path (§4.1); here that surfaces as an error response.
 		if errs != nil {
 			errs.Inc()
 		}
-		return nil, fmt.Errorf("%w: id %d", ErrUnknownWorkload, req.Header.WorkloadID)
+		err := fmt.Errorf("%w: id %d", ErrUnknownWorkload, req.Header.WorkloadID)
+		tr.Mark(obs.StageHost, "worker", "unmatched", tr.Now())
+		tr.Finish(tr.Now(), err)
+		return nil, err
 	}
 	start := time.Now()
+	execStart := tr.Now()
 	resp, err := h(req.Payload, w.deps)
+	elapsed := time.Since(start)
+	tr.AddSpan(obs.StageExec, "worker/"+name, "", execStart, tr.Now())
+	tr.Finish(tr.Now(), err)
 	if latency != nil {
-		latency.Observe(time.Since(start).Seconds())
+		latency.ObserveDuration(elapsed)
+	}
+	if wlLatency != nil {
+		wlLatency.ObserveDuration(elapsed)
 	}
 	if counter != nil {
 		counter.Inc()

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"lambdanic/internal/monitor"
+	"lambdanic/internal/obs"
 	"lambdanic/internal/transport"
 )
 
@@ -40,6 +41,9 @@ type Gateway struct {
 	mUnrouted  *monitor.Counter
 	mErrors    *monitor.Counter
 	mLatency   *monitor.Histogram
+
+	// Optional request-lifecycle tracing.
+	tracer obs.Tracer
 }
 
 // Option configures a Gateway.
@@ -149,6 +153,25 @@ func (g *Gateway) metricsSnapshot() (*monitor.Counter, *monitor.Counter, *monito
 	return g.mForwarded, g.mUnrouted, g.mErrors, g.mLatency
 }
 
+// EnableTracing records each proxied request's lifecycle — upstream
+// RPC attempts, retransmits, and failovers — in the tracer. Enable
+// before serving traffic.
+func (g *Gateway) EnableTracing(t obs.Tracer) {
+	g.mu.Lock()
+	g.tracer = t
+	g.mu.Unlock()
+}
+
+func (g *Gateway) traceBegin(workload uint32) *obs.Req {
+	g.mu.Lock()
+	t := g.tracer
+	g.mu.Unlock()
+	if t == nil {
+		return nil
+	}
+	return t.Begin(workload, "")
+}
+
 // workerCount returns the number of workers routed for a workload.
 func (g *Gateway) workerCount(id uint32) int {
 	g.mu.Lock()
@@ -163,13 +186,16 @@ func (g *Gateway) workerCount(id uint32) int {
 // lives.
 func (g *Gateway) handle(req *transport.Message) ([]byte, error) {
 	mFwd, mUnrouted, mErr, mLat := g.metricsSnapshot()
+	tr := g.traceBegin(req.Header.WorkloadID)
 	attempts := g.workerCount(req.Header.WorkloadID)
 	if attempts == 0 {
 		g.unrouted.Add(1)
 		if mUnrouted != nil {
 			mUnrouted.Inc()
 		}
-		return nil, fmt.Errorf("%w: %d", ErrNoRoute, req.Header.WorkloadID)
+		err := fmt.Errorf("%w: %d", ErrNoRoute, req.Header.WorkloadID)
+		tr.Finish(tr.Now(), err)
+		return nil, err
 	}
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
@@ -179,20 +205,22 @@ func (g *Gateway) handle(req *transport.Message) ([]byte, error) {
 			if mUnrouted != nil {
 				mUnrouted.Inc()
 			}
+			tr.Finish(tr.Now(), err)
 			return nil, err
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), g.timeout)
 		start := time.Now()
-		resp, err := g.ep.Call(ctx, worker, req.Header.WorkloadID, req.Payload)
+		resp, err := g.ep.CallTraced(ctx, worker, req.Header.WorkloadID, req.Payload, tr)
 		cancel()
 		if mLat != nil {
-			mLat.Observe(time.Since(start).Seconds())
+			mLat.ObserveDuration(time.Since(start))
 		}
 		if err == nil {
 			g.forwarded.Add(1)
 			if mFwd != nil {
 				mFwd.Inc()
 			}
+			tr.Finish(tr.Now(), nil)
 			return resp, nil
 		}
 		if mErr != nil {
@@ -203,8 +231,10 @@ func (g *Gateway) handle(req *transport.Message) ([]byte, error) {
 		// failover; an application error from a live worker is
 		// deterministic and is returned as-is.
 		if !errors.Is(err, transport.ErrTimeout) && !errors.Is(err, context.DeadlineExceeded) {
+			tr.Finish(tr.Now(), lastErr)
 			return nil, lastErr
 		}
 	}
+	tr.Finish(tr.Now(), lastErr)
 	return nil, lastErr
 }

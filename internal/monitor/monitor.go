@@ -13,6 +13,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing metric.
@@ -72,6 +73,10 @@ func NewHistogram(bounds []float64) *Histogram {
 	sort.Float64s(b)
 	return &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
 }
+
+// ObserveDuration records a latency sample in seconds — the common
+// case for the request-path histograms.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestCounter(t *testing.T) {
@@ -130,6 +131,46 @@ func TestDuplicateRegistrationRejected(t *testing.T) {
 	// Same name with different labels is allowed.
 	if _, err := r.Counter("x", "", map[string]string{"a": "1"}); err != nil {
 		t.Errorf("labeled variant rejected: %v", err)
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	h := NewHistogram(DefaultLatencyBuckets)
+	h.ObserveDuration(1500 * time.Microsecond)
+	h.ObserveDuration(250 * time.Millisecond)
+	_, cum, sum, count := h.Snapshot()
+	if count != 2 {
+		t.Fatalf("count = %d", count)
+	}
+	if sum < 0.2514 || sum > 0.2516 {
+		t.Errorf("sum = %v, want ~0.2515 seconds", sum)
+	}
+	// 1.5ms lands in the <=1e-2 bucket (index 4), 250ms in <=1 (index 6).
+	if cum[3] != 0 || cum[4] != 1 || cum[6] != 2 {
+		t.Errorf("cumulative = %v", cum)
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	// The exposition must be byte-identical across calls: metrics render
+	// in registration order and label keys are sorted.
+	r := NewRegistry()
+	r.MustCounter("b_total", "second", map[string]string{"z": "9", "a": "1"}).Inc()
+	r.MustCounter("a_total", "first", nil).Add(2)
+	r.MustHistogram("h_seconds", "", map[string]string{"workload": "web"},
+		[]float64{0.01}).Observe(0.001)
+	first := r.Render()
+	for i := 0; i < 10; i++ {
+		if got := r.Render(); got != first {
+			t.Fatalf("render #%d differs:\n%s\nvs\n%s", i, got, first)
+		}
+	}
+	// Registration order, not alphabetical: b_total renders before a_total.
+	if strings.Index(first, "b_total") > strings.Index(first, "a_total") {
+		t.Errorf("metrics not in registration order:\n%s", first)
+	}
+	if !strings.Contains(first, `b_total{a="1",z="9"} 1`) {
+		t.Errorf("label keys not sorted:\n%s", first)
 	}
 }
 

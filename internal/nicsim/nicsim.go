@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"lambdanic/internal/cluster"
+	"lambdanic/internal/obs"
 	"lambdanic/internal/sim"
 	"lambdanic/internal/wfq"
 )
@@ -98,6 +99,10 @@ type Request struct {
 	Payload  []byte
 	// Packets is the number of wire packets the RPC spans (≥1).
 	Packets int
+	// Trace, when non-nil, receives the request's NIC-side lifecycle
+	// spans: scheduler queue wait, instruction cycles, and per-level
+	// memory stalls on the executing thread's island/core track.
+	Trace *obs.Req
 }
 
 // Response is the lambda's reply.
@@ -187,9 +192,12 @@ type NIC struct {
 	fw   Program
 	down bool
 
-	freeThreads int
-	queue       *wfq.Scheduler
-	fifo        []*pending
+	// free is the stack of idle NPU thread indexes; its depth is the
+	// classic free-thread count, the indexes name trace tracks.
+	free   []int
+	tracks []string // lazily built thread-index -> "islandI/coreC/tT"
+	queue  *wfq.Scheduler
+	fifo   []*pending
 
 	// hostPath receives requests with no matching lambda ID (§4.1:
 	// "sends the packet to the host OS"). Nil drops them.
@@ -208,6 +216,13 @@ type pending struct {
 	resp      Response
 	err       error
 	remaining uint64
+
+	// Tracing state: arrival (or requeue) time for queue-wait spans,
+	// the occupied thread index, and the cycle split for attribution.
+	waitSince   sim.Time
+	thread      int
+	instrCycles uint64
+	stallCycles [numMemLevels]uint64
 }
 
 // New constructs a NIC bound to the simulation.
@@ -222,12 +237,40 @@ func New(s *sim.Sim, cfg Config) (*NIC, error) {
 	if err != nil {
 		return nil, err
 	}
+	threads := cfg.NIC.NPUThreads()
+	free := make([]int, threads)
+	for i := range free {
+		// Stack ordered so thread 0 is dispatched first.
+		free[i] = threads - 1 - i
+	}
 	return &NIC{
-		sim:         s,
-		cfg:         cfg,
-		freeThreads: cfg.NIC.NPUThreads(),
-		queue:       q,
+		sim:   s,
+		cfg:   cfg,
+		free:  free,
+		queue: q,
 	}, nil
+}
+
+// track returns the trace-track name for an NPU thread index, shaped
+// by the island/core topology ("island2/core5/t1").
+func (n *NIC) track(thread int) string {
+	if n.tracks == nil {
+		n.tracks = make([]string, n.cfg.NIC.NPUThreads())
+	}
+	if thread < 0 || thread >= len(n.tracks) {
+		return "npu"
+	}
+	if n.tracks[thread] == "" {
+		perCore := n.cfg.NIC.ThreadsPerCore
+		perIsland := n.cfg.NIC.CoresPerIsland * perCore
+		if perCore <= 0 || perIsland <= 0 {
+			n.tracks[thread] = fmt.Sprintf("t%d", thread)
+		} else {
+			n.tracks[thread] = fmt.Sprintf("island%d/core%d/t%d",
+				thread/perIsland, (thread%perIsland)/perCore, thread%perCore)
+		}
+	}
+	return n.tracks[thread]
 }
 
 // SetHostPath installs the handler for unmatched requests.
@@ -297,15 +340,17 @@ func (n *NIC) Inject(req *Request, done func(Response, error)) {
 	}
 	if !n.fw.Handles(req.LambdaID) {
 		n.stats.SentToHost++
+		req.Trace.Mark(obs.StageHost, "host", "fallback", n.sim.Now())
 		if n.hostPath != nil {
 			n.hostPath(req)
 		}
 		complete(Response{}, fmt.Errorf("nicsim: no lambda %d: sent to host", req.LambdaID))
 		return
 	}
-	p := &pending{req: req, done: complete}
-	if n.freeThreads > 0 {
-		n.freeThreads--
+	p := &pending{req: req, done: complete, waitSince: n.sim.Now()}
+	if len(n.free) > 0 {
+		p.thread = n.free[len(n.free)-1]
+		n.free = n.free[:len(n.free)-1]
 		n.start(p)
 		return
 	}
@@ -313,6 +358,7 @@ func (n *NIC) Inject(req *Request, done func(Response, error)) {
 }
 
 func (n *NIC) enqueue(p *pending) {
+	p.waitSince = n.sim.Now()
 	if n.cfg.Dispatch == DispatchWFQ {
 		size := uint64(len(p.req.Payload))
 		if size == 0 {
@@ -335,6 +381,10 @@ func (n *NIC) queueDepth() int { return n.queue.Len() + len(n.fifo) }
 // preemptive mode the request runs one quantum at a time, paying a
 // context-switch cost and requeueing between slices.
 func (n *NIC) start(p *pending) {
+	now := n.sim.Now()
+	if tr := p.req.Trace; tr != nil && now > p.waitSince {
+		tr.AddSpan(obs.StageQueue, "nic-scheduler", "", p.waitSince, now)
+	}
 	if !p.started {
 		p.started = true
 		p.resp, p.err = n.fw.Execute(p.req)
@@ -344,8 +394,15 @@ func (n *NIC) start(p *pending) {
 			// the lambda fires (§5 footnote: ~30 cycles per packet).
 			cycles += uint64(pk) * n.cfg.NIC.ReorderCyclesPerPacket
 		}
-		cycles += p.resp.Stats.Cycles(n.cfg.NIC)
-		p.remaining = cycles
+		p.instrCycles = cycles + p.resp.Stats.Instructions
+		p.stallCycles[MemLocal] = p.resp.Stats.MemAccesses[MemLocal] * n.cfg.NIC.LocalLatency
+		p.stallCycles[MemCTM] = p.resp.Stats.MemAccesses[MemCTM] * n.cfg.NIC.CTMLatency
+		p.stallCycles[MemIMEM] = p.resp.Stats.MemAccesses[MemIMEM] * n.cfg.NIC.IMEMLatency
+		p.stallCycles[MemEMEM] = p.resp.Stats.MemAccesses[MemEMEM] * n.cfg.NIC.EMEMLatency
+		p.remaining = p.instrCycles
+		for _, c := range p.stallCycles {
+			p.remaining += c
+		}
 	}
 	quantum := n.cfg.QuantumCycles
 	if n.cfg.Preemptive && quantum == 0 {
@@ -355,11 +412,14 @@ func (n *NIC) start(p *pending) {
 		// Run to completion.
 		n.stats.BusyCycles += p.remaining
 		service := sim.CyclesToDuration(p.remaining, n.cfg.NIC.ClockHz)
+		if p.req.Trace != nil {
+			n.traceExecution(p, now)
+		}
 		p.remaining = 0
 		n.sim.Schedule(service, func() {
 			n.stats.Completed++
 			p.done(p.resp, p.err)
-			n.finish()
+			n.finish(p.thread)
 		})
 		return
 	}
@@ -372,19 +432,55 @@ func (n *NIC) start(p *pending) {
 	n.stats.Preemptions++
 	p.remaining -= quantum
 	service := sim.CyclesToDuration(quantum+cs, n.cfg.NIC.ClockHz)
+	if tr := p.req.Trace; tr != nil {
+		tr.AddSpan(obs.StageExec, n.track(p.thread), "quantum", now, now+service)
+	}
 	n.sim.Schedule(service, func() {
 		n.enqueue(p)
-		n.finish()
+		n.finish(p.thread)
 	})
 }
 
-// finish releases the thread or immediately begins queued work.
-func (n *NIC) finish() {
+// traceExecution lays the run-to-completion service time out as
+// contiguous sub-spans — instruction cycles first, then the stall time
+// of each memory level — on the executing thread's track. Boundaries
+// come from cumulative cycle counts so the sub-spans tile the service
+// interval exactly, keeping per-request attribution additive.
+func (n *NIC) traceExecution(p *pending, start sim.Time) {
+	tr := p.req.Trace
+	track := n.track(p.thread)
+	hz := n.cfg.NIC.ClockHz
+	segments := []struct {
+		stage  obs.Stage
+		cycles uint64
+	}{
+		{obs.StageExec, p.instrCycles},
+		{obs.StageMemLMEM, p.stallCycles[MemLocal]},
+		{obs.StageMemCTM, p.stallCycles[MemCTM]},
+		{obs.StageMemIMEM, p.stallCycles[MemIMEM]},
+		{obs.StageMemEMEM, p.stallCycles[MemEMEM]},
+	}
+	var cum uint64
+	prev := start
+	for _, seg := range segments {
+		if seg.cycles == 0 {
+			continue
+		}
+		cum += seg.cycles
+		end := start + sim.CyclesToDuration(cum, hz)
+		tr.AddSpan(seg.stage, track, "", prev, end)
+		prev = end
+	}
+}
+
+// finish releases the thread or immediately begins queued work on it.
+func (n *NIC) finish(thread int) {
 	if next := n.dequeue(); next != nil {
+		next.thread = thread
 		n.start(next)
 		return
 	}
-	n.freeThreads++
+	n.free = append(n.free, thread)
 }
 
 func (n *NIC) dequeue() *pending {

@@ -1,0 +1,155 @@
+// Chrome trace-event exporter: renders collected request traces in the
+// Trace Event Format that chrome://tracing and Perfetto load. Each span
+// track (NPU island/core/thread, the wire, the gateway, ...) becomes
+// one named thread; every request additionally gets an end-to-end span
+// on a per-workload "requests" track, so the viewer shows request
+// lifetimes above the hardware timeline they decompose into.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// chromeEvent is one entry of the traceEvents array. Field order is the
+// emission order, which keeps output deterministic and diffable.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// Process IDs in the emitted trace: request-level spans versus the
+// stage spans on their hardware/software tracks.
+const (
+	chromePidRequests = 1
+	chromePidStages   = 2
+)
+
+// micros converts a clock offset to the format's microsecond unit.
+func micros(d int64) float64 { return float64(d) / 1e3 }
+
+// WriteChromeTrace writes reqs as Chrome trace-event JSON. Output is
+// deterministic: tracks are numbered in first-appearance order and
+// events follow the request/recording order.
+func WriteChromeTrace(w io.Writer, reqs []*Req) error {
+	tids := map[string]int{}
+	var trackNames []string
+	trackID := func(name string) int {
+		if id, ok := tids[name]; ok {
+			return id
+		}
+		id := len(trackNames) + 1
+		tids[name] = id
+		trackNames = append(trackNames, name)
+		return id
+	}
+
+	var events []chromeEvent
+	for _, r := range reqs {
+		label := r.Label
+		if label == "" {
+			label = fmt.Sprintf("wl-%d", r.Workload)
+		}
+		dur := micros(int64(r.End - r.Start))
+		args := map[string]any{"req": r.ID, "workload": r.Workload}
+		if r.Err != "" {
+			args["error"] = r.Err
+		}
+		events = append(events, chromeEvent{
+			Name: label, Cat: "request", Ph: "X",
+			Ts: micros(int64(r.Start)), Dur: &dur,
+			Pid: chromePidRequests, Tid: int(r.Workload) + 1,
+			Args: args,
+		})
+		for _, sp := range r.Spans {
+			name := string(sp.Stage)
+			if sp.Detail != "" {
+				name += ":" + sp.Detail
+			}
+			ev := chromeEvent{
+				Name: name, Cat: string(sp.Stage),
+				Ts:  micros(int64(sp.Start)),
+				Pid: chromePidStages, Tid: trackID(sp.Track),
+				Args: map[string]any{"req": r.ID},
+			}
+			if sp.Start == sp.End {
+				ev.Ph = "i" // instant event
+			} else {
+				ev.Ph = "X"
+				d := micros(int64(sp.Duration()))
+				ev.Dur = &d
+			}
+			events = append(events, ev)
+		}
+	}
+
+	// Metadata first: process names, then thread names per track plus
+	// one per seen workload on the requests process.
+	meta := []chromeEvent{
+		{Name: "process_name", Ph: "M", Pid: chromePidRequests, Tid: 0,
+			Args: map[string]any{"name": "requests"}},
+		{Name: "process_name", Ph: "M", Pid: chromePidStages, Tid: 0,
+			Args: map[string]any{"name": "pipeline"}},
+	}
+	seenWl := map[int]string{}
+	for _, r := range reqs {
+		label := r.Label
+		if label == "" {
+			label = fmt.Sprintf("wl-%d", r.Workload)
+		}
+		if _, ok := seenWl[int(r.Workload)+1]; !ok {
+			seenWl[int(r.Workload)+1] = label
+		}
+	}
+	wlTids := make([]int, 0, len(seenWl))
+	for tid := range seenWl {
+		wlTids = append(wlTids, tid)
+	}
+	sort.Ints(wlTids)
+	for _, tid := range wlTids {
+		meta = append(meta, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: chromePidRequests, Tid: tid,
+			Args: map[string]any{"name": seenWl[tid]},
+		})
+	}
+	for i, name := range trackNames {
+		meta = append(meta, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: chromePidStages, Tid: i + 1,
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeTrace{
+		TraceEvents:     append(meta, events...),
+		DisplayTimeUnit: "ms",
+	})
+}
+
+// WriteChromeTraceFile writes the trace to path (0644).
+func WriteChromeTraceFile(path string, reqs []*Req) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteChromeTrace(f, reqs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the Chrome trace golden file")
+
+// goldenReqs builds a small deterministic trace: one successful request
+// with the full NIC pipeline and one host-path failure.
+func goldenReqs() []*Req {
+	clk := &manualClock{}
+	c := NewCollector(clk.Now)
+
+	us := func(n int64) time.Duration { return time.Duration(n) * time.Microsecond }
+
+	clk.now = us(5)
+	r1 := c.Begin(1, "web")
+	r1.AddSpan(StageTransport, "net", "request-wire", us(5), us(6))
+	r1.AddSpan(StageQueue, "nic-scheduler", "", us(6), us(8))
+	r1.AddSpan(StageExec, "island0/core0/t0", "", us(8), us(10))
+	r1.AddSpan(StageMemCTM, "island0/core0/t0", "", us(10), us(11))
+	r1.AddSpan(StageTransport, "net", "response-wire", us(11), us(12))
+	clk.now = us(12)
+	r1.Finish(clk.now, nil)
+
+	clk.now = us(20)
+	r2 := c.Begin(9, "")
+	r2.Mark(StageHost, "host", "fallback", us(21))
+	clk.now = us(22)
+	r2.Finish(clk.now, os.ErrNotExist)
+
+	return c.Requests()
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenReqs()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome trace differs from golden file; run with -update-golden to refresh\ngot:\n%s", buf.String())
+	}
+}
+
+func TestChromeTraceIsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenReqs()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.Unit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.Unit)
+	}
+	// 2 process_name + 2 workload thread_name + 4 track thread_name
+	// metadata events, 2 request events, 6 span events.
+	if len(doc.TraceEvents) != 16 {
+		t.Errorf("events = %d, want 16", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		if ph != "M" && ph != "X" && ph != "i" {
+			t.Errorf("unexpected phase %q in %v", ph, ev)
+		}
+	}
+}
+
+func TestChromeTraceDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteChromeTrace(&a, goldenReqs()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&b, goldenReqs()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("repeated export differs")
+	}
+}

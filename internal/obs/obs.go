@@ -1,0 +1,264 @@
+// Package obs is the request-lifecycle tracing subsystem: it records
+// where every invocation spends its time as it crosses the pipeline the
+// paper's performance claims attribute latency to (§4.2.1, §6.3) —
+// gateway occupancy, scheduler queue wait, NPU execution split into
+// instruction cycles and per-level memory stalls, host-path fallback,
+// and transport hops.
+//
+// The same span model serves both timing domains: simulations record
+// spans in virtual time (the internal/sim clock), the UDP daemons in
+// wall time since an epoch. A Collector gathers per-request span
+// containers (Req) through the Tracer interface; exporters turn the
+// collected requests into a Chrome trace-event JSON file (chrome.go)
+// or a per-stage latency-attribution summary (summary.go).
+//
+// Tracing is strictly opt-in and the disabled path is free: a nil
+// Tracer yields nil *Req values, and every *Req method is a no-op on a
+// nil receiver, so instrumented hot paths pay only a pointer test.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Stage identifies one pipeline stage a request crosses. Stages are
+// the units of latency attribution: the per-request spans of all
+// stages tile the request's end-to-end interval.
+type Stage string
+
+// The pipeline stages.
+const (
+	// StageGateway is gateway time: serialized occupancy wait plus the
+	// proxy pipeline latency (ingress and egress halves).
+	StageGateway Stage = "gateway"
+	// StageQueue is scheduler queue wait: the request has arrived at
+	// the NIC but no NPU thread is free.
+	StageQueue Stage = "queue"
+	// StageExec is NPU execution: instruction cycles (including the
+	// parse+match pipeline and multi-packet reorder/commit cost).
+	StageExec Stage = "exec"
+	// Per-level memory-stall stages (§5's four-level hierarchy).
+	StageMemLMEM Stage = "mem-lmem"
+	StageMemCTM  Stage = "mem-ctm"
+	StageMemIMEM Stage = "mem-imem"
+	StageMemEMEM Stage = "mem-emem"
+	// StageTransport is time on the wire and in the RDMA engine:
+	// request/response hops, RDMA payload commit, RPC attempts.
+	StageTransport Stage = "transport"
+	// StageHost is host-path time: execution that fell back to the
+	// host OS path (§4.1) or runs on a CPU backend.
+	StageHost Stage = "host"
+)
+
+// stageRank orders stages pipeline-first in reports.
+var stageRank = map[Stage]int{
+	StageGateway:   0,
+	StageTransport: 1,
+	StageQueue:     2,
+	StageExec:      3,
+	StageMemLMEM:   4,
+	StageMemCTM:    5,
+	StageMemIMEM:   6,
+	StageMemEMEM:   7,
+	StageHost:      8,
+}
+
+// Span is one timed interval of a request's lifecycle on one track.
+type Span struct {
+	Stage Stage
+	// Track names where the span ran, e.g. "island2/core5/t1", "net",
+	// "gateway". One Chrome-trace thread is emitted per track.
+	Track string
+	// Detail refines the stage, e.g. "rdma-commit" or "retransmit".
+	Detail string
+	// Start and End are offsets on the collector's clock (virtual time
+	// for simulations, time since epoch for daemons). Start == End
+	// marks an instant event.
+	Start, End time.Duration
+}
+
+// Duration returns the span length.
+func (s Span) Duration() time.Duration { return s.End - s.Start }
+
+// Req is the span container for one traced request. A nil *Req is the
+// disabled-tracing value: every method is a no-op on it, so
+// instrumented code can thread it unconditionally.
+type Req struct {
+	c *Collector
+
+	// ID is the collector-assigned trace sequence number.
+	ID uint64
+	// Workload and Label identify the invoked lambda.
+	Workload uint32
+	Label    string
+	// Start and End bound the request end to end.
+	Start, End time.Duration
+	// Err is the failure message, empty on success.
+	Err string
+	// Spans are the recorded stage intervals, in recording order.
+	Spans []Span
+
+	finished bool
+}
+
+// AddSpan records one completed stage interval.
+func (r *Req) AddSpan(stage Stage, track, detail string, start, end time.Duration) {
+	if r == nil {
+		return
+	}
+	if end < start {
+		end = start
+	}
+	r.c.mu.Lock()
+	r.Spans = append(r.Spans, Span{Stage: stage, Track: track, Detail: detail, Start: start, End: end})
+	r.c.mu.Unlock()
+}
+
+// Mark records an instant event (a zero-length span).
+func (r *Req) Mark(stage Stage, track, detail string, at time.Duration) {
+	r.AddSpan(stage, track, detail, at, at)
+}
+
+// Finish closes the request at the given time. Err may be nil.
+func (r *Req) Finish(at time.Duration, err error) {
+	if r == nil {
+		return
+	}
+	r.c.mu.Lock()
+	if !r.finished {
+		r.finished = true
+		r.End = at
+		if err != nil {
+			r.Err = err.Error()
+		}
+	}
+	r.c.mu.Unlock()
+}
+
+// Now reads the owning collector's clock; 0 on a nil receiver.
+func (r *Req) Now() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return r.c.Now()
+}
+
+// Tracer hands out span containers for requests entering the system.
+// A nil Tracer disables tracing; implementations may additionally
+// return nil from Begin to sample.
+type Tracer interface {
+	// Begin opens a trace for one request, or returns nil when the
+	// request is not sampled. label may be empty.
+	Begin(workload uint32, label string) *Req
+	// Now reads the tracer's clock (virtual or wall time).
+	Now() time.Duration
+}
+
+// CollectorStats counts the collector's admission decisions.
+type CollectorStats struct {
+	// Started counts Begin calls, Sampled the traces admitted, and
+	// Dropped the traces rejected by sampling or the retention limit.
+	Started, Sampled, Dropped uint64
+}
+
+// Collector is the standard Tracer: it samples, stamps, and retains
+// request traces in memory for export after the run. Safe for
+// concurrent use (the UDP daemons trace from handler goroutines).
+type Collector struct {
+	clock func() time.Duration
+
+	mu          sync.Mutex
+	sampleEvery uint64
+	limit       int
+	stats       CollectorStats
+	reqs        []*Req
+}
+
+// Option configures a Collector.
+type Option func(*Collector)
+
+// WithSampleEvery keeps one request trace in every n. n <= 1 keeps all.
+func WithSampleEvery(n int) Option {
+	return func(c *Collector) {
+		if n > 1 {
+			c.sampleEvery = uint64(n)
+		}
+	}
+}
+
+// WithLimit caps retained traces; further requests are dropped (and
+// counted). The default is DefaultLimit.
+func WithLimit(n int) Option {
+	return func(c *Collector) {
+		if n > 0 {
+			c.limit = n
+		}
+	}
+}
+
+// DefaultLimit bounds retained traces so long daemon runs cannot grow
+// without bound.
+const DefaultLimit = 200_000
+
+// NewCollector builds a collector on the given clock. For simulations
+// pass the simulation's Now (func() time.Duration); for daemons pass
+// WallClock().
+func NewCollector(clock func() time.Duration, opts ...Option) *Collector {
+	c := &Collector{clock: clock, sampleEvery: 1, limit: DefaultLimit}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// WallClock returns a wall-time clock measuring since its creation,
+// for tracing the real UDP daemons.
+func WallClock() func() time.Duration {
+	epoch := time.Now()
+	return func() time.Duration { return time.Since(epoch) }
+}
+
+// Now implements Tracer.
+func (c *Collector) Now() time.Duration {
+	if c == nil {
+		return 0
+	}
+	return c.clock()
+}
+
+// Begin implements Tracer: it admits the request according to the
+// sampling rate and retention limit and stamps its start time.
+func (c *Collector) Begin(workload uint32, label string) *Req {
+	if c == nil {
+		return nil
+	}
+	now := c.clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Started++
+	if (c.stats.Started-1)%c.sampleEvery != 0 || len(c.reqs) >= c.limit {
+		c.stats.Dropped++
+		return nil
+	}
+	c.stats.Sampled++
+	r := &Req{c: c, ID: c.stats.Sampled, Workload: workload, Label: label, Start: now, End: now}
+	c.reqs = append(c.reqs, r)
+	return r
+}
+
+// Requests returns a snapshot of the collected traces in admission
+// order. The *Req values are shared; callers should export after the
+// traced run has quiesced.
+func (c *Collector) Requests() []*Req {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*Req(nil), c.reqs...)
+}
+
+// Stats returns the collector's admission counters.
+func (c *Collector) Stats() CollectorStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// manualClock is a settable test clock.
+type manualClock struct{ now time.Duration }
+
+func (m *manualClock) Now() time.Duration { return m.now }
+
+func TestNilReqIsNoOp(t *testing.T) {
+	var r *Req
+	r.AddSpan(StageExec, "x", "", 0, 1)
+	r.Mark(StageHost, "x", "", 0)
+	r.Finish(1, errors.New("boom"))
+	if r.Now() != 0 {
+		t.Error("nil Req.Now != 0")
+	}
+}
+
+func TestNilCollectorIsNoOp(t *testing.T) {
+	var c *Collector
+	if c.Begin(1, "web") != nil {
+		t.Error("nil collector sampled a request")
+	}
+	if c.Now() != 0 {
+		t.Error("nil collector clock != 0")
+	}
+}
+
+func TestCollectorRecordsLifecycle(t *testing.T) {
+	clk := &manualClock{}
+	c := NewCollector(clk.Now)
+	clk.now = 10 * time.Microsecond
+	r := c.Begin(7, "web")
+	if r == nil {
+		t.Fatal("request not sampled")
+	}
+	if r.Start != 10*time.Microsecond || r.Workload != 7 || r.Label != "web" {
+		t.Errorf("bad begin stamp: %+v", r)
+	}
+	r.AddSpan(StageExec, "island0/core0/t0", "", 10*time.Microsecond, 12*time.Microsecond)
+	r.AddSpan(StageMemEMEM, "island0/core0/t0", "", 12*time.Microsecond, 15*time.Microsecond)
+	clk.now = 15 * time.Microsecond
+	r.Finish(clk.now, nil)
+	// Duplicate Finish must not overwrite.
+	r.Finish(99*time.Microsecond, errors.New("late"))
+
+	got := c.Requests()
+	if len(got) != 1 {
+		t.Fatalf("requests = %d, want 1", len(got))
+	}
+	if got[0].End != 15*time.Microsecond || got[0].Err != "" {
+		t.Errorf("finish not recorded correctly: end=%v err=%q", got[0].End, got[0].Err)
+	}
+	if len(got[0].Spans) != 2 {
+		t.Errorf("spans = %d, want 2", len(got[0].Spans))
+	}
+}
+
+func TestCollectorSampling(t *testing.T) {
+	clk := &manualClock{}
+	c := NewCollector(clk.Now, WithSampleEvery(3))
+	kept := 0
+	for i := 0; i < 9; i++ {
+		if c.Begin(1, "") != nil {
+			kept++
+		}
+	}
+	if kept != 3 {
+		t.Errorf("kept %d of 9 with sample-every-3, want 3", kept)
+	}
+	st := c.Stats()
+	if st.Started != 9 || st.Sampled != 3 || st.Dropped != 6 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCollectorLimit(t *testing.T) {
+	clk := &manualClock{}
+	c := NewCollector(clk.Now, WithLimit(2))
+	for i := 0; i < 5; i++ {
+		c.Begin(1, "")
+	}
+	if n := len(c.Requests()); n != 2 {
+		t.Errorf("retained %d, want 2", n)
+	}
+	if st := c.Stats(); st.Dropped != 3 {
+		t.Errorf("dropped = %d, want 3", st.Dropped)
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector(WallClock())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r := c.Begin(uint32(g), "web")
+				start := r.Now()
+				r.AddSpan(StageExec, "worker", "", start, r.Now())
+				r.Finish(r.Now(), nil)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := len(c.Requests()); n != 1600 {
+		t.Errorf("collected %d, want 1600", n)
+	}
+}
+
+func TestSummarizeAttributesStages(t *testing.T) {
+	clk := &manualClock{}
+	c := NewCollector(clk.Now)
+	// Two requests for workload 1: exec 2µs + queue 1µs, exec 4µs.
+	mk := func(queue, exec time.Duration) {
+		r := c.Begin(1, "web")
+		t0 := clk.now
+		if queue > 0 {
+			r.AddSpan(StageQueue, "nic", "", t0, t0+queue)
+		}
+		r.AddSpan(StageExec, "island0/core0/t0", "", t0+queue, t0+queue+exec)
+		clk.now = t0 + queue + exec
+		r.Finish(clk.now, nil)
+	}
+	mk(1*time.Microsecond, 2*time.Microsecond)
+	mk(0, 4*time.Microsecond)
+
+	bds := Summarize(c.Requests())
+	if len(bds) != 1 {
+		t.Fatalf("breakdowns = %d, want 1", len(bds))
+	}
+	bd := bds[0]
+	if bd.N != 2 || bd.Label != "web" {
+		t.Errorf("bd = %+v", bd)
+	}
+	if bd.Coverage < 0.999 || bd.Coverage > 1.001 {
+		t.Errorf("coverage = %v, want ~1", bd.Coverage)
+	}
+	var gotExec, gotQueue *StageSummary
+	for i := range bd.Stages {
+		switch bd.Stages[i].Stage {
+		case StageExec:
+			gotExec = &bd.Stages[i]
+		case StageQueue:
+			gotQueue = &bd.Stages[i]
+		}
+	}
+	if gotExec == nil || gotExec.Total != 6*time.Microsecond || gotExec.N != 2 {
+		t.Errorf("exec = %+v", gotExec)
+	}
+	if gotQueue == nil || gotQueue.Total != 1*time.Microsecond || gotQueue.N != 1 {
+		t.Errorf("queue = %+v", gotQueue)
+	}
+	// Queue stage must sort before exec (pipeline order).
+	if bd.Stages[0].Stage != StageQueue {
+		t.Errorf("stage order = %v", bd.Stages)
+	}
+	if out := RenderBreakdown(bds); out == "" {
+		t.Error("empty render")
+	}
+}

@@ -1,0 +1,188 @@
+// Latency-attribution summary: collapses collected request traces into
+// a per-workload, per-stage table (p50/p99 and share of end-to-end
+// time) — the breakdown behind the paper's Figure 6 gap: where λ-NIC
+// requests do and don't spend time.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// StageSummary aggregates one stage's time across a workload's traced
+// requests.
+type StageSummary struct {
+	Stage Stage
+	// N counts requests that recorded at least one span of this stage.
+	N int
+	// Total is summed span time; Mean/P50/P99 are per-request stage
+	// totals over the requests that touched the stage.
+	Total, Mean, P50, P99 time.Duration
+	// Share is Total over the workload's summed end-to-end time.
+	Share float64
+}
+
+// WorkloadBreakdown is one workload's latency attribution.
+type WorkloadBreakdown struct {
+	Workload uint32
+	Label    string
+	// N counts finished traced requests; Errors those with Err set.
+	N, Errors int
+	// End-to-end request latency statistics.
+	E2EMean, E2EP50, E2EP99 time.Duration
+	// Stages in pipeline order.
+	Stages []StageSummary
+	// Coverage is summed stage time over summed end-to-end time: 1.0
+	// means the spans tile every request exactly.
+	Coverage float64
+}
+
+func quantile(sorted []time.Duration, p float64) time.Duration {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[n-1]
+	}
+	pos := p * float64(n-1)
+	lo := int(pos)
+	hi := lo + 1
+	if hi >= n {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo] + time.Duration(frac*float64(sorted[hi]-sorted[lo]))
+}
+
+// Summarize attributes the traced requests' time to stages, grouped by
+// workload. Unfinished requests (End == Start with no spans) still
+// count toward N with zero latency; callers normally export after the
+// run drains.
+func Summarize(reqs []*Req) []WorkloadBreakdown {
+	type wlKey struct {
+		id    uint32
+		label string
+	}
+	type wlAcc struct {
+		key      wlKey
+		e2e      []time.Duration
+		e2eTotal time.Duration
+		errors   int
+		stages   map[Stage][]time.Duration
+		totals   map[Stage]time.Duration
+	}
+	accs := map[wlKey]*wlAcc{}
+	var order []wlKey
+	for _, r := range reqs {
+		k := wlKey{r.Workload, r.Label}
+		a := accs[k]
+		if a == nil {
+			a = &wlAcc{key: k, stages: map[Stage][]time.Duration{}, totals: map[Stage]time.Duration{}}
+			accs[k] = a
+			order = append(order, k)
+		}
+		e2e := r.End - r.Start
+		a.e2e = append(a.e2e, e2e)
+		a.e2eTotal += e2e
+		if r.Err != "" {
+			a.errors++
+		}
+		perStage := map[Stage]time.Duration{}
+		for _, sp := range r.Spans {
+			perStage[sp.Stage] += sp.Duration()
+		}
+		for st, d := range perStage {
+			a.stages[st] = append(a.stages[st], d)
+			a.totals[st] += d
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].id != order[j].id {
+			return order[i].id < order[j].id
+		}
+		return order[i].label < order[j].label
+	})
+
+	out := make([]WorkloadBreakdown, 0, len(order))
+	for _, k := range order {
+		a := accs[k]
+		sort.Slice(a.e2e, func(i, j int) bool { return a.e2e[i] < a.e2e[j] })
+		bd := WorkloadBreakdown{
+			Workload: k.id,
+			Label:    k.label,
+			N:        len(a.e2e),
+			Errors:   a.errors,
+			E2EMean:  a.e2eTotal / time.Duration(max(len(a.e2e), 1)),
+			E2EP50:   quantile(a.e2e, 0.50),
+			E2EP99:   quantile(a.e2e, 0.99),
+		}
+		stages := make([]Stage, 0, len(a.stages))
+		for st := range a.stages {
+			stages = append(stages, st)
+		}
+		sort.Slice(stages, func(i, j int) bool {
+			ri, iok := stageRank[stages[i]]
+			rj, jok := stageRank[stages[j]]
+			if iok && jok && ri != rj {
+				return ri < rj
+			}
+			if iok != jok {
+				return iok
+			}
+			return stages[i] < stages[j]
+		})
+		var stageTotal time.Duration
+		for _, st := range stages {
+			ds := a.stages[st]
+			sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+			total := a.totals[st]
+			stageTotal += total
+			share := 0.0
+			if a.e2eTotal > 0 {
+				share = float64(total) / float64(a.e2eTotal)
+			}
+			bd.Stages = append(bd.Stages, StageSummary{
+				Stage: st,
+				N:     len(ds),
+				Total: total,
+				Mean:  total / time.Duration(len(ds)),
+				P50:   quantile(ds, 0.50),
+				P99:   quantile(ds, 0.99),
+				Share: share,
+			})
+		}
+		if a.e2eTotal > 0 {
+			bd.Coverage = float64(stageTotal) / float64(a.e2eTotal)
+		}
+		out = append(out, bd)
+	}
+	return out
+}
+
+// RenderBreakdown prints the attribution table.
+func RenderBreakdown(bds []WorkloadBreakdown) string {
+	var b strings.Builder
+	b.WriteString("Latency attribution by pipeline stage\n")
+	for _, bd := range bds {
+		label := bd.Label
+		if label == "" {
+			label = fmt.Sprintf("wl-%d", bd.Workload)
+		}
+		fmt.Fprintf(&b, "  %s: n=%d errors=%d e2e mean=%s p50=%s p99=%s coverage=%.1f%%\n",
+			label, bd.N, bd.Errors, fmtDur(bd.E2EMean), fmtDur(bd.E2EP50), fmtDur(bd.E2EP99),
+			100*bd.Coverage)
+		for _, st := range bd.Stages {
+			fmt.Fprintf(&b, "    %-10s %6.1f%%  mean=%-10s p50=%-10s p99=%-10s (n=%d)\n",
+				st.Stage, 100*st.Share, fmtDur(st.Mean), fmtDur(st.P50), fmtDur(st.P99), st.N)
+		}
+	}
+	return b.String()
+}
+
+func fmtDur(d time.Duration) string { return d.Round(time.Nanosecond).String() }

@@ -12,6 +12,7 @@ import (
 
 	"lambdanic/internal/backend"
 	"lambdanic/internal/metrics"
+	"lambdanic/internal/obs"
 	"lambdanic/internal/sim"
 )
 
@@ -19,6 +20,18 @@ import (
 // satisfies it.
 type Invoker interface {
 	Invoke(id uint32, payload []byte, done func(backend.Result))
+}
+
+// invoke dispatches through the target's traced path when a span
+// container is attached and the target supports it.
+func invoke(target Invoker, id uint32, payload []byte, tr *obs.Req, done func(backend.Result)) {
+	if tr != nil {
+		if ti, ok := target.(backend.Traced); ok {
+			ti.InvokeTraced(id, payload, tr, done)
+			return
+		}
+	}
+	target.Invoke(id, payload, done)
 }
 
 // Gateway models the gateway + NAT proxy in front of the backends: a
@@ -42,6 +55,13 @@ func NewGateway(s *sim.Sim, inner Invoker, latency, occupancy time.Duration) *Ga
 // serialized slot, experiences the pipeline latency, and then enters
 // the backend; the response pays the pipeline latency on the way out.
 func (g *Gateway) Invoke(id uint32, payload []byte, done func(backend.Result)) {
+	g.InvokeTraced(id, payload, nil, done)
+}
+
+// InvokeTraced implements backend.Traced: the occupancy wait plus the
+// ingress pipeline half and the egress half are attributed to the
+// gateway stage; tr is forwarded to the wrapped invoker.
+func (g *Gateway) InvokeTraced(id uint32, payload []byte, tr *obs.Req, done func(backend.Result)) {
 	now := g.sim.Now()
 	start := now
 	if g.freeAt > start {
@@ -49,8 +69,15 @@ func (g *Gateway) Invoke(id uint32, payload []byte, done func(backend.Result)) {
 	}
 	g.freeAt = start + sim.Time(g.occupancy)
 	enter := start + sim.Time(g.latency)/2
+	if tr != nil {
+		tr.AddSpan(obs.StageGateway, "gateway", "ingress", now, enter)
+	}
 	g.sim.ScheduleAt(enter, func() {
-		g.inner.Invoke(id, payload, func(r backend.Result) {
+		invoke(g.inner, id, payload, tr, func(r backend.Result) {
+			if tr != nil {
+				back := g.sim.Now()
+				tr.AddSpan(obs.StageGateway, "gateway", "egress", back, back+sim.Time(g.latency)/2)
+			}
 			g.sim.Schedule(sim.Time(g.latency)/2, func() { done(r) })
 		})
 	})
@@ -60,6 +87,8 @@ func (g *Gateway) Invoke(id uint32, payload []byte, done func(backend.Result)) {
 type Request struct {
 	Workload uint32
 	Payload  []byte
+	// Label optionally names the workload in trace reports.
+	Label string
 }
 
 // Generator produces the i-th request of a run.
@@ -81,6 +110,13 @@ func Fixed(id uint32, makePayload func(i int) []byte) Generator {
 	}
 }
 
+// Labeled is Fixed with a workload name attached for trace reports.
+func Labeled(id uint32, label string, makePayload func(i int) []byte) Generator {
+	return func(i int) Request {
+		return Request{Workload: id, Payload: makePayload(i), Label: label}
+	}
+}
+
 // Result summarizes one load run.
 type Result struct {
 	Latency    metrics.Sample
@@ -98,6 +134,9 @@ type OpenLoop struct {
 	Requests   int
 	Gen        Generator
 	Warmup     int
+	// Tracer, when non-nil, receives a span container per measured
+	// request (sampling is the tracer's decision).
+	Tracer obs.Tracer
 }
 
 // Run drives the target, returning latency and throughput measurements.
@@ -109,16 +148,27 @@ func (o OpenLoop) Run(s *sim.Sim, target Invoker) (*Result, error) {
 	total := o.Warmup + o.Requests
 	rng := s.Rand()
 	at := sim.Time(0)
+	// windowOpen distinguishes "throughput window not yet opened" from
+	// a window legitimately starting at virtual time 0: comparing
+	// Start against 0 would re-stamp the window on every issue until a
+	// nonzero time was recorded.
+	windowOpen := false
 	for i := 0; i < total; i++ {
 		i := i
 		req := o.Gen(i)
 		measured := i >= o.Warmup
 		s.ScheduleAt(at, func() {
-			if measured && res.Throughput.Start == 0 {
+			if measured && !windowOpen {
+				windowOpen = true
 				res.Throughput.Start = s.Now()
 			}
 			start := s.Now()
-			target.Invoke(req.Workload, req.Payload, func(r backend.Result) {
+			var tr *obs.Req
+			if o.Tracer != nil && measured {
+				tr = o.Tracer.Begin(req.Workload, req.Label)
+			}
+			invoke(target, req.Workload, req.Payload, tr, func(r backend.Result) {
+				tr.Finish(s.Now(), r.Err)
 				if !measured {
 					return
 				}
@@ -156,6 +206,9 @@ type ClosedLoop struct {
 	// Warmup requests run before measurement starts (the paper
 	// measures warm lambdas) and are excluded from the results.
 	Warmup int
+	// Tracer, when non-nil, receives a span container per measured
+	// request (sampling is the tracer's decision).
+	Tracer obs.Tracer
 }
 
 // Run drives the target until all requests complete, returning latency
@@ -185,7 +238,12 @@ func (c ClosedLoop) Run(s *sim.Sim, target Invoker) (*Result, error) {
 			measuring = true
 		}
 		measured := measuring && i >= c.Warmup
-		target.Invoke(req.Workload, req.Payload, func(r backend.Result) {
+		var tr *obs.Req
+		if c.Tracer != nil && measured {
+			tr = c.Tracer.Begin(req.Workload, req.Label)
+		}
+		invoke(target, req.Workload, req.Payload, tr, func(r backend.Result) {
+			tr.Finish(s.Now(), r.Err)
 			completed++
 			if measured {
 				if r.Err != nil {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"lambdanic/internal/backend"
+	"lambdanic/internal/obs"
 	"lambdanic/internal/sim"
 )
 
@@ -212,5 +213,60 @@ func TestClosedLoopThroughSerialBottleneck(t *testing.T) {
 	// Latency ~ concurrency x service.
 	if mean := res.Latency.Mean(); mean < 0.007 || mean > 0.009 {
 		t.Errorf("mean latency = %v, want ~8ms", mean)
+	}
+}
+
+func TestOpenLoopWindowOpensOnceAtTimeZero(t *testing.T) {
+	// With no warmup the first measured request is issued at virtual
+	// time 0, so the throughput window legitimately starts at 0. The
+	// window must open exactly once: re-stamping Start on later issues
+	// (the old `Start == 0` sentinel check) would shrink the window and
+	// inflate throughput.
+	s := sim.New(1)
+	inv := &fixedInvoker{s: s, service: 10 * time.Microsecond}
+	res, err := OpenLoop{
+		RatePerSec: 1e6,
+		Requests:   100,
+		Gen:        Fixed(1, func(i int) []byte { return nil }),
+	}.Run(s, inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput.Start != 0 {
+		t.Errorf("window start = %v, want 0 (re-stamped after first issue)", res.Throughput.Start)
+	}
+	if res.Throughput.Completed != 100 {
+		t.Errorf("completed = %d, want 100", res.Throughput.Completed)
+	}
+	if res.Throughput.End <= res.Throughput.Start {
+		t.Errorf("window [%v, %v] is empty", res.Throughput.Start, res.Throughput.End)
+	}
+}
+
+func TestClosedLoopTracesMeasuredRequestsOnly(t *testing.T) {
+	s := sim.New(1)
+	inv := &fixedInvoker{s: s, service: time.Millisecond}
+	col := obs.NewCollector(s.Now)
+	_, err := ClosedLoop{
+		Concurrency: 1,
+		Requests:    5,
+		Warmup:      3,
+		Gen:         Labeled(7, "web", func(i int) []byte { return nil }),
+		Tracer:      col,
+	}.Run(s, inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := col.Requests()
+	if len(reqs) != 5 {
+		t.Fatalf("traced %d requests, want 5 (warmup excluded)", len(reqs))
+	}
+	for _, r := range reqs {
+		if r.Workload != 7 || r.Label != "web" {
+			t.Errorf("request %d: workload=%d label=%q", r.ID, r.Workload, r.Label)
+		}
+		if r.End <= r.Start {
+			t.Errorf("request %d: not finished (start=%v end=%v)", r.ID, r.Start, r.End)
+		}
 	}
 }

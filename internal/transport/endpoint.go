@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"lambdanic/internal/matchlambda"
+	"lambdanic/internal/obs"
 )
 
 // Handler serves one reassembled request and returns the response
@@ -128,6 +129,14 @@ func (e *Endpoint) Close() error {
 // payload, and retransmits until a response arrives or retries are
 // exhausted (the sender-tracked delivery of D3).
 func (e *Endpoint) Call(ctx context.Context, to net.Addr, workloadID uint32, payload []byte) ([]byte, error) {
+	return e.CallTraced(ctx, to, workloadID, payload, nil)
+}
+
+// CallTraced is Call with request-lifecycle tracing: every wire
+// attempt (first transmission and each retransmit) is recorded as a
+// transport span in tr, so timeout-driven tail latency is visible in
+// the exported trace. A nil tr is the untraced fast path.
+func (e *Endpoint) CallTraced(ctx context.Context, to net.Addr, workloadID uint32, payload []byte, tr *obs.Req) ([]byte, error) {
 	id := atomic.AddUint64(&e.nextID, 1)
 	h := matchlambda.WireHeader{
 		Version:    matchlambda.Version1,
@@ -152,6 +161,11 @@ func (e *Endpoint) Call(ctx context.Context, to net.Addr, workloadID uint32, pay
 		if attempt > 0 {
 			e.retransmits.Add(1)
 		}
+		detail := "attempt"
+		if attempt > 0 {
+			detail = "retransmit"
+		}
+		attemptStart := tr.Now()
 		for _, pkt := range pkts {
 			if _, err := e.conn.WriteTo(pkt, to); err != nil {
 				return nil, fmt.Errorf("transport: send: %w", err)
@@ -161,14 +175,17 @@ func (e *Endpoint) Call(ctx context.Context, to net.Addr, workloadID uint32, pay
 		select {
 		case msg := <-respCh:
 			timer.Stop()
+			tr.AddSpan(obs.StageTransport, "rpc", detail, attemptStart, tr.Now())
 			if msg.Header.IsError() {
 				return nil, fmt.Errorf("transport: remote error: %s", msg.Payload)
 			}
 			return msg.Payload, nil
 		case <-timer.C:
+			tr.AddSpan(obs.StageTransport, "rpc", detail+"-timeout", attemptStart, tr.Now())
 			// fall through to retransmit
 		case <-ctx.Done():
 			timer.Stop()
+			tr.AddSpan(obs.StageTransport, "rpc", detail+"-cancelled", attemptStart, tr.Now())
 			return nil, ctx.Err()
 		case <-e.closed:
 			timer.Stop()
