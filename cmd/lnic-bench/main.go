@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	lnic-bench [-quick] [-seed N] [-experiment all|table1|fig6|fig7|fig8|table2|table3|table4|fig9]
+//	lnic-bench [-quick] [-short] [-seed N]
+//	           [-experiment all|table1|fig6|fig7|fig8|table2|table3|table4|fig9|chaos]
 //	           [-trace-out trace.json]
 //
 // -quick shrinks sample counts and the benchmark image for fast runs;
@@ -12,6 +13,12 @@
 // EXPERIMENTS.md. -trace-out writes the breakdown experiment's
 // request-lifecycle trace as Chrome trace-event JSON (load it in
 // chrome://tracing or https://ui.perfetto.dev).
+//
+// The chaos experiment (not part of "all") crash-stops a worker NIC
+// under open-loop load and reports availability, error rate, and tail
+// latency before/during/after the failure-detection loop evicts it.
+// -short shrinks it to a smoke run; with -trace-out the request
+// lifecycles plus the fault instants (as global markers) are exported.
 package main
 
 import (
@@ -34,9 +41,10 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("lnic-bench", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "reduced sample counts and image size")
+	short := fs.Bool("short", false, "shrink the chaos experiment to a smoke run")
 	seed := fs.Int64("seed", 42, "simulation seed")
 	experiment := fs.String("experiment", "all",
-		"which experiment to run: all, table1, fig6, fig7, fig8, table2, table3, table4, fig9, optimizer, scaleout, loadcurve, nicclasses, ablations, breakdown")
+		"which experiment to run: all, table1, fig6, fig7, fig8, table2, table3, table4, fig9, optimizer, scaleout, loadcurve, nicclasses, ablations, breakdown, chaos")
 	traceOut := fs.String("trace-out", "",
 		"write the breakdown experiment's Chrome trace-event JSON to this file")
 	if err := fs.Parse(args); err != nil {
@@ -148,6 +156,24 @@ func run(args []string) error {
 			}
 			fmt.Printf("lnic-bench: wrote Chrome trace (%d requests) to %s\n",
 				len(rep.Requests), *traceOut)
+		}
+	}
+	if want == "chaos" {
+		chCfg := experiments.DefaultChaos()
+		if *short || *quick {
+			chCfg = experiments.QuickChaos()
+		}
+		rep, err := experiments.Chaos(cfg, chCfg)
+		if err != nil {
+			return err
+		}
+		out(experiments.RenderChaos(rep))
+		if *traceOut != "" {
+			if err := obs.WriteChromeTraceFileWithMarks(*traceOut, rep.Requests, rep.Marks); err != nil {
+				return err
+			}
+			fmt.Printf("lnic-bench: wrote Chrome trace (%d requests, %d fault marks) to %s\n",
+				len(rep.Requests), len(rep.Marks), *traceOut)
 		}
 	}
 	if !ran {

@@ -11,6 +11,14 @@ func TestRunSingleExperiments(t *testing.T) {
 	}
 }
 
+func TestRunChaosShort(t *testing.T) {
+	// The CI smoke target: short chaos run plus the marked trace export.
+	out := t.TempDir() + "/chaos.json"
+	if err := run([]string{"-short", "-experiment", "chaos", "-trace-out", out}); err != nil {
+		t.Fatalf("run(chaos -short): %v", err)
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := run([]string{"-experiment", "bogus"}); err == nil {
 		t.Error("unknown experiment accepted")

@@ -7,12 +7,16 @@
 //
 //	lnic-gateway -listen 127.0.0.1:8080 \
 //	    -route "1=127.0.0.1:9000,127.0.0.1:9001" -route "4=127.0.0.1:9000" \
-//	    [-metrics :9101] [-trace-out trace.json]
+//	    [-metrics :9101] [-trace-out trace.json] \
+//	    [-faults "drop=0.05,to=127.0.0.1:9000"] [-faults-seed N]
 //
 // Each -route maps one workload ID to its worker addresses. -trace-out
 // records every proxied request's lifecycle (upstream RPC attempts and
 // retransmits) and writes a Chrome trace-event JSON file on shutdown.
-// Stop with SIGINT/SIGTERM.
+// -faults installs a deterministic fault rule on the gateway socket
+// (keys: drop, dup, reorder, delay, from, to, first, last, partition);
+// scope it to one worker link with to=ADDR to rehearse a partial
+// outage. Stop with SIGINT/SIGTERM.
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	"strings"
 	"syscall"
 
+	"lambdanic/internal/faults"
 	"lambdanic/internal/gateway"
 	"lambdanic/internal/monitor"
 	"lambdanic/internal/obs"
@@ -55,6 +60,8 @@ func run(args []string) error {
 	fs.Var(&routes, "route", "workloadID=addr1,addr2 (repeatable)")
 	metricsAddr := fs.String("metrics", "", "serve Prometheus-style metrics on this HTTP address")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace of proxied requests to this file on shutdown")
+	faultSpec := fs.String("faults", "", "fault rule for the gateway socket, e.g. \"drop=0.05,to=127.0.0.1:9000\"")
+	faultSeed := fs.Int64("faults-seed", 42, "seed for deterministic fault decisions")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,11 +69,23 @@ func run(args []string) error {
 		return fmt.Errorf("at least one -route is required")
 	}
 
+	// A nil injector wraps connections as pass-throughs, so the
+	// unfaulted hot path is untouched.
+	var injector *faults.Injector
+	if *faultSpec != "" {
+		rules, err := faults.ParseRules(*faultSpec)
+		if err != nil {
+			return err
+		}
+		injector = faults.NewInjector(*faultSeed, rules...)
+		fmt.Printf("lnic-gateway: fault rules installed: %+v\n", rules)
+	}
+
 	conn, err := net.ListenPacket("udp", *listen)
 	if err != nil {
 		return fmt.Errorf("listen: %w", err)
 	}
-	gw := gateway.New(conn)
+	gw := gateway.New(injector.WrapConn(conn, conn.LocalAddr().String()))
 	defer gw.Close()
 
 	var collector *obs.Collector

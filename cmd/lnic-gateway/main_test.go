@@ -40,3 +40,9 @@ func TestRunRequiresRoutes(t *testing.T) {
 		t.Error("run without routes succeeded")
 	}
 }
+
+func TestRunRejectsBadFaultRule(t *testing.T) {
+	if err := run([]string{"-route", "1=127.0.0.1:9000", "-faults", "bogus"}); err == nil {
+		t.Error("bad fault rule accepted")
+	}
+}

@@ -14,6 +14,11 @@
 //	compile-mcl FILE
 //	         compile a lambda written in the C-like source language and
 //	         print its size, disassembly, and static-assertion results
+//	health   [-workers N] [-interval D] [-kill I] [-wait D]
+//	         run an in-memory deployment with the failure-detection loop
+//	         enabled, optionally crash-stop one worker, and print each
+//	         worker's liveness, last-heartbeat age, and suspicion level
+//	         plus the placement recorded in the control store
 package main
 
 import (
@@ -24,8 +29,10 @@ import (
 	"os"
 	"time"
 
+	"lambdanic"
 	"lambdanic/internal/core"
 	"lambdanic/internal/experiments"
+	"lambdanic/internal/healthd"
 	"lambdanic/internal/matchlambda"
 	"lambdanic/internal/mcc"
 	"lambdanic/internal/mcl"
@@ -43,11 +50,13 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: lnicctl <invoke|compile|artifacts> [flags]")
+		return fmt.Errorf("usage: lnicctl <invoke|compile|artifacts|health> [flags]")
 	}
 	switch args[0] {
 	case "invoke":
 		return invoke(args[1:])
+	case "health":
+		return health(args[1:])
 	case "compile":
 		return compile()
 	case "artifacts":
@@ -59,6 +68,74 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
+}
+
+// health runs the failure-detection loop end to end on an in-memory
+// deployment: workers heartbeat into the control store, an optionally
+// crash-stopped worker goes silent, the detector walks alive → suspect
+// → dead, and the manager evicts it from the placement. The final
+// table shows each worker's liveness, last-heartbeat age, and phi
+// score, followed by the placement read back from the control store.
+func health(args []string) error {
+	fs := flag.NewFlagSet("health", flag.ContinueOnError)
+	workers := fs.Int("workers", 3, "number of worker nodes")
+	interval := fs.Duration("interval", 25*time.Millisecond, "heartbeat interval")
+	kill := fs.Int("kill", 0, "crash-stop this worker index (-1: leave all alive)")
+	wait := fs.Duration("wait", 10*time.Second, "detection deadline")
+	seed := fs.Int64("seed", 42, "network seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *kill >= *workers {
+		return fmt.Errorf("worker index %d out of range (0..%d)", *kill, *workers-1)
+	}
+
+	d, err := lambdanic.NewDeployment(lambdanic.DeploymentConfig{
+		Workers: *workers, Seed: *seed,
+		Health: true, HealthInterval: *interval,
+	})
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	w := workloads.WebServer()
+	if err := d.Deploy(w); err != nil {
+		return err
+	}
+
+	// Wait until every worker has beaten at least once so the detector
+	// knows the whole fleet before we start killing it.
+	deadline := time.Now().Add(*wait)
+	for time.Now().Before(deadline) && len(d.HealthReport()) < *workers {
+		time.Sleep(*interval / 2)
+	}
+
+	if *kill >= 0 {
+		if err := d.KillWorker(*kill); err != nil {
+			return err
+		}
+		victim := fmt.Sprintf("m%d", *kill+2)
+		fmt.Printf("crash-stopped %s; waiting for the detector...\n", victim)
+		for time.Now().Before(deadline) && d.Health().Status(victim) != healthd.StatusDead {
+			time.Sleep(*interval / 2)
+		}
+		if d.Health().Status(victim) != healthd.StatusDead {
+			return fmt.Errorf("%s not declared dead within %s", victim, *wait)
+		}
+	}
+
+	fmt.Printf("%-8s %-8s %5s %5s %12s %8s\n", "WORKER", "STATUS", "SEQ", "LOAD", "LAST-BEAT", "PHI")
+	for _, h := range d.HealthReport() {
+		fmt.Printf("%-8s %-8s %5d %5d %12s %8.2f\n",
+			h.Worker, h.Status, h.Seq, h.Load, h.Age.Round(time.Millisecond), h.Phi)
+	}
+	p, err := d.Manager().Placement(w.Name)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("placement %s (id %d): %v\n", p.Workload, p.ID, p.Workers)
+	fmt.Printf("gateway live workers: %d\n", d.Gateway().LiveWorkers())
+	return nil
 }
 
 func disasm() error {

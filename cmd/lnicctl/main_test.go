@@ -65,6 +65,21 @@ func TestCompileMCLSubcommand(t *testing.T) {
 	}
 }
 
+func TestHealthSubcommand(t *testing.T) {
+	// Full loop: kill worker 0, wait for detection, print the table.
+	if err := run([]string{"health", "-workers", "3", "-interval", "20ms", "-kill", "0"}); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	// No kill: everyone stays alive.
+	if err := run([]string{"health", "-workers", "2", "-interval", "20ms", "-kill", "-1", "-wait", "2s"}); err != nil {
+		t.Fatalf("health -kill -1: %v", err)
+	}
+	// Out-of-range victim.
+	if err := run([]string{"health", "-workers", "2", "-kill", "5"}); err == nil {
+		t.Error("out-of-range kill index accepted")
+	}
+}
+
 func TestInvokeBadWorkload(t *testing.T) {
 	if err := run([]string{"invoke", "-workload", "bogus", "-n", "0"}); err == nil {
 		t.Error("unknown workload accepted")

@@ -7,12 +7,16 @@
 //
 //	lnicd -listen 127.0.0.1:9000 [-memcached 127.0.0.1:11211] \
 //	      [-workloads web,kvget,kvset,image] [-serve-memcached :11211] \
-//	      [-metrics :9100] [-trace-out trace.json]
+//	      [-metrics :9100] [-trace-out trace.json] \
+//	      [-faults "drop=0.05,delay=2ms"] [-faults-seed N]
 //
 // The key-value client lambdas require -memcached (or an embedded
 // server via -serve-memcached). -trace-out records every served
 // request's lifecycle and writes a Chrome trace-event JSON file on
-// shutdown. Stop with SIGINT/SIGTERM.
+// shutdown. -faults installs a deterministic fault rule on the serving
+// socket (keys: drop, dup, reorder, delay, from, to, first, last,
+// partition) for resilience testing against a real deployment. Stop
+// with SIGINT/SIGTERM.
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	"syscall"
 
 	"lambdanic/internal/core"
+	"lambdanic/internal/faults"
 	"lambdanic/internal/kvstore"
 	"lambdanic/internal/monitor"
 	"lambdanic/internal/obs"
@@ -49,8 +54,22 @@ func run(args []string) error {
 	imgH := fs.Int("image-height", workloads.DefaultImageHeight, "image transformer max height")
 	metricsAddr := fs.String("metrics", "", "serve Prometheus-style metrics on this HTTP address")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace of served requests to this file on shutdown")
+	faultSpec := fs.String("faults", "", "fault rule for the serving socket, e.g. \"drop=0.05,delay=2ms\"")
+	faultSeed := fs.Int64("faults-seed", 42, "seed for deterministic fault decisions")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// A nil injector wraps connections as pass-throughs, so the
+	// unfaulted hot path is untouched.
+	var injector *faults.Injector
+	if *faultSpec != "" {
+		rules, err := faults.ParseRules(*faultSpec)
+		if err != nil {
+			return err
+		}
+		injector = faults.NewInjector(*faultSeed, rules...)
+		fmt.Printf("lnicd: fault rules installed: %+v\n", rules)
 	}
 
 	if *serveMemcached != "" {
@@ -84,7 +103,7 @@ func run(args []string) error {
 	if err != nil {
 		return fmt.Errorf("listen: %w", err)
 	}
-	worker := core.NewWorker(conn, deps)
+	worker := core.NewWorker(injector.WrapConn(conn, conn.LocalAddr().String()), deps)
 	defer worker.Close()
 
 	var collector *obs.Collector

@@ -31,3 +31,9 @@ func TestRunBadMemcachedAddress(t *testing.T) {
 		t.Error("bad memcached address accepted")
 	}
 }
+
+func TestRunRejectsBadFaultRule(t *testing.T) {
+	if err := run([]string{"-faults", "drop=lots"}); err == nil {
+		t.Error("bad fault rule accepted")
+	}
+}

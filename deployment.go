@@ -8,7 +8,9 @@ import (
 	"time"
 
 	"lambdanic/internal/core"
+	"lambdanic/internal/faults"
 	"lambdanic/internal/gateway"
+	"lambdanic/internal/healthd"
 	"lambdanic/internal/kvstore"
 	"lambdanic/internal/monitor"
 	"lambdanic/internal/transport"
@@ -31,7 +33,14 @@ type Deployment struct {
 	metrics *monitor.Registry
 
 	workerAddrs []net.Addr
+	workerNames []string
 	closers     []func() error
+
+	// Fault-tolerance wiring (nil/empty unless enabled in the config).
+	injector    *faults.Injector
+	hbs         []*healthd.Heartbeater
+	hd          *healthd.Daemon
+	healthEpoch time.Time
 }
 
 // DeploymentConfig parameterizes NewDeployment.
@@ -46,6 +55,17 @@ type DeploymentConfig struct {
 	// LossRate injects packet loss on the in-memory network, exercising
 	// the weakly-consistent delivery path (D3).
 	LossRate float64
+	// FaultRules installs deterministic per-link fault rules (loss,
+	// delay, duplication, reordering, partitions) on every node's
+	// connection. Leave empty for the unfaulted hot path.
+	FaultRules []faults.Rule
+	// Health enables the failure-detection loop: workers heartbeat into
+	// the control store, and a manager-side daemon evicts workers whose
+	// heartbeats stop, re-places their lambdas, and drains the gateway.
+	Health bool
+	// HealthInterval overrides the heartbeat/poll period (default
+	// healthd.DefaultInterval).
+	HealthInterval time.Duration
 }
 
 func (c *DeploymentConfig) fillDefaults() {
@@ -64,6 +84,15 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 	n.LossRate = cfg.LossRate
 
 	d := &Deployment{metrics: monitor.NewRegistry()}
+	// The injector exists whenever faults can be applied (rules now, or
+	// kill/restart via the health loop); otherwise it stays nil and
+	// WrapConn is an identity, keeping the hot path untouched.
+	if len(cfg.FaultRules) > 0 || cfg.Health {
+		d.injector = faults.NewInjector(cfg.Seed, cfg.FaultRules...)
+	}
+	wrap := func(conn net.PacketConn, name string) net.PacketConn {
+		return d.injector.WrapConn(conn, name)
+	}
 	fail := func(err error) (*Deployment, error) {
 		_ = d.Close()
 		return nil, err
@@ -80,7 +109,7 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 	if err != nil {
 		return fail(err)
 	}
-	d.mem = kvstore.NewServer(kvstore.NewStore(), mcConn)
+	d.mem = kvstore.NewServer(kvstore.NewStore(), wrap(mcConn, "m1:memcached"))
 	d.closers = append(d.closers, d.mem.Close)
 
 	// Worker nodes M2..M(1+n), each with its own memcached client.
@@ -94,8 +123,8 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		if err != nil {
 			return fail(err)
 		}
-		deps := &workloads.Deps{KV: kvstore.NewClient(kvConn, transport.MemAddr("m1:memcached"))}
-		w := core.NewWorker(wConn, deps)
+		deps := &workloads.Deps{KV: kvstore.NewClient(wrap(kvConn, name+":kv"), transport.MemAddr("m1:memcached"))}
+		w := core.NewWorker(wrap(wConn, name), deps)
 		if i == 0 {
 			// One worker feeds the monitoring engine (per-node scrape in
 			// a real cluster).
@@ -105,6 +134,7 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		}
 		d.workers = append(d.workers, w)
 		d.workerAddrs = append(d.workerAddrs, transport.MemAddr(name))
+		d.workerNames = append(d.workerNames, name)
 		d.closers = append(d.closers, w.Close, kvConn.Close)
 	}
 
@@ -112,9 +142,12 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 	if err != nil {
 		return fail(err)
 	}
-	d.gw = gateway.New(gwConn)
+	d.gw = gateway.New(wrap(gwConn, "m1:gateway"))
 	d.closers = append(d.closers, d.gw.Close)
 	if err := d.gw.EnableMetrics(d.metrics); err != nil {
+		return fail(err)
+	}
+	if err := manager.EnableMetrics(d.metrics); err != nil {
 		return fail(err)
 	}
 
@@ -132,10 +165,126 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 	if err != nil {
 		return fail(err)
 	}
-	d.client = transport.NewEndpoint(cliConn, nil,
+	d.client = transport.NewEndpoint(wrap(cliConn, "client"), nil,
 		transport.WithTimeout(250*time.Millisecond), transport.WithRetries(8))
 	d.closers = append(d.closers, d.client.Close)
+
+	if cfg.Health {
+		if err := d.startHealth(cfg); err != nil {
+			return fail(err)
+		}
+	}
 	return d, nil
+}
+
+// startHealth wires the failure-detection loop: per-worker heartbeaters
+// publishing into the control store, and a manager-side daemon that
+// polls them, detects silence, and on death evicts the worker from
+// placements and drains it from the gateway.
+func (d *Deployment) startHealth(cfg DeploymentConfig) error {
+	interval := cfg.HealthInterval
+	if interval <= 0 {
+		interval = healthd.DefaultInterval
+	}
+	for i, w := range d.workers {
+		w := w
+		hb := healthd.NewHeartbeater(d.workerNames[i], interval,
+			w.Inflight, d.manager.PutHealth)
+		hb.Start()
+		d.hbs = append(d.hbs, hb)
+	}
+	epoch := time.Now()
+	d.healthEpoch = epoch
+	det := healthd.NewDetector(healthd.Config{Interval: interval})
+	d.hd = healthd.NewDaemon(det,
+		func() []healthd.Heartbeat {
+			hbs, err := d.manager.HealthSnapshot()
+			if err != nil {
+				return nil
+			}
+			return hbs
+		},
+		func() time.Duration { return time.Since(epoch) })
+	d.hd.OnTransition = func(tr healthd.Transition) {
+		if tr.To != healthd.StatusDead {
+			return
+		}
+		// Re-place first so the gateway's watch installs the surviving
+		// route, then drain in-flight calls to the dead worker.
+		_ = d.manager.EvictWorker(tr.Worker)
+		d.gw.EvictWorker(transport.MemAddr(tr.Worker))
+	}
+	d.hd.Start(interval)
+	d.closers = append(d.closers, func() error {
+		d.hd.Stop()
+		for _, hb := range d.hbs {
+			hb.Stop()
+		}
+		return nil
+	})
+	return nil
+}
+
+// Health exposes the failure detector (nil unless Health was enabled).
+func (d *Deployment) Health() *healthd.Detector {
+	if d.hd == nil {
+		return nil
+	}
+	return d.hd.Detector()
+}
+
+// HealthReport returns the detector's per-worker view at the current
+// wall-clock instant: status, last-heartbeat age, suspicion level. Nil
+// unless Health was enabled.
+func (d *Deployment) HealthReport() []healthd.WorkerHealth {
+	if d.hd == nil {
+		return nil
+	}
+	return d.hd.Detector().Snapshot(time.Since(d.healthEpoch))
+}
+
+// Faults exposes the deployment's injector (nil unless fault rules or
+// the health loop were enabled).
+func (d *Deployment) Faults() *faults.Injector { return d.injector }
+
+// Gateway exposes the gateway (routes, failover counters).
+func (d *Deployment) Gateway() *gateway.Gateway { return d.gw }
+
+// KillWorker crash-stops a worker: its transport goes silent in both
+// directions and its heartbeats stop, so healthd detects and evicts it.
+func (d *Deployment) KillWorker(i int) error {
+	if i < 0 || i >= len(d.workers) {
+		return fmt.Errorf("lambdanic: no worker %d", i)
+	}
+	if d.injector == nil {
+		return errors.New("lambdanic: deployment has no fault injector (enable Health or FaultRules)")
+	}
+	name := d.workerNames[i]
+	d.injector.SetDown(name, true)
+	d.injector.SetDown(name+":kv", true)
+	if i < len(d.hbs) {
+		d.hbs[i].Pause(true)
+	}
+	return nil
+}
+
+// RestartWorker brings a killed worker back; its next heartbeat revives
+// it in the detector, and re-deploying or re-recording placements
+// restores its routes.
+func (d *Deployment) RestartWorker(i int) error {
+	if i < 0 || i >= len(d.workers) {
+		return fmt.Errorf("lambdanic: no worker %d", i)
+	}
+	if d.injector == nil {
+		return errors.New("lambdanic: deployment has no fault injector (enable Health or FaultRules)")
+	}
+	name := d.workerNames[i]
+	d.injector.SetDown(name, false)
+	d.injector.SetDown(name+":kv", false)
+	if i < len(d.hbs) {
+		d.hbs[i].Pause(false)
+	}
+	return nil
 }
 
 // Deploy registers a workload with the manager, installs it on every

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"encoding/json"
+	"sort"
+	"strings"
+
+	"lambdanic/internal/healthd"
+	"lambdanic/internal/monitor"
+)
+
+// Manager-side health state: worker heartbeats live in the control
+// store under "health/<worker>" (the paper's etcd, §6.1.1), and
+// EvictWorker closes healthd's loop — a dead worker is stripped from
+// the fleet, its lambdas re-placed with DRF over the surviving
+// capacity, and the refreshed placements flow to the gateway through
+// the placement watch.
+
+const healthKeyPrefix = "health/"
+
+// PutHealth publishes one worker heartbeat into the control store.
+func (m *Manager) PutHealth(hb healthd.Heartbeat) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.control.Put(healthKeyPrefix+hb.Worker, hb.Encode(), m.controlTicks)
+}
+
+// HealthSnapshot reads every worker heartbeat from the control-store
+// leader, ordered by worker name — the source the healthd daemon polls.
+func (m *Manager) HealthSnapshot() ([]healthd.Heartbeat, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	leader, err := m.control.ElectLeader(m.controlTicks)
+	if err != nil {
+		return nil, err
+	}
+	var out []healthd.Heartbeat
+	for k, v := range m.control.KV(leader).Snapshot() {
+		if !strings.HasPrefix(k, healthKeyPrefix) {
+			continue
+		}
+		hb, err := healthd.DecodeHeartbeat(v)
+		if err != nil {
+			continue
+		}
+		out = append(out, hb)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Worker < out[j].Worker })
+	return out, nil
+}
+
+// SetFleet records the fleet's capacity and the workloads' per-replica
+// demands so evictions can re-run DRF placement. Per-worker capacity is
+// derived as an even share, so surviving capacity shrinks as workers
+// are evicted.
+func (m *Manager) SetFleet(fleet FleetCapacity, demands []WorkloadDemand) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.fleet = fleet
+	m.fleet.Workers = append([]string(nil), fleet.Workers...)
+	m.demands = append([]WorkloadDemand(nil), demands...)
+	if n := float64(len(fleet.Workers)); n > 0 {
+		m.perThreads = fleet.Threads / n
+		m.perMem = fleet.MemoryMB / n
+	}
+}
+
+// EvictWorker removes a dead worker from the fleet and re-places the
+// lambdas it hosted. When SetFleet provided capacity and demands, the
+// manager re-runs DRF over the surviving workers; otherwise (or if the
+// plan is infeasible) it falls back to stripping the worker from every
+// recorded placement. Either way the refreshed placements are committed
+// to the control store, and the worker's heartbeat key is deleted.
+func (m *Manager) EvictWorker(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.fleet.Workers) > 0 {
+		kept := make([]string, 0, len(m.fleet.Workers))
+		for _, w := range m.fleet.Workers {
+			if w != name {
+				kept = append(kept, w)
+			}
+		}
+		if len(kept) < len(m.fleet.Workers) {
+			m.fleet.Workers = kept
+			m.fleet.Threads -= m.perThreads
+			m.fleet.MemoryMB -= m.perMem
+		}
+	}
+	// The heartbeat key goes first so a re-run of the detector does not
+	// resurrect the evicted worker from its stale beat.
+	if err := m.control.Delete(healthKeyPrefix+name, m.controlTicks); err != nil {
+		return err
+	}
+	if len(m.demands) > 0 && len(m.fleet.Workers) > 0 {
+		if plan, err := PlanPlacements(m.fleet, m.demands); err == nil {
+			for _, p := range plan {
+				if err := m.recordPlacementLocked(p.Workload, p.Workers); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		// Infeasible plan (remaining share starves a workload): fall
+		// back to stripping so surviving replicas keep serving.
+	}
+	return m.stripWorkerLocked(name)
+}
+
+// stripWorkerLocked removes a worker from every recorded placement;
+// m.mu must be held.
+func (m *Manager) stripWorkerLocked(name string) error {
+	leader, err := m.control.ElectLeader(m.controlTicks)
+	if err != nil {
+		return err
+	}
+	snap := m.control.KV(leader).Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		if strings.HasPrefix(k, "placement/") {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		var p Placement
+		if err := json.Unmarshal([]byte(snap[k]), &p); err != nil {
+			continue
+		}
+		kept := make([]string, 0, len(p.Workers))
+		for _, w := range p.Workers {
+			if w != name {
+				kept = append(kept, w)
+			}
+		}
+		if len(kept) == len(p.Workers) {
+			continue
+		}
+		if err := m.recordPlacementLocked(p.Workload, kept); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EnableMetrics surfaces control-plane health through the monitoring
+// engine: the Raft leader-change count, read at scrape time.
+func (m *Manager) EnableMetrics(reg *monitor.Registry) error {
+	return reg.GaugeFunc("lnic_control_leader_changes",
+		"control-store Raft leader changes since startup", nil,
+		func() float64 { return float64(m.control.LeaderChanges()) })
+}

@@ -108,6 +108,14 @@ type Manager struct {
 	control *raftkv.Cluster
 	// controlTicks bounds control-plane proposal retries.
 	controlTicks int
+
+	// fleet and demands back self-healing re-placement: when healthd
+	// evicts a worker, the manager re-runs DRF over the surviving
+	// capacity (health.go).
+	fleet      FleetCapacity
+	demands    []WorkloadDemand
+	perThreads float64
+	perMem     float64
 }
 
 // Manager errors.
@@ -204,6 +212,11 @@ type Placement struct {
 func (m *Manager) RecordPlacement(name string, workers []string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.recordPlacementLocked(name, workers)
+}
+
+// recordPlacementLocked publishes a placement; m.mu must be held.
+func (m *Manager) recordPlacementLocked(name string, workers []string) error {
 	id, ok := m.byName[name]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownWorkload, name)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lambdanic/internal/monitor"
@@ -19,6 +20,10 @@ import (
 type Worker struct {
 	ep   *transport.Endpoint
 	deps *workloads.Deps
+
+	// inflight counts requests currently executing — the load snapshot
+	// carried in healthd heartbeats.
+	inflight atomic.Int64
 
 	mu       sync.RWMutex
 	handlers map[uint32]func(payload []byte, deps *workloads.Deps) ([]byte, error)
@@ -52,6 +57,9 @@ func (w *Worker) Addr() net.Addr { return w.ep.Addr() }
 
 // Close stops the worker.
 func (w *Worker) Close() error { return w.ep.Close() }
+
+// Inflight returns the number of requests currently executing.
+func (w *Worker) Inflight() int { return int(w.inflight.Load()) }
 
 // EnableMetrics registers the worker's per-lambda request counters and
 // service-latency histogram in the monitoring engine's registry.
@@ -134,6 +142,8 @@ func (w *Worker) Installed() []uint32 {
 }
 
 func (w *Worker) handle(req *transport.Message) ([]byte, error) {
+	w.inflight.Add(1)
+	defer w.inflight.Add(-1)
 	w.mu.RLock()
 	h, ok := w.handlers[req.Header.WorkloadID]
 	name := w.names[req.Header.WorkloadID]

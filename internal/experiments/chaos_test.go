@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"lambdanic/internal/healthd"
+)
+
+// TestChaosRecovery is the acceptance check for the self-healing loop:
+// the crashed worker must be detected and evicted within the detector's
+// design bound of EvictAfter+2 heartbeat intervals, availability must
+// return to 100% once the survivors own the route, and the tail must
+// re-converge to the healthy baseline.
+func TestChaosRecovery(t *testing.T) {
+	cfg := Quick()
+	rep, err := Chaos(cfg, QuickChaos())
+	if err != nil {
+		t.Fatalf("Chaos: %v", err)
+	}
+	if len(rep.Phases) != 3 {
+		t.Fatalf("phases = %d, want 3", len(rep.Phases))
+	}
+	before, during, after := rep.Phases[0], rep.Phases[1], rep.Phases[2]
+	for _, p := range rep.Phases {
+		if p.Requests == 0 {
+			t.Fatalf("phase %s saw no requests", p.Name)
+		}
+	}
+
+	// Eviction within the bounded number of heartbeat intervals: the
+	// detector needs EvictAfter intervals of silence, plus up to one
+	// interval since the last beat and one of check granularity.
+	bound := QuickChaos().EvictAfter + 2
+	if rep.RecoveryIntervals <= 0 || rep.RecoveryIntervals > bound {
+		t.Errorf("recovery took %.2f heartbeat intervals, want (0, %.0f]",
+			rep.RecoveryIntervals, bound)
+	}
+
+	// The healthy fleet and the recovered fleet both serve everything.
+	if before.Availability != 1.0 {
+		t.Errorf("before availability = %v, want 1.0", before.Availability)
+	}
+	if after.Availability != 1.0 {
+		t.Errorf("after availability = %v (%d/%d errors), want 1.0",
+			after.Availability, after.Errors, after.Requests)
+	}
+	// The outage window is visible: failovers happened, and the tail
+	// during the window carries the attempt timeout.
+	if rep.Failovers == 0 {
+		t.Error("no failovers recorded during the outage")
+	}
+	if during.P99 <= before.P99 {
+		t.Errorf("during p99 %v not elevated over before p99 %v", during.P99, before.P99)
+	}
+	// Tail re-convergence: after eviction the route holds only live
+	// workers, so p99 returns to the healthy order of magnitude.
+	if after.P99 > 2*before.P99 {
+		t.Errorf("after p99 %v did not re-converge (before %v)", after.P99, before.P99)
+	}
+
+	// The dead worker is gone from the placement; the survivors remain.
+	for _, w := range rep.Survivors {
+		if w == rep.Killed {
+			t.Errorf("killed worker %s still placed: %v", rep.Killed, rep.Survivors)
+		}
+	}
+	if want := QuickChaos().Workers - 1; len(rep.Survivors) != want {
+		t.Errorf("survivors = %v, want %d workers", rep.Survivors, want)
+	}
+
+	// The detector's log shows the death, and both fault instants are
+	// marked for the Chrome trace.
+	sawDead := false
+	for _, tr := range rep.Transitions {
+		if tr.Worker == rep.Killed && tr.To == healthd.StatusDead {
+			sawDead = true
+		}
+	}
+	if !sawDead {
+		t.Errorf("no Dead transition for %s in %+v", rep.Killed, rep.Transitions)
+	}
+	if len(rep.Marks) < 2 {
+		t.Fatalf("marks = %+v, want crash + evict", rep.Marks)
+	}
+	for i, want := range []string{"nic-crash:", "evict:"} {
+		if !strings.HasPrefix(rep.Marks[i].Name, want) {
+			t.Errorf("mark %d = %q, want prefix %q", i, rep.Marks[i].Name, want)
+		}
+	}
+	if len(rep.Requests) == 0 {
+		t.Error("no request traces collected")
+	}
+
+	if out := RenderChaos(rep); !strings.Contains(out, "availability") {
+		t.Errorf("render missing header:\n%s", out)
+	}
+}
+
+// TestChaosDeterministic asserts the whole experiment — fault
+// schedule, detection, eviction, and every latency percentile — is a
+// pure function of the seed.
+func TestChaosDeterministic(t *testing.T) {
+	cfg := Quick()
+	a, err := Chaos(cfg, QuickChaos())
+	if err != nil {
+		t.Fatalf("Chaos: %v", err)
+	}
+	b, err := Chaos(cfg, QuickChaos())
+	if err != nil {
+		t.Fatalf("Chaos repeat: %v", err)
+	}
+	if a.KillAt != b.KillAt || a.EvictedAt != b.EvictedAt {
+		t.Errorf("instants differ: %v/%v vs %v/%v", a.KillAt, a.EvictedAt, b.KillAt, b.EvictedAt)
+	}
+	if a.Failovers != b.Failovers {
+		t.Errorf("failovers differ: %d vs %d", a.Failovers, b.Failovers)
+	}
+	if len(a.Phases) != len(b.Phases) {
+		t.Fatalf("phase counts differ: %d vs %d", len(a.Phases), len(b.Phases))
+	}
+	for i := range a.Phases {
+		pa, pb := a.Phases[i], b.Phases[i]
+		if pa != pb {
+			t.Errorf("phase %s differs:\n%+v\n%+v", pa.Name, pa, pb)
+		}
+	}
+}

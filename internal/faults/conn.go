@@ -1,0 +1,105 @@
+package faults
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// WrapConn decorates a packet connection with the injector's rules:
+// every outgoing packet is judged on the (name → destination) link. A
+// nil injector returns conn unchanged — the unfaulted hot path keeps
+// its original connection with zero added cost.
+//
+// Rules fire sender-side only (drop, duplicate, reorder, delay before
+// the write), so wrapping both ends of a link never double-applies a
+// rule; ingress filtering honors the down state alone, keeping a downed
+// endpoint silent in both directions. Reordering holds one packet back
+// and releases it behind the next, mirroring the in-memory network's
+// model.
+func (inj *Injector) WrapConn(conn net.PacketConn, name string) net.PacketConn {
+	if inj == nil {
+		return conn
+	}
+	return &faultConn{PacketConn: conn, inj: inj, name: name}
+}
+
+// faultConn applies injector verdicts around an inner connection.
+type faultConn struct {
+	net.PacketConn
+	inj  *Injector
+	name string
+
+	// held is the packet being reordered behind the next write, per
+	// destination.
+	mu   sync.Mutex
+	held map[string]heldPacket
+}
+
+type heldPacket struct {
+	data []byte
+	addr net.Addr
+}
+
+// WriteTo applies egress faults before delegating to the inner
+// connection. Dropped packets report success, like a lossy wire.
+func (c *faultConn) WriteTo(p []byte, addr net.Addr) (int, error) {
+	v := c.inj.Judge(c.name, addr.String())
+	if v.Drop {
+		return len(p), nil
+	}
+	if v.Delay > 0 {
+		// Copy: the caller may reuse p once WriteTo returns.
+		data := append([]byte(nil), p...)
+		time.AfterFunc(v.Delay, func() {
+			c.writeJudged(data, addr, v)
+		})
+		return len(p), nil
+	}
+	c.writeJudged(p, addr, v)
+	return len(p), nil
+}
+
+// writeJudged performs the write honoring reorder/dup verdicts.
+func (c *faultConn) writeJudged(p []byte, addr net.Addr, v Verdict) {
+	key := addr.String()
+	c.mu.Lock()
+	if v.Reorder {
+		if c.held == nil {
+			c.held = make(map[string]heldPacket)
+		}
+		if _, busy := c.held[key]; !busy {
+			c.held[key] = heldPacket{data: append([]byte(nil), p...), addr: addr}
+			c.mu.Unlock()
+			return
+		}
+	}
+	flush, flushing := c.held[key]
+	delete(c.held, key)
+	c.mu.Unlock()
+	c.PacketConn.WriteTo(p, addr)
+	if v.Dup {
+		c.PacketConn.WriteTo(p, addr)
+	}
+	if flushing {
+		c.PacketConn.WriteTo(flush.data, flush.addr)
+	}
+}
+
+// ReadFrom drops ingress packets addressed to a downed endpoint or
+// judged lost on the source link; everything else passes through.
+func (c *faultConn) ReadFrom(p []byte) (int, net.Addr, error) {
+	for {
+		n, from, err := c.PacketConn.ReadFrom(p)
+		if err != nil {
+			return n, from, err
+		}
+		if from != nil && c.inj.IsDown(from.String()) {
+			continue
+		}
+		if c.inj.IsDown(c.name) {
+			continue
+		}
+		return n, from, nil
+	}
+}

@@ -1,0 +1,148 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Proc is a controllable process-like target — a worker daemon the
+// injector can kill, restart, or slow. The functional deployment
+// implements it over its workers; tests implement it directly.
+type Proc interface {
+	// Kill stops the process: it must stop serving and stop
+	// heartbeating until restarted.
+	Kill() error
+	// Restart brings a killed process back.
+	Restart() error
+	// Slow adds per-request service delay; zero clears it.
+	Slow(d time.Duration) error
+}
+
+// Op enumerates process fault operations.
+type Op int
+
+// Process fault operations.
+const (
+	OpKill Op = iota + 1
+	OpRestart
+	OpSlow
+)
+
+// String names the operation.
+func (o Op) String() string {
+	switch o {
+	case OpKill:
+		return "kill"
+	case OpRestart:
+		return "restart"
+	case OpSlow:
+		return "slow"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// ProcEvent is one scheduled process fault.
+type ProcEvent struct {
+	// At is the offset from script start.
+	At time.Duration
+	// Target names the process in the proc map passed to Run.
+	Target string
+	Op     Op
+	// Delay is the slowdown installed by OpSlow.
+	Delay time.Duration
+}
+
+// Script is an ordered schedule of process faults — the kill/restart/
+// slow half of a chaos scenario. The schedule itself is fixed data, so
+// a script replayed against the same targets produces the same fault
+// sequence every run.
+type Script struct {
+	Events []ProcEvent
+}
+
+// Sorted returns the events in firing order (stable for equal times).
+func (s *Script) Sorted() []ProcEvent {
+	out := append([]ProcEvent(nil), s.Events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// ScriptRun is a script executing against live targets.
+type ScriptRun struct {
+	mu     sync.Mutex
+	timers []*time.Timer
+	errs   []error
+	done   sync.WaitGroup
+}
+
+// Run starts the script against the named processes on wall-clock
+// timers, returning immediately. Events naming unknown targets are
+// recorded as errors. Wait for completion (or cancel early) through the
+// returned run. A nil script returns an empty, already-finished run.
+func (s *Script) Run(procs map[string]Proc) *ScriptRun {
+	run := &ScriptRun{}
+	if s == nil {
+		return run
+	}
+	for _, ev := range s.Sorted() {
+		ev := ev
+		p, ok := procs[ev.Target]
+		if !ok {
+			run.addErr(fmt.Errorf("faults: script target %q unknown", ev.Target))
+			continue
+		}
+		run.done.Add(1)
+		t := time.AfterFunc(ev.At, func() {
+			defer run.done.Done()
+			var err error
+			switch ev.Op {
+			case OpKill:
+				err = p.Kill()
+			case OpRestart:
+				err = p.Restart()
+			case OpSlow:
+				err = p.Slow(ev.Delay)
+			default:
+				err = fmt.Errorf("faults: invalid op %v", ev.Op)
+			}
+			if err != nil {
+				run.addErr(fmt.Errorf("faults: %s %s: %w", ev.Op, ev.Target, err))
+			}
+		})
+		run.mu.Lock()
+		run.timers = append(run.timers, t)
+		run.mu.Unlock()
+	}
+	return run
+}
+
+func (r *ScriptRun) addErr(err error) {
+	r.mu.Lock()
+	r.errs = append(r.errs, err)
+	r.mu.Unlock()
+}
+
+// Wait blocks until every scheduled event has fired and returns the
+// collected errors.
+func (r *ScriptRun) Wait() []error {
+	r.done.Wait()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]error(nil), r.errs...)
+}
+
+// Stop cancels events that have not fired yet.
+func (r *ScriptRun) Stop() {
+	r.mu.Lock()
+	timers := r.timers
+	r.timers = nil
+	r.mu.Unlock()
+	for _, t := range timers {
+		if t.Stop() {
+			r.done.Done()
+		}
+	}
+}

@@ -36,10 +36,15 @@ type Gateway struct {
 	forwarded atomic.Uint64
 	unrouted  atomic.Uint64
 
+	failovers atomic.Uint64
+	timeouts  atomic.Uint64
+
 	// Optional monitoring-engine instrumentation (§6.1.1).
 	mForwarded *monitor.Counter
 	mUnrouted  *monitor.Counter
 	mErrors    *monitor.Counter
+	mFailovers *monitor.Counter
+	mTimeouts  *monitor.Counter
 	mLatency   *monitor.Histogram
 
 	// Optional request-lifecycle tracing.
@@ -82,6 +87,63 @@ func (g *Gateway) Forwarded() uint64 { return g.forwarded.Load() }
 
 // Unrouted returns the number of requests with no route.
 func (g *Gateway) Unrouted() uint64 { return g.unrouted.Load() }
+
+// Failovers returns the number of per-request worker failovers.
+func (g *Gateway) Failovers() uint64 { return g.failovers.Load() }
+
+// UpstreamTimeouts returns the number of upstream calls that timed out
+// after retransmits.
+func (g *Gateway) UpstreamTimeouts() uint64 { return g.timeouts.Load() }
+
+// Retransmits returns the number of upstream request retransmissions.
+func (g *Gateway) Retransmits() uint64 { return g.ep.Retransmits() }
+
+// LiveWorkers counts the distinct worker addresses across all routes —
+// the fleet the gateway can currently reach.
+func (g *Gateway) LiveWorkers() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	seen := make(map[string]bool)
+	for _, ws := range g.routes {
+		for _, w := range ws {
+			seen[w.String()] = true
+		}
+	}
+	return len(seen)
+}
+
+// EvictWorker removes a worker from every route and aborts the in-flight
+// calls addressed to it — the drain step of healthd's eviction: pending
+// requests fail over to surviving replicas immediately instead of
+// waiting out the retransmit schedule. Returns the number of routes the
+// worker was removed from.
+func (g *Gateway) EvictWorker(addr net.Addr) int {
+	key := addr.String()
+	g.mu.Lock()
+	removed := 0
+	for id, ws := range g.routes {
+		kept := make([]net.Addr, 0, len(ws))
+		for _, w := range ws {
+			if w.String() != key {
+				kept = append(kept, w)
+			}
+		}
+		if len(kept) == len(ws) {
+			continue
+		}
+		removed++
+		if len(kept) == 0 {
+			delete(g.routes, id)
+			delete(g.rr, id)
+		} else {
+			g.routes[id] = kept
+			g.rr[id] = 0
+		}
+	}
+	g.mu.Unlock()
+	g.ep.AbortTo(addr)
+	return removed
+}
 
 // SetRoute replaces the worker set for a workload (called by the
 // workload manager as placements change).
@@ -136,13 +198,32 @@ func (g *Gateway) EnableMetrics(reg *monitor.Registry) error {
 	if err != nil {
 		return err
 	}
+	failovers, err := reg.Counter("lnic_gateway_failovers_total", "requests failed over to another worker", nil)
+	if err != nil {
+		return err
+	}
+	timeouts, err := reg.Counter("lnic_gateway_upstream_timeouts_total", "upstream calls that timed out after retransmits", nil)
+	if err != nil {
+		return err
+	}
+	retransmits, err := reg.Counter("lnic_gateway_retransmits_total", "upstream request retransmissions", nil)
+	if err != nil {
+		return err
+	}
+	if err := reg.GaugeFunc("lnic_gateway_live_workers",
+		"distinct worker addresses across all routes", nil,
+		func() float64 { return float64(g.LiveWorkers()) }); err != nil {
+		return err
+	}
 	latency, err := reg.Histogram("lnic_gateway_upstream_latency_seconds",
 		"upstream call latency", nil, monitor.DefaultLatencyBuckets)
 	if err != nil {
 		return err
 	}
+	g.ep.SetRetransmitHook(retransmits.Inc)
 	g.mu.Lock()
 	g.mForwarded, g.mUnrouted, g.mErrors, g.mLatency = forwarded, unrouted, upErr, latency
+	g.mFailovers, g.mTimeouts = failovers, timeouts
 	g.mu.Unlock()
 	return nil
 }
@@ -226,13 +307,32 @@ func (g *Gateway) handle(req *transport.Message) ([]byte, error) {
 		if mErr != nil {
 			mErr.Inc()
 		}
+		if errors.Is(err, transport.ErrTimeout) || errors.Is(err, context.DeadlineExceeded) {
+			g.timeouts.Add(1)
+			g.mu.Lock()
+			mTo := g.mTimeouts
+			g.mu.Unlock()
+			if mTo != nil {
+				mTo.Inc()
+			}
+		}
 		lastErr = fmt.Errorf("gateway: upstream %v: %w", worker, err)
-		// Only unreachability (timeout after retransmits) triggers
-		// failover; an application error from a live worker is
-		// deterministic and is returned as-is.
-		if !errors.Is(err, transport.ErrTimeout) && !errors.Is(err, context.DeadlineExceeded) {
+		// Unreachability (timeout after retransmits) and eviction drains
+		// (AbortTo) trigger failover; an application error from a live
+		// worker is deterministic and is returned as-is.
+		if !errors.Is(err, transport.ErrTimeout) && !errors.Is(err, context.DeadlineExceeded) &&
+			!errors.Is(err, transport.ErrAborted) {
 			tr.Finish(tr.Now(), lastErr)
 			return nil, lastErr
+		}
+		if attempt+1 < attempts {
+			g.failovers.Add(1)
+			g.mu.Lock()
+			mFo := g.mFailovers
+			g.mu.Unlock()
+			if mFo != nil {
+				mFo.Inc()
+			}
 		}
 	}
 	tr.Finish(tr.Now(), lastErr)

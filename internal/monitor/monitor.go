@@ -110,6 +110,7 @@ type metric struct {
 	kind   string
 	c      *Counter
 	g      *Gauge
+	gf     func() float64
 	h      *Histogram
 }
 
@@ -174,6 +175,17 @@ func (r *Registry) Gauge(name, help string, labels map[string]string) (*Gauge, e
 	return g, nil
 }
 
+// GaugeFunc registers a gauge whose value is computed by fn at scrape
+// time — for values owned elsewhere (live-worker counts, control-store
+// leader changes) that would otherwise need a push loop. fn is called
+// from the scrape goroutine and must be safe for concurrent use.
+func (r *Registry) GaugeFunc(name, help string, labels map[string]string, fn func() float64) error {
+	if fn == nil {
+		return fmt.Errorf("monitor: GaugeFunc %s: nil function", name)
+	}
+	return r.register(&metric{name: name, help: help, labels: renderLabels(labels), kind: "gauge", gf: fn})
+}
+
 // Histogram registers and returns a histogram.
 func (r *Registry) Histogram(name, help string, labels map[string]string, bounds []float64) (*Histogram, error) {
 	h := NewHistogram(bounds)
@@ -231,7 +243,13 @@ func (r *Registry) Render() string {
 		case "counter":
 			fmt.Fprintf(&b, "%s%s %d\n", m.name, m.labels, m.c.Value())
 		case "gauge":
-			fmt.Fprintf(&b, "%s%s %g\n", m.name, m.labels, m.g.Value())
+			v := 0.0
+			if m.gf != nil {
+				v = m.gf()
+			} else {
+				v = m.g.Value()
+			}
+			fmt.Fprintf(&b, "%s%s %g\n", m.name, m.labels, v)
 		case "histogram":
 			bounds, cum, sum, count := m.h.Snapshot()
 			base := strings.TrimSuffix(m.labels, "}")

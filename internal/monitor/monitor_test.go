@@ -201,3 +201,28 @@ func TestHTTPHandler(t *testing.T) {
 		t.Errorf("content type = %q", ct)
 	}
 }
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	live := 4
+	if err := r.GaugeFunc("live_workers", "live worker count",
+		map[string]string{"node": "m1"}, func() float64 { return float64(live) }); err != nil {
+		t.Fatalf("GaugeFunc: %v", err)
+	}
+	if !strings.Contains(r.Render(), `live_workers{node="m1"} 4`) {
+		t.Errorf("render:\n%s", r.Render())
+	}
+	// The value is computed at scrape time, not registration time.
+	live = 3
+	if !strings.Contains(r.Render(), `live_workers{node="m1"} 3`) {
+		t.Errorf("render after change:\n%s", r.Render())
+	}
+	if err := r.GaugeFunc("bad", "", nil, nil); err == nil {
+		t.Error("nil function accepted")
+	}
+	// Duplicate registration is rejected like any other metric.
+	if err := r.GaugeFunc("live_workers", "", map[string]string{"node": "m1"},
+		func() float64 { return 0 }); err == nil {
+		t.Error("duplicate GaugeFunc accepted")
+	}
+}

@@ -192,6 +192,14 @@ type NIC struct {
 	fw   Program
 	down bool
 
+	// crashed is the fail-stop state (Crash/Recover): a crashed NIC
+	// black-holes traffic instead of answering, so failure is only
+	// observable through timeouts — the crash model healthd detects.
+	crashed bool
+	// slowdown > 1 stretches service times (island degradation /
+	// thermal throttling).
+	slowdown float64
+
 	// free is the stack of idle NPU thread indexes; its depth is the
 	// classic free-thread count, the indexes name trace tracks.
 	free   []int
@@ -319,6 +327,43 @@ func (n *NIC) Load(fw Program) error {
 	return nil
 }
 
+// Crash fail-stops the NIC (the failure model healthd's detector is
+// built for): arriving requests are black-holed — dropped with no
+// completion callback, so callers see only silence and must rely on
+// timeouts — queued work is discarded, and in-flight completions are
+// suppressed. Occupied threads still drain through the normal finish
+// path, so Recover restores full capacity.
+func (n *NIC) Crash() {
+	n.crashed = true
+	for {
+		p := n.dequeue()
+		if p == nil {
+			break
+		}
+		n.stats.Dropped++
+	}
+}
+
+// Recover brings a crashed NIC back with its loaded firmware intact.
+func (n *NIC) Recover() { n.crashed = false }
+
+// Crashed reports the fail-stop state.
+func (n *NIC) Crashed() bool { return n.crashed }
+
+// SetSlowdown degrades the NIC's service rate: service times are
+// stretched by factor (island degradation, thermal throttling).
+// Factors <= 1 restore full speed. Trace spans keep nominal cycle
+// attribution; only the scheduled completion moves.
+func (n *NIC) SetSlowdown(factor float64) { n.slowdown = factor }
+
+// scaled applies the degradation factor to a service time.
+func (n *NIC) scaled(d sim.Time) sim.Time {
+	if n.slowdown > 1 {
+		return sim.Time(float64(d) * n.slowdown)
+	}
+	return d
+}
+
 // Inject delivers a request to the NIC at the current simulation time.
 // done fires (in virtual time) when the response leaves the NIC. A nil
 // done is allowed for fire-and-forget traffic.
@@ -331,6 +376,13 @@ func (n *NIC) Inject(req *Request, done func(Response, error)) {
 	if n.fw == nil {
 		n.stats.Dropped++
 		complete(Response{}, ErrNoFirmware)
+		return
+	}
+	if n.crashed {
+		// Fail-stop: the request vanishes. No completion fires — the
+		// caller's timeout is the only failure signal, exactly as with a
+		// dead NIC on a real wire.
+		n.stats.Dropped++
 		return
 	}
 	if n.down {
@@ -411,12 +463,20 @@ func (n *NIC) start(p *pending) {
 	if !n.cfg.Preemptive || p.remaining <= quantum {
 		// Run to completion.
 		n.stats.BusyCycles += p.remaining
-		service := sim.CyclesToDuration(p.remaining, n.cfg.NIC.ClockHz)
+		service := n.scaled(sim.CyclesToDuration(p.remaining, n.cfg.NIC.ClockHz))
 		if p.req.Trace != nil {
 			n.traceExecution(p, now)
 		}
 		p.remaining = 0
 		n.sim.Schedule(service, func() {
+			if n.crashed {
+				// The NIC died mid-service: the completion is lost, but
+				// the thread is accounted free so Recover restores full
+				// capacity.
+				n.stats.Dropped++
+				n.finish(p.thread)
+				return
+			}
 			n.stats.Completed++
 			p.done(p.resp, p.err)
 			n.finish(p.thread)
@@ -431,11 +491,16 @@ func (n *NIC) start(p *pending) {
 	n.stats.BusyCycles += quantum + cs
 	n.stats.Preemptions++
 	p.remaining -= quantum
-	service := sim.CyclesToDuration(quantum+cs, n.cfg.NIC.ClockHz)
+	service := n.scaled(sim.CyclesToDuration(quantum+cs, n.cfg.NIC.ClockHz))
 	if tr := p.req.Trace; tr != nil {
 		tr.AddSpan(obs.StageExec, n.track(p.thread), "quantum", now, now+service)
 	}
 	n.sim.Schedule(service, func() {
+		if n.crashed {
+			n.stats.Dropped++
+			n.finish(p.thread)
+			return
+		}
 		n.enqueue(p)
 		n.finish(p.thread)
 	})

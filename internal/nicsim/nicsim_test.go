@@ -410,3 +410,70 @@ func TestWorkConservationProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestCrashBlackHolesAndRecovers(t *testing.T) {
+	s := sim.New(1)
+	cfg := smallConfig(1)
+	n := newNIC(t, s, cfg)
+	loadSingle(t, n, image(7, fakeLambda{instr: 500}))
+
+	// One request in flight, one queued behind it, then the crash: the
+	// in-flight completion is suppressed, the queued request discarded,
+	// and neither callback ever fires.
+	completions := 0
+	n.Inject(&Request{LambdaID: 7, Packets: 1}, func(Response, error) { completions++ })
+	n.Inject(&Request{LambdaID: 7, Packets: 1}, func(Response, error) { completions++ })
+	n.Crash()
+	// Requests arriving at a crashed NIC vanish the same way.
+	n.Inject(&Request{LambdaID: 7, Packets: 1}, func(Response, error) { completions++ })
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if completions != 0 {
+		t.Errorf("crashed NIC fired %d completions, want 0 (black hole)", completions)
+	}
+	if got := n.Stats().Dropped; got != 3 {
+		t.Errorf("Dropped = %d, want 3", got)
+	}
+
+	// Recover restores full capacity: the occupied thread was released
+	// through the normal finish path.
+	n.Recover()
+	served := false
+	n.Inject(&Request{LambdaID: 7, Packets: 1}, func(_ Response, err error) {
+		if err != nil {
+			t.Errorf("post-recovery request: %v", err)
+		}
+		served = true
+	})
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if !served {
+		t.Error("recovered NIC did not serve")
+	}
+}
+
+func TestSetSlowdownStretchesService(t *testing.T) {
+	run := func(factor float64) sim.Time {
+		s := sim.New(1)
+		n := newNIC(t, s, testConfig())
+		loadSingle(t, n, image(7, fakeLambda{instr: 500}))
+		n.SetSlowdown(factor)
+		var done sim.Time
+		n.Inject(&Request{LambdaID: 7, Packets: 1}, func(Response, error) { done = s.Now() })
+		if err := s.RunUntilIdle(); err != nil {
+			t.Fatal(err)
+		}
+		return done
+	}
+	base := run(0)
+	slowed := run(3)
+	if slowed != 3*base {
+		t.Errorf("slowdown 3x: latency %v, want %v (base %v)", slowed, 3*base, base)
+	}
+	// Factors <= 1 restore full speed.
+	if again := run(1); again != base {
+		t.Errorf("slowdown 1x: latency %v, want base %v", again, base)
+	}
+}

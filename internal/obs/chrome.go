@@ -17,11 +17,13 @@ import (
 // chromeEvent is one entry of the traceEvents array. Field order is the
 // emission order, which keeps output deterministic and diffable.
 type chromeEvent struct {
-	Name string         `json:"name"`
-	Cat  string         `json:"cat,omitempty"`
-	Ph   string         `json:"ph"`
-	Ts   float64        `json:"ts"`
-	Dur  *float64       `json:"dur,omitempty"`
+	Name string   `json:"name"`
+	Cat  string   `json:"cat,omitempty"`
+	Ph   string   `json:"ph"`
+	Ts   float64  `json:"ts"`
+	Dur  *float64 `json:"dur,omitempty"`
+	// S is the instant-event scope; "g" draws a global marker line.
+	S    string         `json:"s,omitempty"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
 	Args map[string]any `json:"args,omitempty"`
@@ -46,6 +48,13 @@ func micros(d int64) float64 { return float64(d) / 1e3 }
 // deterministic: tracks are numbered in first-appearance order and
 // events follow the request/recording order.
 func WriteChromeTrace(w io.Writer, reqs []*Req) error {
+	return WriteChromeTraceWithMarks(w, reqs, nil)
+}
+
+// WriteChromeTraceWithMarks additionally renders collector-level marks
+// (fault injections, evictions) as global instant events, drawn as
+// vertical marker lines across the whole timeline in the viewer.
+func WriteChromeTraceWithMarks(w io.Writer, reqs []*Req, marks []Mark) error {
 	tids := map[string]int{}
 	var trackNames []string
 	trackID := func(name string) int {
@@ -97,6 +106,14 @@ func WriteChromeTrace(w io.Writer, reqs []*Req) error {
 		}
 	}
 
+	for _, m := range marks {
+		events = append(events, chromeEvent{
+			Name: m.Name, Cat: "fault", Ph: "i",
+			Ts: micros(int64(m.At)), S: "g",
+			Pid: chromePidStages, Tid: trackID(m.Track),
+		})
+	}
+
 	// Metadata first: process names, then thread names per track plus
 	// one per seen workload on the requests process.
 	meta := []chromeEvent{
@@ -143,11 +160,17 @@ func WriteChromeTrace(w io.Writer, reqs []*Req) error {
 
 // WriteChromeTraceFile writes the trace to path (0644).
 func WriteChromeTraceFile(path string, reqs []*Req) error {
+	return WriteChromeTraceFileWithMarks(path, reqs, nil)
+}
+
+// WriteChromeTraceFileWithMarks writes the trace with global marks to
+// path (0644).
+func WriteChromeTraceFileWithMarks(path string, reqs []*Req, marks []Mark) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := WriteChromeTrace(f, reqs); err != nil {
+	if err := WriteChromeTraceWithMarks(f, reqs, marks); err != nil {
 		f.Close()
 		return err
 	}

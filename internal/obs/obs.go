@@ -155,6 +155,16 @@ type Tracer interface {
 	Now() time.Duration
 }
 
+// Mark is a collector-level instant event on a named track — a fault
+// injection, a worker eviction, a recovery — not tied to any single
+// request. Exporters render marks as instant markers alongside the
+// request spans (the chaos experiment's kill/evict flags).
+type Mark struct {
+	Track string
+	Name  string
+	At    time.Duration
+}
+
 // CollectorStats counts the collector's admission decisions.
 type CollectorStats struct {
 	// Started counts Begin calls, Sampled the traces admitted, and
@@ -173,6 +183,7 @@ type Collector struct {
 	limit       int
 	stats       CollectorStats
 	reqs        []*Req
+	marks       []Mark
 }
 
 // Option configures a Collector.
@@ -254,6 +265,29 @@ func (c *Collector) Requests() []*Req {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return append([]*Req(nil), c.reqs...)
+}
+
+// MarkEvent records a collector-level instant event. Marks bypass
+// sampling — fault events are rare and always wanted. Safe on a nil
+// collector.
+func (c *Collector) MarkEvent(track, name string, at time.Duration) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.marks = append(c.marks, Mark{Track: track, Name: name, At: at})
+	c.mu.Unlock()
+}
+
+// Marks returns a snapshot of the recorded instant events in recording
+// order.
+func (c *Collector) Marks() []Mark {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Mark(nil), c.marks...)
 }
 
 // Stats returns the collector's admission counters.

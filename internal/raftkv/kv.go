@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // Command is one state-machine operation carried in a log entry.
@@ -102,6 +103,13 @@ type Cluster struct {
 	// watchers are notified as committed commands apply (the etcd-style
 	// watch the gateway uses to track placement changes).
 	watchers []watcher
+
+	// lastLeader and leaderChanges track control-plane churn: every
+	// transition to a different leader after the first election counts.
+	// leaderChanges is atomic so monitoring can scrape it from another
+	// goroutine while the (single-threaded) cluster runs.
+	lastLeader    NodeID
+	leaderChanges atomic.Uint64
 }
 
 type watcher struct {
@@ -194,6 +202,7 @@ func (c *Cluster) pump() {
 		}
 		if len(c.queue) == 0 {
 			c.autoCompact()
+			c.noteLeader()
 			return
 		}
 		batch := c.queue
@@ -264,6 +273,24 @@ func (c *Cluster) notify(id NodeID, e Entry) {
 func (c *Cluster) Subscribe(node NodeID, prefix string, fn func(Command)) {
 	c.watchers = append(c.watchers, watcher{node: node, prefix: prefix, fn: fn})
 }
+
+// noteLeader records leadership transitions once the message queue
+// quiesces.
+func (c *Cluster) noteLeader() {
+	l := c.Leader()
+	if l == 0 || l == c.lastLeader {
+		return
+	}
+	if c.lastLeader != 0 {
+		c.leaderChanges.Add(1)
+	}
+	c.lastLeader = l
+}
+
+// LeaderChanges counts transitions to a different leader after the
+// first election — the control-plane churn signal chaos runs correlate
+// with data-plane recovery. Safe to read from any goroutine.
+func (c *Cluster) LeaderChanges() uint64 { return c.leaderChanges.Load() }
 
 // Leader returns the current leader if exactly one live node believes
 // it leads at the highest term, else 0.

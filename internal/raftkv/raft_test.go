@@ -317,3 +317,31 @@ func TestDeterministicElections(t *testing.T) {
 		t.Errorf("elections not deterministic: (%d,%d) vs (%d,%d)", l1, t1, l2, t2)
 	}
 }
+
+func TestLeaderChangesCounter(t *testing.T) {
+	c := NewCluster(3, 17)
+	l1 := electLeader(t, c)
+	// The first election is bootstrap, not churn.
+	if got := c.LeaderChanges(); got != 0 {
+		t.Fatalf("LeaderChanges after first election = %d, want 0", got)
+	}
+	c.Down(l1)
+	var l2 NodeID
+	for i := 0; i < 400 && l2 == 0; i++ {
+		c.Tick()
+		l2 = c.Leader()
+	}
+	if l2 == 0 || l2 == l1 {
+		t.Fatalf("no new leader after failover (l1=%d l2=%d)", l1, l2)
+	}
+	if got := c.LeaderChanges(); got != 1 {
+		t.Errorf("LeaderChanges after failover = %d, want 1", got)
+	}
+	// Steady-state ticks under the same leader add no churn.
+	for i := 0; i < 50; i++ {
+		c.Tick()
+	}
+	if got := c.LeaderChanges(); got != 1 {
+		t.Errorf("LeaderChanges in steady state = %d, want 1", got)
+	}
+}

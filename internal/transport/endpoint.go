@@ -33,7 +33,7 @@ type Endpoint struct {
 	handler Handler
 
 	mu      sync.Mutex
-	pending map[uint64]chan *Message
+	pending map[uint64]*pendingCall
 	reasm   *Reassembler
 	// seen caches responses by (client, request ID) so retransmitted
 	// requests are answered without re-executing the lambda. The client
@@ -51,9 +51,22 @@ type Endpoint struct {
 	wg     sync.WaitGroup
 	closed chan struct{}
 
+	// onRetransmit, when set, observes every retransmission (the
+	// gateway's monitoring hook; transport stays metrics-agnostic).
+	onRetransmit func()
+
 	// Stats.
 	retransmits atomic.Uint64
 	duplicates  atomic.Uint64
+}
+
+// pendingCall tracks one in-flight RPC: its response channel, its
+// destination (so AbortTo can drain calls to an evicted worker), and an
+// abort signal.
+type pendingCall struct {
+	ch    chan *Message
+	to    string
+	abort chan struct{}
 }
 
 // EndpointOption configures an Endpoint.
@@ -73,6 +86,9 @@ func WithRetries(n int) EndpointOption { return func(e *Endpoint) { e.retries = 
 var (
 	ErrTimeout = errors.New("transport: request timed out after retries")
 	ErrClosed  = errors.New("transport: endpoint closed")
+	// ErrAborted reports a call cancelled by AbortTo — its destination
+	// was evicted while the RPC was in flight.
+	ErrAborted = errors.New("transport: call aborted (destination evicted)")
 )
 
 // seenCap bounds the duplicate-suppression cache.
@@ -88,7 +104,7 @@ func NewEndpoint(conn net.PacketConn, handler Handler, opts ...EndpointOption) *
 		timeout:  200 * time.Millisecond,
 		retries:  4,
 		handler:  handler,
-		pending:  make(map[uint64]chan *Message),
+		pending:  make(map[uint64]*pendingCall),
 		reasm:    NewReassembler(),
 		seen:     make(map[string][]byte),
 		seenErr:  make(map[string]bool),
@@ -111,6 +127,38 @@ func (e *Endpoint) Retransmits() uint64 { return e.retransmits.Load() }
 
 // Duplicates returns the number of duplicate requests suppressed.
 func (e *Endpoint) Duplicates() uint64 { return e.duplicates.Load() }
+
+// SetRetransmitHook installs a callback invoked on every request
+// retransmission. Set before issuing calls.
+func (e *Endpoint) SetRetransmitHook(fn func()) {
+	e.mu.Lock()
+	e.onRetransmit = fn
+	e.mu.Unlock()
+}
+
+// AbortTo cancels every in-flight call addressed to the given
+// destination, failing each with ErrAborted — the gateway's drain path
+// when a worker is evicted, so callers fail over immediately instead of
+// waiting out the retransmit schedule. Returns the number of calls
+// aborted.
+func (e *Endpoint) AbortTo(to net.Addr) int {
+	key := to.String()
+	aborted := 0
+	e.mu.Lock()
+	for _, pc := range e.pending {
+		if pc.to != key {
+			continue
+		}
+		select {
+		case <-pc.abort:
+		default:
+			close(pc.abort)
+			aborted++
+		}
+	}
+	e.mu.Unlock()
+	return aborted
+}
 
 // Close shuts the endpoint down and waits for its goroutines.
 func (e *Endpoint) Close() error {
@@ -147,9 +195,14 @@ func (e *Endpoint) CallTraced(ctx context.Context, to net.Addr, workloadID uint3
 	if err != nil {
 		return nil, err
 	}
-	respCh := make(chan *Message, 1)
+	pc := &pendingCall{
+		ch:    make(chan *Message, 1),
+		to:    to.String(),
+		abort: make(chan struct{}),
+	}
 	e.mu.Lock()
-	e.pending[id] = respCh
+	e.pending[id] = pc
+	hook := e.onRetransmit
 	e.mu.Unlock()
 	defer func() {
 		e.mu.Lock()
@@ -160,6 +213,9 @@ func (e *Endpoint) CallTraced(ctx context.Context, to net.Addr, workloadID uint3
 	for attempt := 0; attempt <= e.retries; attempt++ {
 		if attempt > 0 {
 			e.retransmits.Add(1)
+			if hook != nil {
+				hook()
+			}
 		}
 		detail := "attempt"
 		if attempt > 0 {
@@ -173,7 +229,7 @@ func (e *Endpoint) CallTraced(ctx context.Context, to net.Addr, workloadID uint3
 		}
 		timer := time.NewTimer(e.timeout)
 		select {
-		case msg := <-respCh:
+		case msg := <-pc.ch:
 			timer.Stop()
 			tr.AddSpan(obs.StageTransport, "rpc", detail, attemptStart, tr.Now())
 			if msg.Header.IsError() {
@@ -183,6 +239,10 @@ func (e *Endpoint) CallTraced(ctx context.Context, to net.Addr, workloadID uint3
 		case <-timer.C:
 			tr.AddSpan(obs.StageTransport, "rpc", detail+"-timeout", attemptStart, tr.Now())
 			// fall through to retransmit
+		case <-pc.abort:
+			timer.Stop()
+			tr.AddSpan(obs.StageTransport, "rpc", detail+"-aborted", attemptStart, tr.Now())
+			return nil, fmt.Errorf("%w: request %d", ErrAborted, id)
 		case <-ctx.Done():
 			timer.Stop()
 			tr.AddSpan(obs.StageTransport, "rpc", detail+"-cancelled", attemptStart, tr.Now())
@@ -228,11 +288,11 @@ func (e *Endpoint) handlePacket(pkt []byte, from net.Addr) {
 	}
 	if msg.Header.IsResponse() {
 		e.mu.Lock()
-		ch, ok := e.pending[msg.Header.RequestID]
+		pc, ok := e.pending[msg.Header.RequestID]
 		e.mu.Unlock()
 		if ok {
 			select {
-			case ch <- msg:
+			case pc.ch <- msg:
 			default: // response already delivered (retransmit race)
 			}
 		}

@@ -1,0 +1,115 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lambdanic/internal/faults"
+)
+
+// newFaultedPair is newPair with both endpoints' connections wrapped by
+// a fault injector, so every packet on the client↔server link is judged
+// by the given rules.
+func newFaultedPair(t *testing.T, net *MemNetwork, inj *faults.Injector,
+	handler Handler, opts ...EndpointOption) (server, client *Endpoint) {
+	t.Helper()
+	sc, err := net.Listen("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := net.Listen("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server = NewEndpoint(inj.WrapConn(sc, "server"), handler, opts...)
+	client = NewEndpoint(inj.WrapConn(cc, "client"), nil, opts...)
+	t.Cleanup(func() {
+		if err := client.Close(); err != nil {
+			t.Errorf("client close: %v", err)
+		}
+		if err := server.Close(); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+	})
+	return server, client
+}
+
+// TestReassemblyUnderInjectedReorderDup drives multi-fragment RPCs
+// through injector-level reordering and duplication (rather than the
+// MemNetwork's built-in knobs) and checks the reassembler still yields
+// intact payloads with exactly-once handler execution.
+func TestReassemblyUnderInjectedReorderDup(t *testing.T) {
+	n := NewMemNetwork(5)
+	inj := faults.NewInjector(5,
+		faults.Rule{From: "client", Reorder: 0.5, Dup: 0.3},
+		faults.Rule{From: "server", Reorder: 0.3, Dup: 0.3},
+	)
+	payload := bytes.Repeat([]byte("frag"), 20_000) // many fragments each way
+	var execs atomic.Int32
+	server, client := newFaultedPair(t, n, inj, func(req *Message) ([]byte, error) {
+		execs.Add(1)
+		if !bytes.Equal(req.Payload, payload) {
+			return nil, errors.New("corrupted payload")
+		}
+		return req.Payload, nil
+	}, WithTimeout(200*time.Millisecond), WithRetries(10))
+
+	const calls = 5
+	for i := 0; i < calls; i++ {
+		resp, err := client.Call(context.Background(), MemAddr("server"), 1, payload)
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if !bytes.Equal(resp, payload) {
+			t.Fatalf("call %d: response corrupted (%d bytes)", i, len(resp))
+		}
+	}
+	// Duplicated request fragments must not re-execute the handler; give
+	// straggler duplicates a moment to drain first.
+	time.Sleep(20 * time.Millisecond)
+	if got := execs.Load(); got != calls {
+		t.Errorf("handler executed %d times, want %d", got, calls)
+	}
+	_ = server
+
+	// Verdicts are a pure function of (seed, link, index), so a twin
+	// injector replays the fate of the packets the client just sent and
+	// proves the run really was exposed to duplication and reordering.
+	replay := faults.NewInjector(5,
+		faults.Rule{From: "client", Reorder: 0.5, Dup: 0.3},
+		faults.Rule{From: "server", Reorder: 0.3, Dup: 0.3},
+	)
+	dups, reorders := 0, 0
+	for i := 0; i < 100; i++ {
+		v := replay.Judge("client", "server")
+		if v.Dup {
+			dups++
+		}
+		if v.Reorder {
+			reorders++
+		}
+	}
+	if dups == 0 || reorders == 0 {
+		t.Errorf("replayed verdicts saw %d dups, %d reorders — rules not exercised", dups, reorders)
+	}
+}
+
+// TestCallThroughInjectedPartitionFails confirms the injector's
+// partition rule actually severs the link: with the client→server
+// direction cut, calls exhaust their retries and time out.
+func TestCallThroughInjectedPartitionFails(t *testing.T) {
+	n := NewMemNetwork(9)
+	inj := faults.NewInjector(9, faults.Rule{From: "client", To: "server", Partition: true})
+	_, client := newFaultedPair(t, n, inj, func(req *Message) ([]byte, error) {
+		return []byte("unreachable"), nil
+	}, WithTimeout(5*time.Millisecond), WithRetries(2))
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, err := client.Call(ctx, MemAddr("server"), 1, []byte("q")); err == nil {
+		t.Error("call succeeded across a partition")
+	}
+}

@@ -191,6 +191,79 @@ func TestDeploymentMetrics(t *testing.T) {
 	}
 }
 
+func TestDeploymentSelfHealing(t *testing.T) {
+	d, err := NewDeployment(DeploymentConfig{
+		Workers:        3,
+		Seed:           9,
+		Health:         true,
+		HealthInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	web := WebServer()
+	if err := d.Deploy(web); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if _, err := d.Invoke(ctx, web.ID, web.MakeRequest(0)); err != nil {
+		t.Fatal(err)
+	}
+	if n := d.Gateway().LiveWorkers(); n != 3 {
+		t.Fatalf("live workers = %d, want 3", n)
+	}
+
+	// Crash-stop worker 0 (m2): transport silent, heartbeats stop.
+	if err := d.KillWorker(0); err != nil {
+		t.Fatal(err)
+	}
+	// healthd must declare it dead, evict it from placements, and
+	// shrink the gateway's routes. The detection bound is asserted
+	// deterministically in internal/healthd and the chaos experiment;
+	// here the wall-clock loop just has to converge.
+	deadline := time.Now().Add(30 * time.Second)
+	for d.Gateway().LiveWorkers() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("gateway still routes %d workers; detector: %+v",
+				d.Gateway().LiveWorkers(), d.Health().Snapshot(0))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	p, err := d.Manager().Placement(web.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range p.Workers {
+		if w == "m2" {
+			t.Fatalf("dead worker still placed: %+v", p)
+		}
+	}
+	// Service remains available on the survivors.
+	for i := 0; i < 5; i++ {
+		resp, err := d.Invoke(ctx, web.ID, web.MakeRequest(i))
+		if err != nil {
+			t.Fatalf("request %d after eviction: %v", i, err)
+		}
+		if !strings.Contains(string(resp), "lambda-nic page") {
+			t.Errorf("request %d corrupt: %q", i, resp)
+		}
+	}
+
+	// A restarted worker's next heartbeat revives it in the detector.
+	if err := d.RestartWorker(0); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(30 * time.Second)
+	for d.Health().Status("m2") != 0 { // healthd.StatusAlive
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted worker never revived; detector: %+v", d.Health().Snapshot(0))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
 func TestDeploymentSurvivesWorkerCrash(t *testing.T) {
 	d, err := NewDeployment(DeploymentConfig{Workers: 2, Seed: 21})
 	if err != nil {
