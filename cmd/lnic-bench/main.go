@@ -5,8 +5,8 @@
 // Usage:
 //
 //	lnic-bench [-quick] [-short] [-seed N]
-//	           [-experiment all|table1|fig6|fig7|fig8|table2|table3|table4|fig9|chaos]
-//	           [-trace-out trace.json]
+//	           [-experiment all|table1|fig6|fig7|fig8|table2|table3|table4|fig9|chaos|rpcbench]
+//	           [-trace-out trace.json] [-bench-out BENCH_rpc.json]
 //
 // -quick shrinks sample counts and the benchmark image for fast runs;
 // the default configuration reproduces the numbers recorded in
@@ -19,6 +19,11 @@
 // latency before/during/after the failure-detection loop evicts it.
 // -short shrinks it to a smoke run; with -trace-out the request
 // lifecycles plus the fault instants (as global markers) are exported.
+//
+// The rpcbench experiment (not part of "all") measures the real RPC
+// data plane — not the simulated testbed — over memnet and loopback
+// UDP, closed- and open-loop, and writes req/s, latency percentiles,
+// and allocs/op to -bench-out (default BENCH_rpc.json).
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 	"os"
 	"strings"
 
+	"lambdanic/internal/benchio"
 	"lambdanic/internal/experiments"
 	"lambdanic/internal/obs"
 )
@@ -44,9 +50,11 @@ func run(args []string) error {
 	short := fs.Bool("short", false, "shrink the chaos experiment to a smoke run")
 	seed := fs.Int64("seed", 42, "simulation seed")
 	experiment := fs.String("experiment", "all",
-		"which experiment to run: all, table1, fig6, fig7, fig8, table2, table3, table4, fig9, optimizer, scaleout, loadcurve, nicclasses, ablations, breakdown, chaos")
+		"which experiment to run: all, table1, fig6, fig7, fig8, table2, table3, table4, fig9, optimizer, scaleout, loadcurve, nicclasses, ablations, breakdown, chaos, rpcbench")
 	traceOut := fs.String("trace-out", "",
 		"write the breakdown experiment's Chrome trace-event JSON to this file")
+	benchOut := fs.String("bench-out", "BENCH_rpc.json",
+		"write the rpcbench experiment's JSON report to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -174,6 +182,24 @@ func run(args []string) error {
 			}
 			fmt.Printf("lnic-bench: wrote Chrome trace (%d requests, %d fault marks) to %s\n",
 				len(rep.Requests), len(rep.Marks), *traceOut)
+		}
+	}
+	if want == "rpcbench" {
+		rbCfg := experiments.DefaultRPCBench()
+		if *short || *quick {
+			rbCfg = experiments.QuickRPCBench()
+		}
+		rep, err := experiments.RPCBench(rbCfg, *seed)
+		if err != nil {
+			return err
+		}
+		out(experiments.RenderRPCBench(rep))
+		if *benchOut != "" {
+			if err := benchio.WriteJSON(*benchOut, rep); err != nil {
+				return err
+			}
+			fmt.Printf("lnic-bench: wrote %d benchmark results to %s\n",
+				len(rep.Results), *benchOut)
 		}
 	}
 	if !ran {

@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"lambdanic/internal/benchio"
+)
 
 func TestRunSingleExperiments(t *testing.T) {
 	// Fast experiments run end-to-end through the CLI entry point.
@@ -16,6 +22,25 @@ func TestRunChaosShort(t *testing.T) {
 	out := t.TempDir() + "/chaos.json"
 	if err := run([]string{"-short", "-experiment", "chaos", "-trace-out", out}); err != nil {
 		t.Fatalf("run(chaos -short): %v", err)
+	}
+}
+
+func TestRunRPCBenchQuick(t *testing.T) {
+	// The CI benchmark target: quick rpcbench run plus the JSON report.
+	out := t.TempDir() + "/BENCH_rpc.json"
+	if err := run([]string{"-quick", "-experiment", "rpcbench", "-bench-out", out}); err != nil {
+		t.Fatalf("run(rpcbench -quick): %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchio.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("BENCH_rpc.json not valid JSON: %v", err)
+	}
+	if len(rep.Results) == 0 {
+		t.Error("report has no results")
 	}
 }
 

@@ -326,6 +326,7 @@ func Chaos(cfg Config, ch ChaosConfig) (*ChaosReport, error) {
 		EvictAfter:   ch.EvictAfter,
 	})
 	var check func()
+	var checkEv *sim.Event
 	check = func() {
 		now := s.Now()
 		if hbs, err := mgr.HealthSnapshot(); err == nil {
@@ -346,10 +347,12 @@ func Chaos(cfg Config, ch ChaosConfig) (*ChaosReport, error) {
 			}
 		}
 		if now < end {
-			s.Schedule(ch.HeartbeatInterval, check)
+			// Re-arm the same event instead of allocating a fresh one
+			// each cycle (sim.Reschedule's fired-event fast path).
+			checkEv = s.Reschedule(checkEv, ch.HeartbeatInterval)
 		}
 	}
-	s.Schedule(ch.HeartbeatInterval, check)
+	checkEv = s.Schedule(ch.HeartbeatInterval, check)
 
 	// The scripted fault: the timing-layer timeline crash-stops the
 	// victim NIC mid-run. The crash is a black hole — in-flight and

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"lambdanic/internal/benchio"
+	"lambdanic/internal/transport"
+)
+
+// RPCBenchConfig sizes the RPC data-plane benchmark (lnic-bench
+// -experiment rpcbench). Unlike the paper-figure experiments, which run
+// on the simulated clock, rpcbench measures the real transport
+// implementation in wall-clock time, so the numbers track the Go data
+// plane's own overheads across PRs.
+type RPCBenchConfig struct {
+	// PayloadBytes is the request/response payload size.
+	PayloadBytes int
+	// Duration is the measurement window per configuration.
+	Duration time.Duration
+	// Concurrencies are the closed-loop caller counts.
+	Concurrencies []int
+	// OpenRPS is the open-loop offered rate; 0 disables the open-loop
+	// configurations.
+	OpenRPS float64
+	// OpenMaxInflight caps outstanding open-loop requests; arrivals
+	// beyond it are shed.
+	OpenMaxInflight int
+	// UDP also benchmarks a real loopback UDP socket pair (memnet is
+	// always benchmarked).
+	UDP bool
+}
+
+// DefaultRPCBench returns the tracked benchmark configuration.
+func DefaultRPCBench() RPCBenchConfig {
+	return RPCBenchConfig{
+		PayloadBytes:    64,
+		Duration:        2 * time.Second,
+		Concurrencies:   []int{1, 4, 16},
+		OpenRPS:         20000,
+		OpenMaxInflight: 256,
+		UDP:             true,
+	}
+}
+
+// QuickRPCBench returns a smoke-run configuration for -quick/-short.
+func QuickRPCBench() RPCBenchConfig {
+	return RPCBenchConfig{
+		PayloadBytes:    64,
+		Duration:        150 * time.Millisecond,
+		Concurrencies:   []int{1, 4},
+		OpenRPS:         5000,
+		OpenMaxInflight: 64,
+		UDP:             true,
+	}
+}
+
+// rpcPair is one client/server endpoint pair on some packet transport.
+type rpcPair struct {
+	client *transport.Endpoint
+	server *transport.Endpoint
+	srv    net.Addr
+}
+
+func (p *rpcPair) close() {
+	p.client.Close()
+	p.server.Close()
+}
+
+// echoHandler returns the request payload; the copy is required because
+// the payload may alias a transport buffer recycled after return, and a
+// fresh slice keeps the handler honest about response ownership.
+func echoHandler(req *transport.Message) ([]byte, error) {
+	return append([]byte(nil), req.Payload...), nil
+}
+
+func newMemPair(seed int64) (*rpcPair, error) {
+	net_ := transport.NewMemNetwork(seed)
+	srvConn, err := net_.Listen("rpcbench-srv")
+	if err != nil {
+		return nil, err
+	}
+	cliConn, err := net_.Listen("rpcbench-cli")
+	if err != nil {
+		srvConn.Close()
+		return nil, err
+	}
+	p := &rpcPair{
+		server: transport.NewEndpoint(srvConn, echoHandler),
+		client: transport.NewEndpoint(cliConn, nil),
+	}
+	p.srv = p.server.Addr()
+	return p, nil
+}
+
+func newUDPPair() (*rpcPair, error) {
+	srvConn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	cliConn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		srvConn.Close()
+		return nil, err
+	}
+	p := &rpcPair{
+		server: transport.NewEndpoint(srvConn, echoHandler),
+		client: transport.NewEndpoint(cliConn, nil),
+	}
+	p.srv = p.server.Addr()
+	return p, nil
+}
+
+// RPCBench benchmarks the RPC data plane over memnet and (optionally)
+// loopback UDP, closed- and open-loop, and returns the report written
+// to BENCH_rpc.json.
+func RPCBench(cfg RPCBenchConfig, seed int64) (benchio.Report, error) {
+	if cfg.PayloadBytes < 1 {
+		cfg.PayloadBytes = 64
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	if len(cfg.Concurrencies) == 0 {
+		cfg.Concurrencies = []int{1, 4}
+	}
+
+	type target struct {
+		name string
+		make func() (*rpcPair, error)
+	}
+	targets := []target{
+		{"memnet", func() (*rpcPair, error) { return newMemPair(seed) }},
+	}
+	if cfg.UDP {
+		targets = append(targets, target{"udp", newUDPPair})
+	}
+
+	payload := make([]byte, cfg.PayloadBytes)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+
+	var results []benchio.Result
+	for _, tg := range targets {
+		pair, err := tg.make()
+		if err != nil {
+			return benchio.Report{}, fmt.Errorf("rpcbench: %s setup: %w", tg.name, err)
+		}
+		call := func() error {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			_, err := pair.client.Call(ctx, pair.srv, 1, payload)
+			cancel()
+			return err
+		}
+		name := fmt.Sprintf("roundtrip/%dB", cfg.PayloadBytes)
+		for _, c := range cfg.Concurrencies {
+			results = append(results,
+				benchio.ClosedLoop(name, tg.name, c, cfg.Duration, call))
+		}
+		if cfg.OpenRPS > 0 {
+			results = append(results,
+				benchio.OpenLoop(name, tg.name, cfg.OpenRPS, cfg.Duration, cfg.OpenMaxInflight, call))
+		}
+		pair.close()
+	}
+	return benchio.NewReport(results), nil
+}
+
+// RenderRPCBench formats the report as a text table in the style of the
+// paper-figure renderers.
+func RenderRPCBench(rep benchio.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "RPC data-plane benchmark (%s, GOMAXPROCS=%d)\n",
+		rep.GoVersion, rep.GOMAXPROCS)
+	fmt.Fprintf(&b, "%-18s %-7s %-7s %6s %9s %11s %9s %9s %9s %8s\n",
+		"name", "net", "mode", "conc", "offered", "req/s", "p50us", "p99us", "allocs", "errors")
+	for _, r := range rep.Results {
+		conc := "-"
+		if r.Concurrency > 0 {
+			conc = fmt.Sprintf("%d", r.Concurrency)
+		}
+		offered := "-"
+		if r.OfferedRPS > 0 {
+			offered = fmt.Sprintf("%.0f", r.OfferedRPS)
+		}
+		fmt.Fprintf(&b, "%-18s %-7s %-7s %6s %9s %11.0f %9.1f %9.1f %9.2f %8d\n",
+			r.Name, r.Transport, r.Mode, conc, offered,
+			r.ReqPerSec,
+			float64(r.P50Ns)/1e3, float64(r.P99Ns)/1e3,
+			r.AllocsPerOp, r.Errors)
+		if r.Shed > 0 {
+			fmt.Fprintf(&b, "%-18s   shed %d arrivals over in-flight cap\n", "", r.Shed)
+		}
+	}
+	return b.String()
+}

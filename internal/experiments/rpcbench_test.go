@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func smokeRPCBench() RPCBenchConfig {
+	return RPCBenchConfig{
+		PayloadBytes:    32,
+		Duration:        40 * time.Millisecond,
+		Concurrencies:   []int{1, 2},
+		OpenRPS:         2000,
+		OpenMaxInflight: 32,
+		UDP:             true,
+	}
+}
+
+func TestRPCBenchProducesAllConfigurations(t *testing.T) {
+	rep, err := RPCBench(smokeRPCBench(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 transports × (2 closed + 1 open).
+	if len(rep.Results) != 6 {
+		t.Fatalf("got %d results, want 6", len(rep.Results))
+	}
+	transports := map[string]bool{}
+	for _, r := range rep.Results {
+		transports[r.Transport] = true
+		if r.Requests == 0 {
+			t.Errorf("%s/%s conc=%d: zero requests", r.Transport, r.Mode, r.Concurrency)
+		}
+		if r.Errors != 0 {
+			t.Errorf("%s/%s conc=%d: %d errors", r.Transport, r.Mode, r.Concurrency, r.Errors)
+		}
+		if r.Mode == "closed" && r.ReqPerSec <= 0 {
+			t.Errorf("%s closed: req/s = %f", r.Transport, r.ReqPerSec)
+		}
+	}
+	if !transports["memnet"] || !transports["udp"] {
+		t.Errorf("transports covered: %v", transports)
+	}
+}
+
+func TestRPCBenchMemnetOnly(t *testing.T) {
+	cfg := smokeRPCBench()
+	cfg.UDP = false
+	cfg.OpenRPS = 0
+	rep, err := RPCBench(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.Transport != "memnet" || r.Mode != "closed" {
+			t.Errorf("unexpected result %s/%s", r.Transport, r.Mode)
+		}
+	}
+}
+
+func TestRenderRPCBench(t *testing.T) {
+	rep, err := RPCBench(smokeRPCBench(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderRPCBench(rep)
+	for _, want := range []string{"req/s", "memnet", "udp", "closed", "open"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

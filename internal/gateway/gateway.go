@@ -8,6 +8,12 @@
 // gateway is the sender that tracks outgoing RPCs and retransmits on
 // timeout or drop (provided by transport.Endpoint). Workers hosting the
 // same lambda are balanced round-robin.
+//
+// The forward path is lock-free: the route table is a copy-on-write
+// snapshot behind an atomic pointer with per-workload atomic
+// round-robin counters, so handle never takes a lock, and a concurrent
+// SetRoute/EvictWorker can never change the worker set between a
+// request's attempt-count snapshot and its worker selection.
 package gateway
 
 import (
@@ -28,10 +34,12 @@ import (
 type Gateway struct {
 	ep      *transport.Endpoint
 	timeout time.Duration
+	workers int
 
+	// routes is the copy-on-write routing snapshot; mu serializes
+	// writers only (SetRoute, EvictWorker, instrument installs).
+	routes atomic.Pointer[routeTable]
 	mu     sync.Mutex
-	routes map[uint32][]net.Addr
-	rr     map[uint32]int
 
 	forwarded atomic.Uint64
 	unrouted  atomic.Uint64
@@ -39,16 +47,35 @@ type Gateway struct {
 	failovers atomic.Uint64
 	timeouts  atomic.Uint64
 
-	// Optional monitoring-engine instrumentation (§6.1.1).
-	mForwarded *monitor.Counter
-	mUnrouted  *monitor.Counter
-	mErrors    *monitor.Counter
-	mFailovers *monitor.Counter
-	mTimeouts  *monitor.Counter
-	mLatency   *monitor.Histogram
+	// instr is the monitoring/tracing snapshot, also copy-on-write so
+	// the forward path reads it with one atomic load.
+	instr atomic.Pointer[instruments]
+}
 
-	// Optional request-lifecycle tracing.
-	tracer obs.Tracer
+// routeTable is one immutable routing snapshot. Entries are shared
+// across snapshots: a SetRoute for workload A reuses workload B's
+// entry, so B's round-robin cursor survives unrelated updates.
+type routeTable struct {
+	m map[uint32]*workloadRoute
+}
+
+// workloadRoute is the immutable worker set for one workload plus its
+// round-robin cursor.
+type workloadRoute struct {
+	workers []net.Addr
+	rr      atomic.Uint64
+}
+
+// instruments is the optional monitoring-engine (§6.1.1) and tracing
+// hook-up, snapshotted as one unit.
+type instruments struct {
+	forwarded *monitor.Counter
+	unrouted  *monitor.Counter
+	errors    *monitor.Counter
+	failovers *monitor.Counter
+	timeouts  *monitor.Counter
+	latency   *monitor.Histogram
+	tracer    obs.Tracer
 }
 
 // Option configures a Gateway.
@@ -59,6 +86,17 @@ func WithUpstreamTimeout(d time.Duration) Option {
 	return func(g *Gateway) { g.timeout = d }
 }
 
+// WithWorkers bounds the gateway's request-execution pool. Each proxied
+// request occupies a worker for its upstream round trip, so this is the
+// gateway's concurrency limit.
+func WithWorkers(n int) Option {
+	return func(g *Gateway) {
+		if n > 0 {
+			g.workers = n
+		}
+	}
+}
+
 // ErrNoRoute is returned for workload IDs with no registered workers.
 var ErrNoRoute = errors.New("gateway: no route for workload")
 
@@ -66,13 +104,15 @@ var ErrNoRoute = errors.New("gateway: no route for workload")
 func New(conn net.PacketConn, opts ...Option) *Gateway {
 	g := &Gateway{
 		timeout: 2 * time.Second,
-		routes:  make(map[uint32][]net.Addr),
-		rr:      make(map[uint32]int),
+		workers: 256,
 	}
+	g.routes.Store(&routeTable{m: map[uint32]*workloadRoute{}})
 	for _, o := range opts {
 		o(g)
 	}
-	g.ep = transport.NewEndpoint(conn, g.handle)
+	// Proxied requests block a pool worker for a full upstream round
+	// trip, so the gateway runs a deeper pool than a compute endpoint.
+	g.ep = transport.NewEndpoint(conn, g.handle, transport.WithWorkers(g.workers))
 	return g
 }
 
@@ -101,11 +141,10 @@ func (g *Gateway) Retransmits() uint64 { return g.ep.Retransmits() }
 // LiveWorkers counts the distinct worker addresses across all routes —
 // the fleet the gateway can currently reach.
 func (g *Gateway) LiveWorkers() int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	rt := g.routes.Load()
 	seen := make(map[string]bool)
-	for _, ws := range g.routes {
-		for _, w := range ws {
+	for _, wr := range rt.m {
+		for _, w := range wr.workers {
 			seen[w.String()] = true
 		}
 	}
@@ -120,26 +159,27 @@ func (g *Gateway) LiveWorkers() int {
 func (g *Gateway) EvictWorker(addr net.Addr) int {
 	key := addr.String()
 	g.mu.Lock()
+	old := g.routes.Load()
+	next := make(map[uint32]*workloadRoute, len(old.m))
 	removed := 0
-	for id, ws := range g.routes {
-		kept := make([]net.Addr, 0, len(ws))
-		for _, w := range ws {
+	for id, wr := range old.m {
+		kept := make([]net.Addr, 0, len(wr.workers))
+		for _, w := range wr.workers {
 			if w.String() != key {
 				kept = append(kept, w)
 			}
 		}
-		if len(kept) == len(ws) {
-			continue
-		}
-		removed++
-		if len(kept) == 0 {
-			delete(g.routes, id)
-			delete(g.rr, id)
-		} else {
-			g.routes[id] = kept
-			g.rr[id] = 0
+		switch {
+		case len(kept) == len(wr.workers):
+			next[id] = wr // untouched entry: cursor survives
+		case len(kept) == 0:
+			removed++
+		default:
+			removed++
+			next[id] = &workloadRoute{workers: kept}
 		}
 	}
+	g.routes.Store(&routeTable{m: next})
 	g.mu.Unlock()
 	g.ep.AbortTo(addr)
 	return removed
@@ -150,37 +190,27 @@ func (g *Gateway) EvictWorker(addr net.Addr) int {
 func (g *Gateway) SetRoute(id uint32, workers []net.Addr) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if len(workers) == 0 {
-		delete(g.routes, id)
-		delete(g.rr, id)
-		return
+	old := g.routes.Load()
+	next := make(map[uint32]*workloadRoute, len(old.m)+1)
+	for wid, wr := range old.m {
+		if wid != id {
+			next[wid] = wr
+		}
 	}
-	g.routes[id] = append([]net.Addr(nil), workers...)
-	g.rr[id] = 0
+	if len(workers) > 0 {
+		next[id] = &workloadRoute{workers: append([]net.Addr(nil), workers...)}
+	}
+	g.routes.Store(&routeTable{m: next})
 }
 
 // Routes returns a snapshot of the routing table.
 func (g *Gateway) Routes() map[uint32][]net.Addr {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	out := make(map[uint32][]net.Addr, len(g.routes))
-	for id, ws := range g.routes {
-		out[id] = append([]net.Addr(nil), ws...)
+	rt := g.routes.Load()
+	out := make(map[uint32][]net.Addr, len(rt.m))
+	for id, wr := range rt.m {
+		out[id] = append([]net.Addr(nil), wr.workers...)
 	}
 	return out
-}
-
-// next picks the round-robin worker for a workload.
-func (g *Gateway) next(id uint32) (net.Addr, error) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	ws := g.routes[id]
-	if len(ws) == 0 {
-		return nil, fmt.Errorf("%w: %d", ErrNoRoute, id)
-	}
-	w := ws[g.rr[id]%len(ws)]
-	g.rr[id]++
-	return w, nil
 }
 
 // EnableMetrics registers the gateway's counters and upstream latency
@@ -222,16 +252,12 @@ func (g *Gateway) EnableMetrics(reg *monitor.Registry) error {
 	}
 	g.ep.SetRetransmitHook(retransmits.Inc)
 	g.mu.Lock()
-	g.mForwarded, g.mUnrouted, g.mErrors, g.mLatency = forwarded, unrouted, upErr, latency
-	g.mFailovers, g.mTimeouts = failovers, timeouts
+	ins := g.instrumentsCopy()
+	ins.forwarded, ins.unrouted, ins.errors, ins.latency = forwarded, unrouted, upErr, latency
+	ins.failovers, ins.timeouts = failovers, timeouts
+	g.instr.Store(ins)
 	g.mu.Unlock()
 	return nil
-}
-
-func (g *Gateway) metricsSnapshot() (*monitor.Counter, *monitor.Counter, *monitor.Counter, *monitor.Histogram) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.mForwarded, g.mUnrouted, g.mErrors, g.mLatency
 }
 
 // EnableTracing records each proxied request's lifecycle — upstream
@@ -239,81 +265,70 @@ func (g *Gateway) metricsSnapshot() (*monitor.Counter, *monitor.Counter, *monito
 // before serving traffic.
 func (g *Gateway) EnableTracing(t obs.Tracer) {
 	g.mu.Lock()
-	g.tracer = t
+	ins := g.instrumentsCopy()
+	ins.tracer = t
+	g.instr.Store(ins)
 	g.mu.Unlock()
 }
 
-func (g *Gateway) traceBegin(workload uint32) *obs.Req {
-	g.mu.Lock()
-	t := g.tracer
-	g.mu.Unlock()
-	if t == nil {
-		return nil
+// instrumentsCopy returns a mutable copy of the current instrument
+// snapshot; g.mu must be held.
+func (g *Gateway) instrumentsCopy() *instruments {
+	if cur := g.instr.Load(); cur != nil {
+		cp := *cur
+		return &cp
 	}
-	return t.Begin(workload, "")
-}
-
-// workerCount returns the number of workers routed for a workload.
-func (g *Gateway) workerCount(id uint32) int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return len(g.routes[id])
+	return &instruments{}
 }
 
 // handle proxies one client request to a worker and relays the
-// response. When an upstream call fails (a crashed or unreachable
-// worker), the gateway fails over to the next worker in the route
-// before giving up — keeping a lambda available while any replica
-// lives.
+// response. It reads exactly one route snapshot, so the worker set it
+// iterates cannot change mid-request. When an upstream call fails (a
+// crashed or unreachable worker), the gateway fails over to the next
+// worker in the snapshot before giving up — keeping a lambda available
+// while any replica lives.
 func (g *Gateway) handle(req *transport.Message) ([]byte, error) {
-	mFwd, mUnrouted, mErr, mLat := g.metricsSnapshot()
-	tr := g.traceBegin(req.Header.WorkloadID)
-	attempts := g.workerCount(req.Header.WorkloadID)
-	if attempts == 0 {
+	ins := g.instr.Load()
+	var tr *obs.Req
+	if ins != nil && ins.tracer != nil {
+		tr = ins.tracer.Begin(req.Header.WorkloadID, "")
+	}
+	wr := g.routes.Load().m[req.Header.WorkloadID]
+	if wr == nil || len(wr.workers) == 0 {
 		g.unrouted.Add(1)
-		if mUnrouted != nil {
-			mUnrouted.Inc()
+		if ins != nil && ins.unrouted != nil {
+			ins.unrouted.Inc()
 		}
 		err := fmt.Errorf("%w: %d", ErrNoRoute, req.Header.WorkloadID)
 		tr.Finish(tr.Now(), err)
 		return nil, err
 	}
+	attempts := len(wr.workers)
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
-		worker, err := g.next(req.Header.WorkloadID)
-		if err != nil {
-			g.unrouted.Add(1)
-			if mUnrouted != nil {
-				mUnrouted.Inc()
-			}
-			tr.Finish(tr.Now(), err)
-			return nil, err
-		}
+		worker := wr.workers[int((wr.rr.Add(1)-1)%uint64(attempts))]
 		ctx, cancel := context.WithTimeout(context.Background(), g.timeout)
 		start := time.Now()
 		resp, err := g.ep.CallTraced(ctx, worker, req.Header.WorkloadID, req.Payload, tr)
 		cancel()
-		if mLat != nil {
-			mLat.ObserveDuration(time.Since(start))
+		if ins != nil && ins.latency != nil {
+			ins.latency.ObserveDuration(time.Since(start))
 		}
 		if err == nil {
 			g.forwarded.Add(1)
-			if mFwd != nil {
-				mFwd.Inc()
+			if ins != nil && ins.forwarded != nil {
+				ins.forwarded.Inc()
 			}
 			tr.Finish(tr.Now(), nil)
 			return resp, nil
 		}
-		if mErr != nil {
-			mErr.Inc()
+		if ins != nil && ins.errors != nil {
+			ins.errors.Inc()
 		}
 		if errors.Is(err, transport.ErrTimeout) || errors.Is(err, context.DeadlineExceeded) {
 			g.timeouts.Add(1)
-			g.mu.Lock()
-			mTo := g.mTimeouts
-			g.mu.Unlock()
-			if mTo != nil {
-				mTo.Inc()
+			if ins != nil && ins.timeouts != nil {
+				ins.timeouts.Inc()
 			}
 		}
 		lastErr = fmt.Errorf("gateway: upstream %v: %w", worker, err)
@@ -327,11 +342,8 @@ func (g *Gateway) handle(req *transport.Message) ([]byte, error) {
 		}
 		if attempt+1 < attempts {
 			g.failovers.Add(1)
-			g.mu.Lock()
-			mFo := g.mFailovers
-			g.mu.Unlock()
-			if mFo != nil {
-				mFo.Inc()
+			if ins != nil && ins.failovers != nil {
+				ins.failovers.Inc()
 			}
 		}
 	}

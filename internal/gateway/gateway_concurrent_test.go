@@ -1,0 +1,142 @@
+package gateway
+
+import (
+	"context"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lambdanic/internal/transport"
+)
+
+// TestGatewayRoutingRaces hammers handle with concurrent SetRoute and
+// EvictWorker updates. Run under -race: the forward path must read one
+// immutable route snapshot per request, so an update can never change
+// the worker set between the attempt-count read and worker selection.
+func TestGatewayRoutingRaces(t *testing.T) {
+	n := transport.NewMemNetwork(21)
+	echoWorker(t, n, "w1")
+	echoWorker(t, n, "w2")
+	echoWorker(t, n, "w3")
+	gw := newGateway(t, n, WithUpstreamTimeout(200*time.Millisecond))
+	all := []net.Addr{
+		transport.MemAddr("w1"), transport.MemAddr("w2"), transport.MemAddr("w3"),
+	}
+	gw.SetRoute(1, all)
+
+	cli := testClient(t, n)
+	stop := make(chan struct{})
+	var mutations sync.WaitGroup
+	mutations.Add(2)
+	go func() {
+		defer mutations.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Shrink and regrow the worker set, never leaving it empty.
+			gw.SetRoute(1, all[:1+i%len(all)])
+		}
+	}()
+	go func() {
+		defer mutations.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			gw.EvictWorker(all[i%len(all)])
+			gw.SetRoute(1, all)
+		}
+	}()
+
+	var ok atomic.Uint64
+	var callers sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		callers.Add(1)
+		go func() {
+			defer callers.Done()
+			ctx := context.Background()
+			for i := 0; i < 50; i++ {
+				// Calls may fail when an eviction drains them mid-flight;
+				// the test's assertion is -race cleanliness plus liveness.
+				if _, err := cli.Call(ctx, transport.MemAddr("gw"), 1, []byte("x")); err == nil {
+					ok.Add(1)
+				}
+			}
+		}()
+	}
+	callers.Wait()
+	close(stop)
+	mutations.Wait()
+	if ok.Load() == 0 {
+		t.Error("no request succeeded under routing churn")
+	}
+}
+
+// TestGatewayRoundRobinFairnessConcurrent checks that with 4 workers
+// and concurrent callers the per-worker request counts stay within 10%
+// of a fair share: the per-workload atomic cursor must hand out a
+// distinct slot to every request even when calls race.
+func TestGatewayRoundRobinFairnessConcurrent(t *testing.T) {
+	n := transport.NewMemNetwork(23)
+	names := []string{"w1", "w2", "w3", "w4"}
+	workers := make([]net.Addr, len(names))
+	for i, name := range names {
+		echoWorker(t, n, name)
+		workers[i] = transport.MemAddr(name)
+	}
+	gw := newGateway(t, n)
+	gw.SetRoute(1, workers)
+
+	cli := testClient(t, n)
+	const callers = 4
+	const perCaller = 100
+	counts := make([]map[string]int, callers)
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			mine := map[string]int{}
+			ctx := context.Background()
+			for i := 0; i < perCaller; i++ {
+				resp, err := cli.Call(ctx, transport.MemAddr("gw"), 1, []byte("x"))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				name, _, _ := strings.Cut(string(resp), ":")
+				mine[name]++
+			}
+			counts[c] = mine
+		}(c)
+	}
+	wg.Wait()
+
+	total := 0
+	byWorker := map[string]int{}
+	for _, mine := range counts {
+		for name, k := range mine {
+			byWorker[name] += k
+			total += k
+		}
+	}
+	if total != callers*perCaller {
+		t.Fatalf("completed %d calls, want %d", total, callers*perCaller)
+	}
+	fair := float64(total) / float64(len(names))
+	for _, name := range names {
+		got := float64(byWorker[name])
+		if got < fair*0.9 || got > fair*1.1 {
+			t.Errorf("worker %s served %d requests, fair share %.0f ±10%% (%v)",
+				name, byWorker[name], fair, byWorker)
+		}
+	}
+}

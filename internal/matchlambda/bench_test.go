@@ -33,6 +33,30 @@ func BenchmarkCompose(b *testing.B) {
 	}
 }
 
+// TestWireCodecAllocs gates the wire header hot path: encoding into a
+// reused buffer and decoding must both be allocation-free, since the
+// transport data plane runs them per packet.
+func TestWireCodecAllocs(t *testing.T) {
+	h := WireHeader{Version: Version1, WorkloadID: 7, RequestID: 42, Total: 1}
+	buf := h.Encode(nil)
+
+	enc := testing.AllocsPerRun(200, func() {
+		buf = h.Encode(buf[:0])
+	})
+	if enc != 0 {
+		t.Errorf("Encode into reused buffer allocates %.1f allocs/op, want 0", enc)
+	}
+
+	dec := testing.AllocsPerRun(200, func() {
+		if _, _, err := DecodeWireHeader(buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if dec != 0 {
+		t.Errorf("DecodeWireHeader allocates %.1f allocs/op, want 0", dec)
+	}
+}
+
 func BenchmarkGenerateParser(b *testing.B) {
 	h := HeaderSpec{Name: "kvreq", Fields: []FieldSpec{
 		{Slot: mcc.FieldArg0, Offset: 0, Bytes: 1},

@@ -33,11 +33,11 @@ type Event struct {
 	seq     uint64
 	fn      func()
 	index   int // heap index; -1 once removed
-	cancled bool
+	cancelled bool
 }
 
 // Cancelled reports whether the event was cancelled before firing.
-func (e *Event) Cancelled() bool { return e.cancled }
+func (e *Event) Cancelled() bool { return e.cancelled }
 
 // At returns the virtual time the event fires at.
 func (e *Event) At() Time { return e.at }
@@ -127,14 +127,39 @@ func (s *Sim) ScheduleAt(at Time, fn func()) *Event {
 // Cancel removes a pending event. Cancelling an already-fired or
 // already-cancelled event is a no-op.
 func (s *Sim) Cancel(e *Event) {
-	if e == nil || e.cancled || e.index < 0 {
+	if e == nil || e.cancelled || e.index < 0 {
 		if e != nil {
-			e.cancled = true
+			e.cancelled = true
 		}
 		return
 	}
-	e.cancled = true
+	e.cancelled = true
 	heap.Remove(&s.queue, e.index)
+}
+
+// Reschedule re-arms an event to fire delay after the current time,
+// returning the (reused) event. It is the retransmit-timer fast path:
+// a pending event is moved in place with one sift (heap.Fix) instead of
+// a remove plus a push, and a fired or cancelled event is re-armed
+// without allocating a new Event. The event keeps its callback and is
+// ordered as if freshly scheduled. A nil event returns nil.
+func (s *Sim) Reschedule(e *Event, delay Time) *Event {
+	if e == nil {
+		return nil
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	e.at = s.now + delay
+	e.seq = s.seq
+	s.seq++
+	e.cancelled = false
+	if e.index >= 0 {
+		heap.Fix(&s.queue, e.index)
+	} else {
+		heap.Push(&s.queue, e)
+	}
+	return e
 }
 
 // Stop halts the event loop after the current callback returns.

@@ -237,3 +237,101 @@ func TestExecutedCounter(t *testing.T) {
 		t.Errorf("Executed = %d, want 7", s.Executed)
 	}
 }
+
+func TestReschedulePendingEventMovesLater(t *testing.T) {
+	// The retransmit-timer shape: a pending timeout is pushed later
+	// without firing at its original time.
+	s := New(1)
+	var fired []Time
+	ev := s.Schedule(10*time.Millisecond, func() { fired = append(fired, s.Now()) })
+	s.Schedule(5*time.Millisecond, func() {
+		s.Reschedule(ev, 20*time.Millisecond) // now fires at t=25ms
+	})
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 || fired[0] != 25*time.Millisecond {
+		t.Errorf("fired = %v, want [25ms]", fired)
+	}
+}
+
+func TestRescheduleEarlier(t *testing.T) {
+	s := New(1)
+	var at Time = -1
+	ev := s.Schedule(100*time.Millisecond, func() { at = s.Now() })
+	s.Schedule(time.Millisecond, func() { s.Reschedule(ev, time.Millisecond) })
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 2*time.Millisecond {
+		t.Errorf("fired at %v, want 2ms", at)
+	}
+}
+
+func TestRescheduleFiredEventReArms(t *testing.T) {
+	// Rescheduling from inside the event's own callback re-arms the
+	// same Event without a fresh allocation; the periodic-poll shape.
+	s := New(1)
+	count := 0
+	var ev *Event
+	ev = s.Schedule(time.Millisecond, func() {
+		count++
+		if count < 3 {
+			if got := s.Reschedule(ev, time.Millisecond); got != ev {
+				t.Errorf("Reschedule returned a different event")
+			}
+		}
+	})
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Errorf("count = %d, want 3", count)
+	}
+}
+
+func TestRescheduleCancelledEventReArms(t *testing.T) {
+	s := New(1)
+	fired := false
+	ev := s.Schedule(time.Millisecond, func() { fired = true })
+	s.Cancel(ev)
+	if !ev.Cancelled() {
+		t.Fatal("event not cancelled")
+	}
+	s.Reschedule(ev, 2*time.Millisecond)
+	if ev.Cancelled() {
+		t.Error("rescheduled event still reports cancelled")
+	}
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Error("re-armed event did not fire")
+	}
+}
+
+func TestRescheduleNil(t *testing.T) {
+	s := New(1)
+	if got := s.Reschedule(nil, time.Millisecond); got != nil {
+		t.Errorf("Reschedule(nil) = %v", got)
+	}
+}
+
+func TestRescheduleOrdersAsFreshlyScheduled(t *testing.T) {
+	// A rescheduled event landing on the same timestamp as a later
+	// Schedule call fires first only if rescheduled first — ties break
+	// by (re)scheduling order.
+	s := New(1)
+	var order []string
+	a := s.Schedule(50*time.Millisecond, func() { order = append(order, "a") })
+	s.Schedule(time.Millisecond, func() {
+		s.Reschedule(a, 9*time.Millisecond) // t=10ms, re-armed before b scheduled
+		s.Schedule(9*time.Millisecond, func() { order = append(order, "b") })
+	})
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Errorf("order = %v, want [a b]", order)
+	}
+}

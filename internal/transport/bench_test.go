@@ -2,10 +2,34 @@ package transport
 
 import (
 	"context"
+	"net"
+	"sync"
 	"testing"
 
 	"lambdanic/internal/matchlambda"
 )
+
+// newBenchPair builds a memnet client/server endpoint pair with an echo
+// handler; the cleanup closes both.
+func newBenchPair(tb testing.TB) (client *Endpoint, server net.Addr) {
+	tb.Helper()
+	n := NewMemNetwork(1)
+	sc, err := n.Listen("server")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cc, err := n.Listen("client")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	srv := NewEndpoint(sc, func(req *Message) ([]byte, error) { return req.Payload, nil })
+	cli := NewEndpoint(cc, nil)
+	tb.Cleanup(func() {
+		cli.Close()
+		srv.Close()
+	})
+	return cli, srv.Addr()
+}
 
 func BenchmarkFragmentReassemble64K(b *testing.B) {
 	payload := make([]byte, 64*1024)
@@ -36,28 +60,35 @@ func BenchmarkFragmentReassemble64K(b *testing.B) {
 }
 
 func BenchmarkEndpointRoundTrip(b *testing.B) {
-	n := NewMemNetwork(1)
-	sc, err := n.Listen("server")
-	if err != nil {
-		b.Fatal(err)
-	}
-	cc, err := n.Listen("client")
-	if err != nil {
-		b.Fatal(err)
-	}
-	server := NewEndpoint(sc, func(req *Message) ([]byte, error) { return req.Payload, nil })
-	client := NewEndpoint(cc, nil)
-	defer server.Close()
-	defer client.Close()
+	client, srv := newBenchPair(b)
 	payload := []byte("benchmark-payload")
 	ctx := context.Background()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := client.Call(ctx, MemAddr("server"), 1, payload); err != nil {
+		if _, err := client.Call(ctx, srv, 1, payload); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkEndpointRoundTripParallel is the sharding acceptance target:
+// ≥4 concurrent callers through one client endpoint. Run with -cpu 4 to
+// match the issue's measurement.
+func BenchmarkEndpointRoundTripParallel(b *testing.B) {
+	client, srv := newBenchPair(b)
+	payload := []byte("benchmark-payload")
+	b.ReportAllocs()
+	b.SetParallelism(1)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		ctx := context.Background()
+		for pb.Next() {
+			if _, err := client.Call(ctx, srv, 1, payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkWireHeaderEncodeDecode(b *testing.B) {
@@ -68,5 +99,78 @@ func BenchmarkWireHeaderEncodeDecode(b *testing.B) {
 		if _, _, err := matchlambda.DecodeWireHeader(pkt); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestRoundTripAllocs gates the steady-state allocation budget of a
+// memnet round trip. The pooled data plane measures 1 alloc/op (the
+// response payload copy handed to the caller); the bound leaves slack
+// for runtime noise while still catching a regression to the pre-shard
+// plane's ~26.
+func TestRoundTripAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc gate needs steady-state warmup")
+	}
+	if raceEnabled {
+		t.Skip("race-detector instrumentation inflates alloc counts")
+	}
+	client, srv := newBenchPair(t)
+	payload := []byte("benchmark-payload")
+	ctx := context.Background()
+	// Warm the pools (buffers, timers, pending calls) out of the measured
+	// region.
+	for i := 0; i < 200; i++ {
+		if _, err := client.Call(ctx, srv, 1, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		if _, err := client.Call(ctx, srv, 1, payload); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 6 {
+		t.Errorf("round trip allocates %.1f allocs/op, want ≤ 6", avg)
+	}
+}
+
+// TestRoundTripAllocsConcurrent checks the budget holds with concurrent
+// callers: shards and pools must not fall back to per-call allocation
+// under contention. The per-op bound is looser because AllocsPerRun
+// only counts the measuring goroutine's view of total allocations
+// divided by its runs, while 4 goroutines' worth of response copies
+// land in the window.
+func TestRoundTripAllocsConcurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc gate needs steady-state warmup")
+	}
+	if raceEnabled {
+		t.Skip("race-detector instrumentation inflates alloc counts")
+	}
+	client, srv := newBenchPair(t)
+	payload := []byte("benchmark-payload")
+	ctx := context.Background()
+	const callers = 4
+	run := func(per int) {
+		var wg sync.WaitGroup
+		for c := 0; c < callers; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					if _, err := client.Call(ctx, srv, 1, payload); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	run(100) // warm pools across all shards
+	avg := testing.AllocsPerRun(50, func() { run(10) })
+	// 40 calls per run; budget ≤ 6 allocs per call plus goroutine setup.
+	if avg > callers*10*6+callers*4 {
+		t.Errorf("concurrent round trips allocate %.1f allocs per %d-call run", avg, callers*10)
 	}
 }

@@ -5,7 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"strconv"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,6 +17,10 @@ import (
 // Handler serves one reassembled request and returns the response
 // payload. A non-nil error is conveyed to the caller with the error
 // flag set.
+//
+// The request's Payload may alias an internal packet buffer that is
+// recycled after the handler's response has been cached and sent;
+// handlers that retain the payload past their return must copy it.
 type Handler func(req *Message) ([]byte, error)
 
 // Endpoint is a weakly-consistent RPC endpoint over a packet network
@@ -24,50 +28,153 @@ type Handler func(req *Message) ([]byte, error)
 // receiver-side reordering and duplicate suppression, and no connection
 // state — each RPC is independent, as serverless request-response pairs
 // are (§3.1b).
+//
+// The data plane mirrors the NIC's parallelism (§4: many NPU cores, no
+// per-request setup): endpoint state is lock-striped across shards
+// keyed by request ID / peer hash, several reader goroutines drain the
+// socket concurrently, requests execute on a bounded worker pool rather
+// than a goroutine per request, and packet buffers, timers, and call
+// records are pooled so the steady state allocates (almost) nothing.
 type Endpoint struct {
 	conn    net.PacketConn
 	mtu     int
 	timeout time.Duration
 	retries int
+	readers int
+	workers int
 
 	handler Handler
+	shards  [numShards]shard
+	jobs    chan *execJob
 
-	mu      sync.Mutex
-	pending map[uint64]*pendingCall
-	reasm   *Reassembler
-	// seen caches responses by (client, request ID) so retransmitted
-	// requests are answered without re-executing the lambda. The client
-	// address is part of the key because independent clients number
-	// their requests independently.
-	seen     map[string][]byte
-	seenErr  map[string]bool
-	seenFIFO []string
-	// inflight marks requests currently executing so duplicates that
-	// arrive before completion are dropped (the client retransmits if
-	// the eventual response is lost).
-	inflight map[string]bool
-
-	nextID uint64
+	nextID atomic.Uint64
 	wg     sync.WaitGroup
 	closed chan struct{}
 
 	// onRetransmit, when set, observes every retransmission (the
 	// gateway's monitoring hook; transport stays metrics-agnostic).
-	onRetransmit func()
+	onRetransmit atomic.Pointer[func()]
 
 	// Stats.
 	retransmits atomic.Uint64
 	duplicates  atomic.Uint64
+	drops       atomic.Uint64
 }
 
-// pendingCall tracks one in-flight RPC: its response channel, its
-// destination (so AbortTo can drain calls to an evicted worker), and an
-// abort signal.
-type pendingCall struct {
-	ch    chan *Message
-	to    string
-	abort chan struct{}
+// numShards stripes endpoint state; a power of two so shard selection
+// is a mask.
+const numShards = 16
+
+const shardMask = numShards - 1
+
+// shard is one lock stripe of endpoint state. Responses are sharded by
+// request ID (the pending-call table); requests by a hash of (peer,
+// request ID), so all fragments and duplicates of one request meet in
+// the same stripe under one lock acquisition.
+type shard struct {
+	mu      sync.Mutex
+	pending map[uint64]*pendingCall
+	reasm   *Reassembler
+
+	// Duplicate-suppression cache: a fixed ring of response entries
+	// whose backing arrays are reused on eviction, indexed by a binary
+	// (peer, request ID) key. Bounded by construction — no FIFO slice
+	// to leak.
+	seen     map[dedupKey]int
+	ring     []seenEntry
+	ringHead int
+	ringLen  int
+
+	// inflight marks requests currently executing so duplicates that
+	// arrive before completion are dropped (the client retransmits if
+	// the eventual response is lost).
+	inflight map[dedupKey]struct{}
 }
+
+// dedupKey identifies one request for duplicate suppression. The peer
+// is part of the key because independent clients number their requests
+// independently.
+type dedupKey struct {
+	src string
+	id  uint64
+}
+
+// seenEntry is one cached response in a shard's ring. resp's backing
+// array survives eviction and is overwritten in place by the next
+// occupant, so a warm cache allocates nothing.
+type seenEntry struct {
+	key   dedupKey
+	resp  []byte
+	isErr bool
+}
+
+// pendingCall tracks one in-flight RPC: its result channel, its
+// destination (so AbortTo can drain calls to an evicted worker), and an
+// abort signal. Non-aborted calls are pooled; all channel operations
+// happen under the owning shard's lock so a recycled call can never
+// receive a stale send.
+type pendingCall struct {
+	ch      chan callResult
+	abort   chan struct{}
+	aborted bool
+	to      string
+}
+
+// callResult is a delivered response: the payload (owned by the
+// receiver) and whether the remote flagged an error.
+type callResult struct {
+	payload []byte
+	isErr   bool
+}
+
+// execJob carries one reassembled request to the worker pool. buf, when
+// non-nil, is the pooled read buffer the message payload aliases; the
+// worker recycles it after the response is cached and sent.
+type execJob struct {
+	msg   Message
+	from  net.Addr
+	key   dedupKey
+	shard *shard
+	buf   *[]byte
+}
+
+// pktBufSize fits the largest datagram a read can return.
+const pktBufSize = 64 * 1024
+
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, pktBufSize)
+	return &b
+}}
+
+func getBuf() *[]byte  { return bufPool.Get().(*[]byte) }
+func putBuf(b *[]byte) { bufPool.Put(b) }
+
+var timerPool sync.Pool
+
+// acquireTimer returns a timer set to fire after d. Timers are pooled;
+// the Go 1.23+ timer semantics (unbuffered channel, Stop/Reset remove
+// pending sends) make reuse without draining safe.
+func acquireTimer(d time.Duration) *time.Timer {
+	if t, ok := timerPool.Get().(*time.Timer); ok {
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+func releaseTimer(t *time.Timer) {
+	t.Stop()
+	timerPool.Put(t)
+}
+
+var callPool = sync.Pool{New: func() any {
+	return &pendingCall{
+		ch:    make(chan callResult, 1),
+		abort: make(chan struct{}),
+	}
+}}
+
+var jobPool = sync.Pool{New: func() any { return new(execJob) }}
 
 // EndpointOption configures an Endpoint.
 type EndpointOption func(*Endpoint)
@@ -82,6 +189,26 @@ func WithTimeout(d time.Duration) EndpointOption { return func(e *Endpoint) { e.
 // call fails.
 func WithRetries(n int) EndpointOption { return func(e *Endpoint) { e.retries = n } }
 
+// WithReaders sets how many goroutines drain the socket concurrently.
+func WithReaders(n int) EndpointOption {
+	return func(e *Endpoint) {
+		if n > 0 {
+			e.readers = n
+		}
+	}
+}
+
+// WithWorkers bounds the request-execution pool. Raise it for handlers
+// that block (the gateway's proxied upstream calls); the default suits
+// compute-bound lambdas.
+func WithWorkers(n int) EndpointOption {
+	return func(e *Endpoint) {
+		if n > 0 {
+			e.workers = n
+		}
+	}
+}
+
 // Endpoint errors.
 var (
 	ErrTimeout = errors.New("transport: request timed out after retries")
@@ -91,7 +218,7 @@ var (
 	ErrAborted = errors.New("transport: call aborted (destination evicted)")
 )
 
-// seenCap bounds the duplicate-suppression cache.
+// seenCap bounds the duplicate-suppression cache across all shards.
 const seenCap = 4096
 
 // NewEndpoint wraps a packet connection. handler may be nil for a
@@ -99,24 +226,66 @@ const seenCap = 4096
 // on Close.
 func NewEndpoint(conn net.PacketConn, handler Handler, opts ...EndpointOption) *Endpoint {
 	e := &Endpoint{
-		conn:     conn,
-		mtu:      DefaultMTU,
-		timeout:  200 * time.Millisecond,
-		retries:  4,
-		handler:  handler,
-		pending:  make(map[uint64]*pendingCall),
-		reasm:    NewReassembler(),
-		seen:     make(map[string][]byte),
-		seenErr:  make(map[string]bool),
-		inflight: make(map[string]bool),
-		closed:   make(chan struct{}),
+		conn:    conn,
+		mtu:     DefaultMTU,
+		timeout: 200 * time.Millisecond,
+		retries: 4,
+		readers: defaultReaders(),
+		workers: 64,
+		handler: handler,
+		closed:  make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(e)
 	}
-	e.wg.Add(1)
-	go e.readLoop()
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.pending = make(map[uint64]*pendingCall)
+		sh.reasm = NewReassembler()
+		if handler != nil {
+			sh.seen = make(map[dedupKey]int)
+			sh.ring = make([]seenEntry, seenCap/numShards)
+			sh.inflight = make(map[dedupKey]struct{})
+		}
+	}
+	if handler != nil {
+		e.jobs = make(chan *execJob, 4*e.workers)
+		for i := 0; i < e.workers; i++ {
+			e.wg.Add(1)
+			go e.workLoop()
+		}
+	}
+	for i := 0; i < e.readers; i++ {
+		e.wg.Add(1)
+		go e.readLoop()
+	}
 	return e
+}
+
+func defaultReaders() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 4 {
+		n = 4
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// shardByID picks the stripe for a response by its request ID.
+func (e *Endpoint) shardByID(id uint64) *shard { return &e.shards[id&shardMask] }
+
+// shardByKey picks the stripe for a request by (peer, request ID),
+// mixing the peer with FNV-1a so distinct clients spread across
+// stripes.
+func (e *Endpoint) shardByKey(src string, id uint64) *shard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(src); i++ {
+		h ^= uint64(src[i])
+		h *= 1099511628211
+	}
+	return &e.shards[(h^id)&shardMask]
 }
 
 // Addr returns the endpoint's local address.
@@ -128,12 +297,18 @@ func (e *Endpoint) Retransmits() uint64 { return e.retransmits.Load() }
 // Duplicates returns the number of duplicate requests suppressed.
 func (e *Endpoint) Duplicates() uint64 { return e.duplicates.Load() }
 
+// Drops returns the number of requests shed because the worker pool's
+// queue was full (the client retransmits under at-least-once delivery).
+func (e *Endpoint) Drops() uint64 { return e.drops.Load() }
+
 // SetRetransmitHook installs a callback invoked on every request
 // retransmission. Set before issuing calls.
 func (e *Endpoint) SetRetransmitHook(fn func()) {
-	e.mu.Lock()
-	e.onRetransmit = fn
-	e.mu.Unlock()
+	if fn == nil {
+		e.onRetransmit.Store(nil)
+		return
+	}
+	e.onRetransmit.Store(&fn)
 }
 
 // AbortTo cancels every in-flight call addressed to the given
@@ -144,19 +319,19 @@ func (e *Endpoint) SetRetransmitHook(fn func()) {
 func (e *Endpoint) AbortTo(to net.Addr) int {
 	key := to.String()
 	aborted := 0
-	e.mu.Lock()
-	for _, pc := range e.pending {
-		if pc.to != key {
-			continue
-		}
-		select {
-		case <-pc.abort:
-		default:
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		for _, pc := range sh.pending {
+			if pc.to != key || pc.aborted {
+				continue
+			}
+			pc.aborted = true
 			close(pc.abort)
 			aborted++
 		}
+		sh.mu.Unlock()
 	}
-	e.mu.Unlock()
 	return aborted
 }
 
@@ -185,81 +360,129 @@ func (e *Endpoint) Call(ctx context.Context, to net.Addr, workloadID uint32, pay
 // transport span in tr, so timeout-driven tail latency is visible in
 // the exported trace. A nil tr is the untraced fast path.
 func (e *Endpoint) CallTraced(ctx context.Context, to net.Addr, workloadID uint32, payload []byte, tr *obs.Req) ([]byte, error) {
-	id := atomic.AddUint64(&e.nextID, 1)
+	id := e.nextID.Add(1)
 	h := matchlambda.WireHeader{
 		Version:    matchlambda.Version1,
 		WorkloadID: workloadID,
 		RequestID:  id,
 	}
-	pkts, err := Fragment(h, payload, e.mtu)
-	if err != nil {
-		return nil, err
-	}
-	pc := &pendingCall{
-		ch:    make(chan *Message, 1),
-		to:    to.String(),
-		abort: make(chan struct{}),
-	}
-	e.mu.Lock()
-	e.pending[id] = pc
-	hook := e.onRetransmit
-	e.mu.Unlock()
-	defer func() {
-		e.mu.Lock()
-		delete(e.pending, id)
-		e.mu.Unlock()
-	}()
-
-	for attempt := 0; attempt <= e.retries; attempt++ {
-		if attempt > 0 {
-			e.retransmits.Add(1)
-			if hook != nil {
-				hook()
-			}
+	// Single-fragment requests (the common case for interactive
+	// lambdas) are encoded into a pooled buffer; larger payloads take
+	// the allocating Fragment path.
+	var pkts [][]byte
+	var pkt []byte
+	var pb *[]byte
+	if len(payload) <= e.mtu && matchlambda.WireHeaderSize+len(payload) <= pktBufSize {
+		h.Total = 1
+		h.PayloadLen = uint32(len(payload))
+		pb = getBuf()
+		pkt = h.Encode((*pb)[:0])
+		pkt = append(pkt, payload...)
+	} else {
+		var err error
+		pkts, err = Fragment(h, payload, e.mtu)
+		if err != nil {
+			return nil, err
 		}
+	}
+
+	pc := callPool.Get().(*pendingCall)
+	pc.to = to.String()
+	sh := e.shardByID(id)
+	sh.mu.Lock()
+	sh.pending[id] = pc
+	sh.mu.Unlock()
+
+	payloadOut, err := e.runCall(ctx, to, pc, id, pkt, pkts, tr)
+
+	// Tear down under the shard lock: once the entry is deleted and the
+	// result channel drained, no sender can reach pc, so pooling it is
+	// safe. Aborted calls are dropped (their abort channel is closed
+	// for good).
+	sh.mu.Lock()
+	delete(sh.pending, id)
+	select {
+	case <-pc.ch:
+	default:
+	}
+	aborted := pc.aborted
+	sh.mu.Unlock()
+	if !aborted {
+		pc.to = ""
+		callPool.Put(pc)
+	}
+	if pb != nil {
+		putBuf(pb)
+	}
+	return payloadOut, err
+}
+
+// runCall drives the attempt/retransmit loop for one pending call.
+func (e *Endpoint) runCall(ctx context.Context, to net.Addr, pc *pendingCall, id uint64, pkt []byte, pkts [][]byte, tr *obs.Req) ([]byte, error) {
+	var tm *time.Timer
+	defer func() {
+		if tm != nil {
+			releaseTimer(tm)
+		}
+	}()
+	for attempt := 0; attempt <= e.retries; attempt++ {
 		detail := "attempt"
 		if attempt > 0 {
+			e.retransmits.Add(1)
+			if hook := e.onRetransmit.Load(); hook != nil {
+				(*hook)()
+			}
 			detail = "retransmit"
 		}
 		attemptStart := tr.Now()
-		for _, pkt := range pkts {
+		if pkt != nil {
 			if _, err := e.conn.WriteTo(pkt, to); err != nil {
 				return nil, fmt.Errorf("transport: send: %w", err)
 			}
-		}
-		timer := time.NewTimer(e.timeout)
-		select {
-		case msg := <-pc.ch:
-			timer.Stop()
-			tr.AddSpan(obs.StageTransport, "rpc", detail, attemptStart, tr.Now())
-			if msg.Header.IsError() {
-				return nil, fmt.Errorf("transport: remote error: %s", msg.Payload)
+		} else {
+			for _, p := range pkts {
+				if _, err := e.conn.WriteTo(p, to); err != nil {
+					return nil, fmt.Errorf("transport: send: %w", err)
+				}
 			}
-			return msg.Payload, nil
-		case <-timer.C:
+		}
+		if tm == nil {
+			tm = acquireTimer(e.timeout)
+		} else {
+			tm.Reset(e.timeout)
+		}
+		select {
+		case res := <-pc.ch:
+			tr.AddSpan(obs.StageTransport, "rpc", detail, attemptStart, tr.Now())
+			if res.isErr {
+				return nil, fmt.Errorf("transport: remote error: %s", res.payload)
+			}
+			return res.payload, nil
+		case <-tm.C:
 			tr.AddSpan(obs.StageTransport, "rpc", detail+"-timeout", attemptStart, tr.Now())
 			// fall through to retransmit
 		case <-pc.abort:
-			timer.Stop()
 			tr.AddSpan(obs.StageTransport, "rpc", detail+"-aborted", attemptStart, tr.Now())
 			return nil, fmt.Errorf("%w: request %d", ErrAborted, id)
 		case <-ctx.Done():
-			timer.Stop()
 			tr.AddSpan(obs.StageTransport, "rpc", detail+"-cancelled", attemptStart, tr.Now())
 			return nil, ctx.Err()
 		case <-e.closed:
-			timer.Stop()
 			return nil, ErrClosed
 		}
 	}
 	return nil, fmt.Errorf("%w: request %d", ErrTimeout, id)
 }
 
+// readLoop drains the socket. Several run concurrently; each owns a
+// pooled read buffer that is handed off to the worker pool when a
+// single-fragment request's payload aliases it.
 func (e *Endpoint) readLoop() {
 	defer e.wg.Done()
-	buf := make([]byte, 65536)
+	pb := getBuf()
+	defer func() { putBuf(pb) }()
 	for {
-		n, from, err := e.conn.ReadFrom(buf)
+		n, from, err := e.conn.ReadFrom(*pb)
 		if err != nil {
 			select {
 			case <-e.closed:
@@ -273,83 +496,198 @@ func (e *Endpoint) readLoop() {
 			}
 			continue
 		}
-		pkt := make([]byte, n)
-		copy(pkt, buf[:n])
-		e.handlePacket(pkt, from)
+		if e.handlePacket((*pb)[:n], from, pb) {
+			pb = getBuf()
+		}
 	}
 }
 
-func (e *Endpoint) handlePacket(pkt []byte, from net.Addr) {
-	e.mu.Lock()
-	msg, err := e.reasm.AddFrom(pkt, from.String())
-	e.mu.Unlock()
-	if err != nil || msg == nil {
-		return
+// handlePacket processes one wire packet. It reports whether ownership
+// of the read buffer pb was transferred (to the worker pool).
+func (e *Endpoint) handlePacket(pkt []byte, from net.Addr, pb *[]byte) bool {
+	h, payload, err := matchlambda.DecodeWireHeader(pkt)
+	if err != nil {
+		return false
 	}
-	if msg.Header.IsResponse() {
-		e.mu.Lock()
-		pc, ok := e.pending[msg.Header.RequestID]
-		e.mu.Unlock()
-		if ok {
+	if h.IsResponse() {
+		e.handleResponse(h, payload, from)
+		return false
+	}
+	if e.handler == nil {
+		return false
+	}
+	return e.handleRequest(h, payload, from, pb)
+}
+
+// handleResponse completes the pending call the response answers. The
+// payload is copied before delivery (it escapes to the caller); the
+// send happens under the shard lock so it can never land on a recycled
+// call.
+func (e *Endpoint) handleResponse(h matchlambda.WireHeader, payload []byte, from net.Addr) {
+	sh := e.shardByID(h.RequestID)
+	sh.mu.Lock()
+	if h.Total > 1 {
+		msg, err := sh.reasm.addDecoded(h, payload, from.String())
+		if err != nil || msg == nil {
+			sh.mu.Unlock()
+			return
+		}
+		h = msg.Header
+		payload = msg.Payload // owned by the reassembler's copy
+		if pc, ok := sh.pending[h.RequestID]; ok {
 			select {
-			case pc.ch <- msg:
+			case pc.ch <- callResult{payload: payload, isErr: h.IsError()}:
 			default: // response already delivered (retransmit race)
 			}
 		}
+		sh.mu.Unlock()
 		return
 	}
-	if e.handler == nil {
-		return
+	if pc, ok := sh.pending[h.RequestID]; ok {
+		out := make([]byte, len(payload))
+		copy(out, payload)
+		select {
+		case pc.ch <- callResult{payload: out, isErr: h.IsError()}:
+		default:
+		}
+	}
+	sh.mu.Unlock()
+}
+
+// handleRequest runs duplicate suppression and dispatches the request
+// to the worker pool. It reports whether the read buffer was handed
+// off.
+func (e *Endpoint) handleRequest(h matchlambda.WireHeader, payload []byte, from net.Addr, pb *[]byte) bool {
+	src := from.String()
+	key := dedupKey{src: src, id: h.RequestID}
+	sh := e.shardByKey(src, h.RequestID)
+
+	var msg Message
+	handoff := false
+	sh.mu.Lock()
+	if h.Total > 1 {
+		m, err := sh.reasm.addDecoded(h, payload, src)
+		if err != nil || m == nil {
+			sh.mu.Unlock()
+			return false
+		}
+		msg = *m
+	} else {
+		msg = Message{Header: h, Payload: payload}
+		handoff = true
 	}
 	// Duplicate request: replay the cached response without re-running
 	// the lambda (at-least-once delivery made idempotent at the edge).
-	// Duplicates of a still-executing request are dropped; the client
-	// retransmits if the eventual response is lost.
-	id := from.String() + "/" + strconv.FormatUint(msg.Header.RequestID, 16)
-	e.mu.Lock()
-	if resp, ok := e.seen[id]; ok {
-		isErr := e.seenErr[id]
-		e.mu.Unlock()
+	if slot, ok := sh.seen[key]; ok {
+		entry := &sh.ring[slot]
+		rb := getBuf()
+		resp := append((*rb)[:0], entry.resp...)
+		isErr := entry.isErr
+		sh.mu.Unlock()
 		e.duplicates.Add(1)
 		e.sendResponse(msg.Header, resp, isErr, from)
-		return
+		putBuf(rb)
+		return false
 	}
-	if e.inflight[id] {
-		e.mu.Unlock()
+	if _, busy := sh.inflight[key]; busy {
+		sh.mu.Unlock()
 		e.duplicates.Add(1)
-		return
+		return false
 	}
-	e.inflight[id] = true
-	e.mu.Unlock()
+	sh.inflight[key] = struct{}{}
+	sh.mu.Unlock()
 
-	e.wg.Add(1)
-	go func() {
-		defer e.wg.Done()
-		resp, herr := e.handler(msg)
-		isErr := herr != nil
-		if isErr {
-			resp = []byte(herr.Error())
-		}
-		e.mu.Lock()
-		delete(e.inflight, id)
-		e.rememberLocked(id, resp, isErr)
-		e.mu.Unlock()
-		e.sendResponse(msg.Header, resp, isErr, from)
-	}()
+	job := jobPool.Get().(*execJob)
+	job.msg = msg
+	job.from = from
+	job.key = key
+	job.shard = sh
+	if handoff {
+		job.buf = pb
+	} else {
+		job.buf = nil
+	}
+	select {
+	case e.jobs <- job:
+		return handoff
+	default:
+		// Queue full: shed the request; the client retransmits. The
+		// inflight mark must be cleared or the retransmit would be
+		// treated as a duplicate of a request that never ran.
+		sh.mu.Lock()
+		delete(sh.inflight, key)
+		sh.mu.Unlock()
+		job.buf = nil
+		job.from = nil
+		jobPool.Put(job)
+		e.drops.Add(1)
+		return false
+	}
 }
 
-// rememberLocked caches a response for duplicate suppression; e.mu must
-// be held.
-func (e *Endpoint) rememberLocked(id string, resp []byte, isErr bool) {
-	if len(e.seenFIFO) >= seenCap {
-		old := e.seenFIFO[0]
-		e.seenFIFO = e.seenFIFO[1:]
-		delete(e.seen, old)
-		delete(e.seenErr, old)
+// workLoop executes requests from the bounded pool.
+func (e *Endpoint) workLoop() {
+	defer e.wg.Done()
+	for {
+		select {
+		case job := <-e.jobs:
+			e.execute(job)
+		case <-e.closed:
+			return
+		}
 	}
-	e.seen[id] = resp
-	e.seenErr[id] = isErr
-	e.seenFIFO = append(e.seenFIFO, id)
+}
+
+// execute runs the handler for one request, caches the response for
+// duplicate suppression, sends it, and recycles the job's buffers.
+func (e *Endpoint) execute(job *execJob) {
+	resp, herr := e.handler(&job.msg)
+	isErr := herr != nil
+	if isErr {
+		resp = []byte(herr.Error())
+	}
+	sh := job.shard
+	sh.mu.Lock()
+	delete(sh.inflight, job.key)
+	sh.remember(job.key, resp, isErr)
+	sh.mu.Unlock()
+	e.sendResponse(job.msg.Header, resp, isErr, job.from)
+	if job.buf != nil {
+		putBuf(job.buf)
+	}
+	job.buf = nil
+	job.from = nil
+	job.msg = Message{}
+	jobPool.Put(job)
+}
+
+// remember caches a response in the shard's ring for duplicate
+// suppression; sh.mu must be held. When the ring is full the oldest
+// entry is evicted and its backing array reused, so the cache is
+// bounded by construction and a warm steady state allocates nothing.
+func (sh *shard) remember(key dedupKey, resp []byte, isErr bool) {
+	if len(sh.ring) == 0 {
+		return
+	}
+	slot := sh.ringHead
+	entry := &sh.ring[slot]
+	if sh.ringLen == len(sh.ring) {
+		delete(sh.seen, entry.key)
+	} else {
+		sh.ringLen++
+	}
+	entry.key = key
+	entry.resp = append(entry.resp[:0], resp...)
+	entry.isErr = isErr
+	sh.seen[key] = slot
+	sh.ringHead = (sh.ringHead + 1) % len(sh.ring)
+}
+
+// seenLen reports the shard's cached-response count; test hook.
+func (sh *shard) seenLen() int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return len(sh.seen)
 }
 
 func (e *Endpoint) sendResponse(reqHeader matchlambda.WireHeader, payload []byte, isErr bool, to net.Addr) {
@@ -361,6 +699,16 @@ func (e *Endpoint) sendResponse(reqHeader matchlambda.WireHeader, payload []byte
 	}
 	if isErr {
 		h.Flags |= matchlambda.FlagError
+	}
+	if len(payload) <= e.mtu && matchlambda.WireHeaderSize+len(payload) <= pktBufSize {
+		h.Total = 1
+		h.PayloadLen = uint32(len(payload))
+		pb := getBuf()
+		pkt := h.Encode((*pb)[:0])
+		pkt = append(pkt, payload...)
+		e.conn.WriteTo(pkt, to)
+		putBuf(pb)
+		return
 	}
 	pkts, err := Fragment(h, payload, e.mtu)
 	if err != nil {

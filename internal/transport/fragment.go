@@ -116,6 +116,14 @@ func (r *Reassembler) AddFrom(pkt []byte, src string) (*Message, error) {
 	if err != nil {
 		return nil, err
 	}
+	return r.addDecoded(h, payload, src)
+}
+
+// addDecoded is AddFrom after header decoding — the endpoint's sharded
+// packet path decodes once to pick a lock stripe and hands the header
+// straight in. The returned message's payload is always a copy, never a
+// view into pkt.
+func (r *Reassembler) addDecoded(h matchlambda.WireHeader, payload []byte, src string) (*Message, error) {
 	if h.Total <= 1 {
 		// Fast path: single-packet RPC needs no reassembly state.
 		return &Message{Header: h, Payload: append([]byte(nil), payload...)}, nil

@@ -48,21 +48,49 @@ func (a MemAddr) String() string { return string(a) }
 
 type memPacket struct {
 	data []byte
-	from MemAddr
+	pb   *[]byte // pooled backing buffer; nil if not pooled
+	// from is the sender's address, boxed once at Listen time so the
+	// read path never re-boxes the MemAddr string into an interface.
+	from net.Addr
 }
+
+// recycle returns the packet's backing buffer to the pool.
+func (p *memPacket) recycle() {
+	if p.pb != nil {
+		memBufPool.Put(p.pb)
+		p.pb = nil
+	}
+}
+
+// clone copies the packet into a fresh pooled buffer.
+func (p memPacket) clone() memPacket {
+	pb := memBufPool.Get().(*[]byte)
+	*pb = append((*pb)[:0], p.data...)
+	return memPacket{data: *pb, pb: pb, from: p.from}
+}
+
+// memBufPool recycles in-flight packet buffers: WriteTo copies into a
+// pooled buffer and ReadFrom returns it once the payload is copied out,
+// so a steady-state round trip allocates nothing in the network itself.
+var memBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 2048)
+	return &b
+}}
 
 // MemConn is one endpoint on a MemNetwork. It implements
 // net.PacketConn.
 type MemConn struct {
 	net    *MemNetwork
 	addr   MemAddr
+	boxed  net.Addr // addr pre-boxed as an interface (see memPacket.from)
 	inbox  chan memPacket
 	closed chan struct{}
 	once   sync.Once
 
 	// delayed holds one packet being reordered behind the next.
-	mu      sync.Mutex
-	delayed *memPacket
+	mu         sync.Mutex
+	delayed    memPacket
+	hasDelayed bool
 }
 
 var _ net.PacketConn = (*MemConn)(nil)
@@ -77,6 +105,7 @@ func (n *MemNetwork) Listen(name string) (*MemConn, error) {
 	c := &MemConn{
 		net:    n,
 		addr:   MemAddr(name),
+		boxed:  MemAddr(name),
 		inbox:  make(chan memPacket, 1024),
 		closed: make(chan struct{}),
 	}
@@ -85,11 +114,13 @@ func (n *MemNetwork) Listen(name string) (*MemConn, error) {
 }
 
 // deliver routes a packet to its destination applying fault injection.
+// It takes ownership of pkt's pooled buffer.
 func (n *MemNetwork) deliver(to string, pkt memPacket) {
 	n.mu.Lock()
 	dst, ok := n.nodes[to]
 	if !ok {
 		n.mu.Unlock()
+		pkt.recycle()
 		return
 	}
 	drop := n.rng.Float64() < n.LossRate
@@ -97,30 +128,36 @@ func (n *MemNetwork) deliver(to string, pkt memPacket) {
 	reorder := n.rng.Float64() < n.ReorderRate
 	n.mu.Unlock()
 	if drop {
+		pkt.recycle()
 		return
 	}
-	dst.receive(pkt, reorder)
 	if dup {
-		dst.receive(pkt, false)
+		// The duplicate needs its own buffer: both copies are consumed
+		// (and recycled) independently by the receiver.
+		dst.receive(pkt.clone(), false)
 	}
+	dst.receive(pkt, reorder)
 }
 
 func (c *MemConn) receive(pkt memPacket, delay bool) {
 	c.mu.Lock()
-	if delay && c.delayed == nil {
-		c.delayed = &pkt
+	if delay && !c.hasDelayed {
+		c.delayed = pkt
+		c.hasDelayed = true
 		c.mu.Unlock()
 		return
 	}
-	var flush *memPacket
-	if c.delayed != nil {
+	var flush memPacket
+	flushing := c.hasDelayed
+	if flushing {
 		flush = c.delayed
-		c.delayed = nil
+		c.delayed = memPacket{}
+		c.hasDelayed = false
 	}
 	c.mu.Unlock()
 	c.push(pkt)
-	if flush != nil {
-		c.push(*flush)
+	if flushing {
+		c.push(flush)
 	}
 }
 
@@ -128,7 +165,9 @@ func (c *MemConn) push(pkt memPacket) {
 	select {
 	case c.inbox <- pkt:
 	case <-c.closed:
+		pkt.recycle()
 	default: // inbox full: drop, like a real NIC queue
+		pkt.recycle()
 	}
 }
 
@@ -137,6 +176,7 @@ func (c *MemConn) ReadFrom(p []byte) (int, net.Addr, error) {
 	select {
 	case pkt := <-c.inbox:
 		n := copy(p, pkt.data)
+		pkt.recycle()
 		return n, pkt.from, nil
 	case <-c.closed:
 		return 0, nil, net.ErrClosed
@@ -150,9 +190,9 @@ func (c *MemConn) WriteTo(p []byte, addr net.Addr) (int, error) {
 		return 0, net.ErrClosed
 	default:
 	}
-	data := make([]byte, len(p))
-	copy(data, p)
-	c.net.deliver(addr.String(), memPacket{data: data, from: c.addr})
+	pb := memBufPool.Get().(*[]byte)
+	*pb = append((*pb)[:0], p...)
+	c.net.deliver(addr.String(), memPacket{data: *pb, pb: pb, from: c.boxed})
 	return len(p), nil
 }
 

@@ -1,0 +1,7 @@
+//go:build race
+
+package transport
+
+// raceEnabled reports that the race detector is active; its
+// instrumentation inflates allocation counts, so the alloc gates skip.
+const raceEnabled = true

@@ -439,3 +439,37 @@ func TestReassemblerSourceIsolation(t *testing.T) {
 		t.Error("source B corrupted")
 	}
 }
+
+func TestSeenCacheStaysBounded(t *testing.T) {
+	// Regression for the pre-shard seenFIFO, which trimmed its slice
+	// with seenFIFO[1:] and kept the evicted keys' backing array (and
+	// map entries) alive: after far more distinct requests than
+	// seenCap, the dedup cache must hold at most seenCap responses.
+	n := NewMemNetwork(1)
+	server, client := newPair(t, n, func(req *Message) ([]byte, error) {
+		return req.Payload, nil
+	})
+	ctx := context.Background()
+	total := 2*seenCap + 100
+	payload := []byte("x")
+	for i := 0; i < total; i++ {
+		if _, err := client.Call(ctx, MemAddr("server"), 1, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cached := 0
+	for i := range server.shards {
+		sh := &server.shards[i]
+		if got := sh.seenLen(); got > len(sh.ring) {
+			t.Errorf("shard %d caches %d responses, ring holds %d", i, got, len(sh.ring))
+		} else {
+			cached += got
+		}
+	}
+	if cached > seenCap {
+		t.Errorf("seen cache holds %d entries after %d requests, cap is %d", cached, total, seenCap)
+	}
+	if cached == 0 {
+		t.Error("seen cache empty; requests were not remembered")
+	}
+}
