@@ -5,7 +5,7 @@
 // Usage:
 //
 //	lnic-bench [-quick] [-short] [-seed N]
-//	           [-experiment all|table1|fig6|fig7|fig8|table2|table3|table4|fig9|chaos|rpcbench]
+//	           [-experiment all|table1|fig6|fig7|fig8|table2|table3|table4|fig9|chaos|rpcbench|lambdabench]
 //	           [-trace-out trace.json] [-bench-out BENCH_rpc.json]
 //
 // -quick shrinks sample counts and the benchmark image for fast runs;
@@ -24,6 +24,13 @@
 // data plane — not the simulated testbed — over memnet and loopback
 // UDP, closed- and open-loop, and writes req/s, latency percentiles,
 // and allocs/op to -bench-out (default BENCH_rpc.json).
+//
+// The lambdabench experiment (not part of "all") measures the lambda
+// execution engines themselves in wall-clock time: the optimized paper
+// firmware is linked once with the reference interpreter and once with
+// the closure-compiled engine, and each paper workload is driven
+// through both, writing ns/op and allocs/op per engine to -bench-out
+// (default BENCH_lambda.json).
 package main
 
 import (
@@ -50,11 +57,11 @@ func run(args []string) error {
 	short := fs.Bool("short", false, "shrink the chaos experiment to a smoke run")
 	seed := fs.Int64("seed", 42, "simulation seed")
 	experiment := fs.String("experiment", "all",
-		"which experiment to run: all, table1, fig6, fig7, fig8, table2, table3, table4, fig9, optimizer, scaleout, loadcurve, nicclasses, ablations, breakdown, chaos, rpcbench")
+		"which experiment to run: all, table1, fig6, fig7, fig8, table2, table3, table4, fig9, optimizer, scaleout, loadcurve, nicclasses, ablations, breakdown, chaos, rpcbench, lambdabench")
 	traceOut := fs.String("trace-out", "",
 		"write the breakdown experiment's Chrome trace-event JSON to this file")
-	benchOut := fs.String("bench-out", "BENCH_rpc.json",
-		"write the rpcbench experiment's JSON report to this file")
+	benchOut := fs.String("bench-out", "",
+		"write the benchmark experiment's JSON report to this file (default BENCH_rpc.json for rpcbench, BENCH_lambda.json for lambdabench)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -194,16 +201,40 @@ func run(args []string) error {
 			return err
 		}
 		out(experiments.RenderRPCBench(rep))
-		if *benchOut != "" {
-			if err := benchio.WriteJSON(*benchOut, rep); err != nil {
-				return err
-			}
-			fmt.Printf("lnic-bench: wrote %d benchmark results to %s\n",
-				len(rep.Results), *benchOut)
+		if err := writeBench(*benchOut, "BENCH_rpc.json", rep); err != nil {
+			return err
+		}
+	}
+	if want == "lambdabench" {
+		lbCfg := experiments.DefaultLambdaBench()
+		if *short || *quick {
+			lbCfg = experiments.QuickLambdaBench()
+		}
+		rep, err := experiments.LambdaBench(lbCfg)
+		if err != nil {
+			return err
+		}
+		out(experiments.RenderLambdaBench(rep))
+		if err := writeBench(*benchOut, "BENCH_lambda.json", rep); err != nil {
+			return err
 		}
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
+	return nil
+}
+
+// writeBench writes a benchmark report to the -bench-out path, falling
+// back to the experiment's default filename.
+func writeBench(path, fallback string, rep benchio.Report) error {
+	if path == "" {
+		path = fallback
+	}
+	if err := benchio.WriteJSON(path, rep); err != nil {
+		return err
+	}
+	fmt.Printf("lnic-bench: wrote %d benchmark results to %s\n",
+		len(rep.Results), path)
 	return nil
 }

@@ -44,6 +44,25 @@ func TestRunRPCBenchQuick(t *testing.T) {
 	}
 }
 
+func TestRunLambdaBenchQuick(t *testing.T) {
+	// The CI benchmark target: quick lambdabench run plus the JSON report.
+	out := t.TempDir() + "/BENCH_lambda.json"
+	if err := run([]string{"-quick", "-experiment", "lambdabench", "-bench-out", out}); err != nil {
+		t.Fatalf("run(lambdabench -quick): %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchio.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("BENCH_lambda.json not valid JSON: %v", err)
+	}
+	if len(rep.Results) != 6 {
+		t.Errorf("report has %d results, want 6 (3 workloads x 2 engines)", len(rep.Results))
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := run([]string{"-experiment", "bogus"}); err == nil {
 		t.Error("unknown experiment accepted")

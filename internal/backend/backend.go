@@ -103,6 +103,10 @@ type LambdaNIC struct {
 	exe     *mcc.Executable
 	region  *rdma.Region
 
+	// linkOpts select the firmware's execution engine and limits; set
+	// before Deploy (zero value: compiled engine, default limits).
+	linkOpts mcc.LinkOptions
+
 	// maxInflight tracks the peak number of concurrent requests, for
 	// NIC memory accounting.
 	inflight, maxInflight int
@@ -130,10 +134,18 @@ func (b *LambdaNIC) Name() string { return "lambda-nic" }
 // NIC exposes the simulated NIC (for stats in tests and reports).
 func (b *LambdaNIC) NIC() *nicsim.NIC { return b.nic }
 
+// SetLinkOptions overrides the firmware link options (e.g. to pin the
+// interpreter engine for differential runs). Call before Deploy.
+func (b *LambdaNIC) SetLinkOptions(opts mcc.LinkOptions) { b.linkOpts = opts }
+
+// Executable exposes the deployed firmware image (nil before Deploy),
+// for dispatch introspection in tests and reports.
+func (b *LambdaNIC) Executable() *mcc.Executable { return b.exe }
+
 // Deploy compiles the workloads into optimized Match+Lambda firmware
 // and loads it (§4.1, §5).
 func (b *LambdaNIC) Deploy(ws []*workloads.Workload) error {
-	exe, _, err := workloads.CompileOptimized(ws, workloads.NaiveProgramTarget)
+	exe, _, err := workloads.CompileOptimizedWith(ws, workloads.NaiveProgramTarget, b.linkOpts)
 	if err != nil {
 		return fmt.Errorf("lambda-nic deploy: %w", err)
 	}

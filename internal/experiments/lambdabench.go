@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"time"
+
+	"lambdanic/internal/benchio"
+	"lambdanic/internal/mcc"
+	"lambdanic/internal/nicsim"
+	"lambdanic/internal/workloads"
+)
+
+// LambdaBenchConfig sizes the lambda execution-engine benchmark
+// (lnic-bench -experiment lambdabench). Like rpcbench it measures the
+// real Go implementation in wall-clock time, not the simulated clock:
+// the same optimized Match+Lambda firmware is linked once per execution
+// engine and driven with the paper workloads, so the numbers track the
+// compiled engine's advantage over the reference interpreter across
+// PRs.
+type LambdaBenchConfig struct {
+	// Duration is the measurement window per workload and engine.
+	Duration time.Duration
+	// ImageWidth/ImageHeight size the grayscale workload's image.
+	ImageWidth  int
+	ImageHeight int
+}
+
+// DefaultLambdaBench returns the tracked benchmark configuration. The
+// image is kept benchmark-sized (64x64, a 12-packet RDMA payload)
+// rather than the paper's 512x512 so the per-request engine overhead
+// is not drowned by the bulk grayscale loop both engines share.
+func DefaultLambdaBench() LambdaBenchConfig {
+	return LambdaBenchConfig{
+		Duration:    time.Second,
+		ImageWidth:  64,
+		ImageHeight: 64,
+	}
+}
+
+// QuickLambdaBench returns a smoke-run configuration for -quick/-short.
+func QuickLambdaBench() LambdaBenchConfig {
+	return LambdaBenchConfig{
+		Duration:    100 * time.Millisecond,
+		ImageWidth:  16,
+		ImageHeight: 16,
+	}
+}
+
+// lambdaBenchEngines is the benchmarked engine matrix; the engine name
+// lands in the Result's Transport column.
+var lambdaBenchEngines = []mcc.Engine{mcc.EngineInterp, mcc.EngineCompiled}
+
+// LambdaBench links the optimized paper program once per execution
+// engine and measures ns/op and allocs/op for the web, key-value get,
+// and grayscale lambdas on each, returning the report written to
+// BENCH_lambda.json. Before measuring, every workload's response is
+// checked byte-for-byte across engines (the differential invariant the
+// compiled engine is built on) — which doubles as warmup, taking the
+// runtime library's one-time init off the measured path.
+func LambdaBench(cfg LambdaBenchConfig) (benchio.Report, error) {
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	if cfg.ImageWidth < 1 || cfg.ImageHeight < 1 {
+		cfg.ImageWidth, cfg.ImageHeight = 64, 64
+	}
+
+	ws := []*workloads.Workload{
+		workloads.WebServer(),
+		workloads.KVGetClient(),
+		workloads.ImageTransformer(cfg.ImageWidth, cfg.ImageHeight),
+	}
+
+	exes := make(map[mcc.Engine]*mcc.Executable, len(lambdaBenchEngines))
+	for _, eng := range lambdaBenchEngines {
+		exe, _, err := workloads.CompileOptimizedWith(ws, workloads.NaiveProgramTarget,
+			mcc.LinkOptions{Engine: eng})
+		if err != nil {
+			return benchio.Report{}, fmt.Errorf("lambdabench: link %s: %w", eng, err)
+		}
+		exes[eng] = exe
+	}
+
+	// Prebuild one request per workload so request construction stays
+	// off the measured path.
+	reqs := make([]*nicsim.Request, len(ws))
+	for i, w := range ws {
+		payload := w.MakeRequest(7)
+		reqs[i] = &nicsim.Request{
+			LambdaID: w.ID,
+			Payload:  payload,
+			Packets:  workloads.Packets(len(payload)),
+		}
+	}
+
+	// Cross-engine response check + warmup.
+	for i, w := range ws {
+		var resp [2][]byte
+		for j, eng := range lambdaBenchEngines {
+			var got []byte
+			for k := 0; k < 3; k++ {
+				if err := exes[eng].ExecutePooled(reqs[i], func(r nicsim.Response) {
+					got = append(got[:0], r.Payload...)
+				}); err != nil {
+					return benchio.Report{}, fmt.Errorf("lambdabench: warm %s/%s: %w", w.Name, eng, err)
+				}
+			}
+			resp[j] = got
+		}
+		if !bytes.Equal(resp[0], resp[1]) {
+			return benchio.Report{}, fmt.Errorf("lambdabench: %s: engine responses diverge (%d vs %d bytes)",
+				w.Name, len(resp[0]), len(resp[1]))
+		}
+	}
+
+	var results []benchio.Result
+	for i, w := range ws {
+		for _, eng := range lambdaBenchEngines {
+			exe, req := exes[eng], reqs[i]
+			call := func() error { return exe.ExecutePooled(req, nil) }
+			results = append(results,
+				benchio.ClosedLoop(w.Name, eng.String(), 1, cfg.Duration, call))
+		}
+	}
+	return benchio.NewReport(results), nil
+}
+
+// RenderLambdaBench formats the report as a text table with a speedup
+// column (interpreter p50 over compiled p50, per workload).
+func RenderLambdaBench(rep benchio.Report) string {
+	interp := make(map[string]benchio.Result)
+	for _, r := range rep.Results {
+		if r.Transport == mcc.EngineInterp.String() {
+			interp[r.Name] = r
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Lambda execution-engine benchmark (%s, GOMAXPROCS=%d)\n",
+		rep.GoVersion, rep.GOMAXPROCS)
+	fmt.Fprintf(&b, "%-18s %-9s %11s %9s %9s %9s %8s\n",
+		"workload", "engine", "req/s", "p50ns", "p99ns", "allocs", "speedup")
+	for _, r := range rep.Results {
+		speedup := "-"
+		if r.Transport == mcc.EngineCompiled.String() {
+			if base, ok := interp[r.Name]; ok && r.P50Ns > 0 {
+				speedup = fmt.Sprintf("%.2fx", float64(base.P50Ns)/float64(r.P50Ns))
+			}
+		}
+		fmt.Fprintf(&b, "%-18s %-9s %11.0f %9d %9d %9.2f %8s\n",
+			r.Name, r.Transport, r.ReqPerSec, r.P50Ns, r.P99Ns, r.AllocsPerOp, speedup)
+	}
+	return b.String()
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func smokeLambdaBench() LambdaBenchConfig {
+	return LambdaBenchConfig{
+		Duration:    30 * time.Millisecond,
+		ImageWidth:  16,
+		ImageHeight: 16,
+	}
+}
+
+func TestLambdaBenchProducesEngineMatrix(t *testing.T) {
+	rep, err := LambdaBench(smokeLambdaBench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 workloads × 2 engines.
+	if len(rep.Results) != 6 {
+		t.Fatalf("got %d results, want 6", len(rep.Results))
+	}
+	engines := map[string]int{}
+	for _, r := range rep.Results {
+		engines[r.Transport]++
+		if r.Requests == 0 {
+			t.Errorf("%s/%s: zero requests", r.Name, r.Transport)
+		}
+		if r.Errors != 0 {
+			t.Errorf("%s/%s: %d errors", r.Name, r.Transport, r.Errors)
+		}
+		if r.ReqPerSec <= 0 {
+			t.Errorf("%s/%s: req/s = %f", r.Name, r.Transport, r.ReqPerSec)
+		}
+	}
+	if engines["interp"] != 3 || engines["compiled"] != 3 {
+		t.Errorf("engine coverage: %v", engines)
+	}
+}
+
+func TestRenderLambdaBench(t *testing.T) {
+	rep, err := LambdaBench(smokeLambdaBench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderLambdaBench(rep)
+	for _, want := range []string{"workload", "speedup", "interp", "compiled", "web_server"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// The speedup column must be populated for compiled rows.
+	if !strings.Contains(out, "x\n") {
+		t.Errorf("no speedup ratio rendered:\n%s", out)
+	}
+}

@@ -269,3 +269,56 @@ func TestWireHeaderRoundTripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestComposedJumpTableDispatch closes the loop from Compose through
+// the optimizer to the compiled engine: the reduced match stage the
+// optimizer emits for a composed program must compile into the
+// WorkloadID jump table, and dispatch results must match the
+// interpreter exactly — including the unknown-ID miss path.
+func TestComposedJumpTableDispatch(t *testing.T) {
+	build := func(t *testing.T) *mcc.Program {
+		p, err := Compose([]*LambdaSpec{
+			echoSpec(t, "alpha", 10, 'A', "webreq"),
+			echoSpec(t, "beta", 20, 'B'),
+			echoSpec(t, "gamma", 30, 'C', "kvreq"),
+		}, ComposeOptions{Headers: stdHeaders()})
+		if err != nil {
+			t.Fatalf("Compose: %v", err)
+		}
+		opt, _, err := mcc.Optimize(p, mcc.AllPasses())
+		if err != nil {
+			t.Fatalf("Optimize: %v", err)
+		}
+		return opt
+	}
+	compiled, err := mcc.Link(build(t), mcc.LinkOptions{})
+	if err != nil {
+		t.Fatalf("Link compiled: %v", err)
+	}
+	interp, err := mcc.Link(build(t), mcc.LinkOptions{Engine: mcc.EngineInterp})
+	if err != nil {
+		t.Fatalf("Link interp: %v", err)
+	}
+	if kind := compiled.DispatchKind(); kind != "jump-table" {
+		t.Fatalf("composed+optimized DispatchKind = %q, want jump-table", kind)
+	}
+	for _, id := range []uint32{10, 20, 30, 99} {
+		req := &nicsim.Request{LambdaID: id, Payload: []byte{0, 42, 0, 0, 0}, Packets: 1}
+		cresp, cerr := compiled.Execute(req)
+		iresp, ierr := interp.Execute(req)
+		// The unknown ID falls off the match chain and is forwarded to
+		// the host (StatusToHost) rather than faulting, in both engines.
+		if (cerr == nil) != (ierr == nil) {
+			t.Fatalf("id %d: error divergence: compiled=%v interp=%v", id, cerr, ierr)
+		}
+		if cerr != nil {
+			t.Fatalf("id %d: %v", id, cerr)
+		}
+		if string(cresp.Payload) != string(iresp.Payload) {
+			t.Errorf("id %d: payload divergence: compiled=%q interp=%q", id, cresp.Payload, iresp.Payload)
+		}
+		if cresp.Stats != iresp.Stats {
+			t.Errorf("id %d: stats divergence:\ncompiled %+v\ninterp   %+v", id, cresp.Stats, iresp.Stats)
+		}
+	}
+}

@@ -8,7 +8,7 @@ import (
 
 // benchProgram builds a representative lambda: header read, loop,
 // memory traffic, emit.
-func benchProgram(b *testing.B) *Executable {
+func benchProgram(b *testing.B, engine Engine) *Executable {
 	b.Helper()
 	bd := NewBuilder("bench")
 	bd.HdrGet(1, FieldArg0)
@@ -33,30 +33,34 @@ func benchProgram(b *testing.B) *Executable {
 	if err := p.AddEntry(1, "bench"); err != nil {
 		b.Fatal(err)
 	}
-	exe, err := Link(p, LinkOptions{})
+	exe, err := Link(p, LinkOptions{Engine: engine})
 	if err != nil {
 		b.Fatal(err)
 	}
 	return exe
 }
 
-func BenchmarkInterpreterExecute(b *testing.B) {
-	exe := benchProgram(b)
+func benchmarkExecute(b *testing.B, engine Engine) {
+	exe := benchProgram(b, engine)
 	req := &nicsim.Request{LambdaID: 1, Payload: []byte{1, 2, 3}, Packets: 1}
 	b.ReportAllocs()
 	b.ResetTimer()
 	var instr uint64
 	for i := 0; i < b.N; i++ {
-		resp, err := exe.Execute(req)
+		err := exe.ExecutePooled(req, func(resp nicsim.Response) {
+			instr = resp.Stats.Instructions
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
-		instr = resp.Stats.Instructions
 	}
 	b.ReportMetric(float64(instr), "instr/req")
 }
 
-func BenchmarkInterpreterBulkGray(b *testing.B) {
+func BenchmarkInterpreterExecute(b *testing.B) { benchmarkExecute(b, EngineInterp) }
+func BenchmarkCompiledExecute(b *testing.B)   { benchmarkExecute(b, EngineCompiled) }
+
+func benchmarkBulkGray(b *testing.B, engine Engine) {
 	bd := NewBuilder("gray")
 	bd.PktLen(2)
 	bd.MovImm(1, 0)
@@ -73,7 +77,7 @@ func BenchmarkInterpreterBulkGray(b *testing.B) {
 	if err := p.AddEntry(1, "gray"); err != nil {
 		b.Fatal(err)
 	}
-	exe, err := Link(p, LinkOptions{})
+	exe, err := Link(p, LinkOptions{Engine: engine})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -82,11 +86,14 @@ func BenchmarkInterpreterBulkGray(b *testing.B) {
 	b.SetBytes(int64(len(payload)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exe.Execute(req); err != nil {
+		if err := exe.ExecutePooled(req, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
+
+func BenchmarkInterpreterBulkGray(b *testing.B) { benchmarkBulkGray(b, EngineInterp) }
+func BenchmarkCompiledBulkGray(b *testing.B)    { benchmarkBulkGray(b, EngineCompiled) }
 
 func BenchmarkOptimizeAllPasses(b *testing.B) {
 	p := buildBenchMatchProgram(b)

@@ -48,7 +48,10 @@ const (
 	maxCallDepth     = 16
 )
 
-// Interpreter errors.
+// Execution errors. Faults are reported through these sentinels; both
+// engines return the exact same pre-built error values on the hot path
+// (no per-miss fmt.Errorf), so fault-injected bad programs stay cheap
+// and the differential tests can compare error identity.
 var (
 	ErrStepLimit   = errors.New("mcc: step limit exceeded")
 	ErrCallDepth   = errors.New("mcc: call depth exceeded")
@@ -56,7 +59,21 @@ var (
 	ErrNoEntry     = errors.New("mcc: no entry for lambda")
 )
 
-// env is one request's execution context.
+// Pre-built fault values shared by the interpreter and the compiled
+// engine. Per-object out-of-bounds errors live on the objectSlot.
+var (
+	errHdrRange      = errors.New("mcc: header field out of range")
+	errPayloadOOB    = fmt.Errorf("%w: payload", ErrOutOfBounds)
+	errMemcpyNegLen  = fmt.Errorf("%w: memcpy negative length", ErrOutOfBounds)
+	errGrayLen       = fmt.Errorf("%w: gray length not a pixel multiple", ErrOutOfBounds)
+	errUnknownObject = errors.New("mcc: unknown object")
+	errUnknownFunc   = errors.New("mcc: call to unknown function")
+	errInvalidOp     = errors.New("mcc: invalid opcode")
+)
+
+// env is one request's execution context. The compiled engine pools
+// envs (and their response buffers) across requests; the interpreter
+// allocates one per request.
 type env struct {
 	exe          *Executable
 	headers      [NumFields]int64
@@ -67,6 +84,23 @@ type env struct {
 	stats        nicsim.ExecStats
 	steps        uint64
 	depth        int
+	// ret receives the status register when a compiled closure executes
+	// OpRet (closures signal "return" through a sentinel pc).
+	ret int64
+}
+
+// reset prepares a pooled env for reuse, keeping the response buffer's
+// backing array.
+func (e *env) reset() {
+	e.headers = [NumFields]int64{}
+	e.payload = nil
+	e.payloadLevel = 0
+	e.resp = e.resp[:0]
+	e.regs = [NumRegs]int64{}
+	e.stats = nicsim.ExecStats{}
+	e.steps = 0
+	e.depth = 0
+	e.ret = 0
 }
 
 // set writes a register, discarding writes to RegZero.
@@ -85,6 +119,24 @@ func (e *env) charge(instr uint64) error {
 	return nil
 }
 
+// chargeExact charges n instructions but, when the step limit is
+// crossed, reports exactly limit+1 — the count a one-at-a-time charge
+// loop would have reached when it tripped. The compiled engine's jump
+// table uses it for dispatch chains whose only side effects before the
+// limit are scratch registers, keeping ExecStats bit-identical to the
+// interpreter walking the same chain.
+func (e *env) chargeExact(n uint64) error {
+	if e.steps+n > e.exe.stepLimit {
+		over := e.exe.stepLimit - e.steps + 1
+		e.steps += over
+		e.stats.Instructions += over
+		return ErrStepLimit
+	}
+	e.steps += n
+	e.stats.Instructions += n
+	return nil
+}
+
 func bursts(n int64) uint64 {
 	if n <= 0 {
 		return 0
@@ -92,13 +144,15 @@ func bursts(n int64) uint64 {
 	return uint64((n + burstBytes - 1) / burstBytes)
 }
 
-// object returns the object's backing store and placement level.
-func (e *env) object(name string) ([]byte, nicsim.MemLevel, error) {
-	mem, ok := e.exe.mem[name]
+// object resolves a name to its linked slot (dense array + side map;
+// the map is control-plane only, but the interpreter keeps using it so
+// its per-access cost profile stays the measured baseline).
+func (e *env) object(name string) (*objectSlot, error) {
+	idx, ok := e.exe.slotIndex[name]
 	if !ok {
-		return nil, 0, fmt.Errorf("mcc: unknown object %q", name)
+		return nil, errUnknownObject
 	}
-	return mem, e.exe.levels[name], nil
+	return &e.exe.slots[idx], nil
 }
 
 // run executes a function to completion, returning its status register.
@@ -153,7 +207,7 @@ func (e *env) run(f *Function) (int64, error) {
 				next = int(in.Imm)
 			}
 		case OpLoad, OpLoadW:
-			mem, lvl, err := e.object(in.Sym)
+			slot, err := e.object(in.Sym)
 			if err != nil {
 				return 0, err
 			}
@@ -162,17 +216,17 @@ func (e *env) run(f *Function) (int64, error) {
 			if in.Op == OpLoadW {
 				width = 8
 			}
-			if addr < 0 || addr+width > int64(len(mem)) {
-				return 0, fmt.Errorf("%w: %s[%d]", ErrOutOfBounds, in.Sym, addr)
+			if addr < 0 || addr+width > int64(len(slot.mem)) {
+				return 0, slot.oobErr
 			}
-			e.stats.AddAccess(lvl, 1)
+			e.stats.AddAccess(slot.level, 1)
 			if in.Op == OpLoad {
-				e.set(in.Rd, int64(mem[addr]))
+				e.set(in.Rd, int64(slot.mem[addr]))
 			} else {
-				e.set(in.Rd, int64(le64(mem[addr:])))
+				e.set(in.Rd, int64(le64(slot.mem[addr:])))
 			}
 		case OpStore, OpStoreW:
-			mem, lvl, err := e.object(in.Sym)
+			slot, err := e.object(in.Sym)
 			if err != nil {
 				return 0, err
 			}
@@ -181,54 +235,54 @@ func (e *env) run(f *Function) (int64, error) {
 			if in.Op == OpStoreW {
 				width = 8
 			}
-			if addr < 0 || addr+width > int64(len(mem)) {
-				return 0, fmt.Errorf("%w: %s[%d]", ErrOutOfBounds, in.Sym, addr)
+			if addr < 0 || addr+width > int64(len(slot.mem)) {
+				return 0, slot.oobErr
 			}
-			e.stats.AddAccess(lvl, 1)
+			e.stats.AddAccess(slot.level, 1)
 			if in.Op == OpStore {
-				mem[addr] = byte(e.regs[in.Rs2])
+				slot.mem[addr] = byte(e.regs[in.Rs2])
 			} else {
-				putLE64(mem[addr:], uint64(e.regs[in.Rs2]))
+				putLE64(slot.mem[addr:], uint64(e.regs[in.Rs2]))
 			}
 		case OpHdrGet:
 			if in.Imm < 0 || in.Imm >= NumFields {
-				return 0, fmt.Errorf("mcc: header field %d out of range", in.Imm)
+				return 0, errHdrRange
 			}
 			e.set(in.Rd, e.headers[in.Imm])
 		case OpHdrSet:
 			if in.Imm < 0 || in.Imm >= NumFields {
-				return 0, fmt.Errorf("mcc: header field %d out of range", in.Imm)
+				return 0, errHdrRange
 			}
 			e.headers[in.Imm] = e.regs[in.Rs1]
 		case OpPktLoad:
 			addr := e.regs[in.Rs1] + in.Imm
 			if addr < 0 || addr >= int64(len(e.payload)) {
-				return 0, fmt.Errorf("%w: payload[%d]", ErrOutOfBounds, addr)
+				return 0, errPayloadOOB
 			}
 			e.stats.AddAccess(e.payloadLevel, 1)
 			e.set(in.Rd, int64(e.payload[addr]))
 		case OpPktLen:
 			e.set(in.Rd, int64(len(e.payload)))
 		case OpEmit:
-			mem, lvl, err := e.object(in.Sym)
+			slot, err := e.object(in.Sym)
 			if err != nil {
 				return 0, err
 			}
 			off, n := e.regs[in.Rs1], e.regs[in.Rs2]
-			if off < 0 || n < 0 || off+n > int64(len(mem)) {
-				return 0, fmt.Errorf("%w: emit %s[%d:%d]", ErrOutOfBounds, in.Sym, off, off+n)
+			if off < 0 || n < 0 || off+n > int64(len(slot.mem)) {
+				return 0, slot.oobErr
 			}
 			if err := e.charge(1 + bursts(n)); err != nil {
 				return 0, err
 			}
-			e.stats.AddAccess(lvl, bursts(n))
-			e.resp = append(e.resp, mem[off:off+n]...)
+			e.stats.AddAccess(slot.level, bursts(n))
+			e.resp = append(e.resp, slot.mem[off:off+n]...)
 		case OpEmitByte:
 			e.resp = append(e.resp, byte(e.regs[in.Rs1]))
 		case OpCall:
 			callee := e.exe.prog.Func(in.Sym)
 			if callee == nil {
-				return 0, fmt.Errorf("mcc: call to unknown function %q", in.Sym)
+				return 0, errUnknownFunc
 			}
 			if _, err := e.run(callee); err != nil {
 				return 0, err
@@ -248,7 +302,7 @@ func (e *env) run(f *Function) (int64, error) {
 				return 0, err
 			}
 		default:
-			return 0, fmt.Errorf("mcc: invalid opcode %v", in.Op)
+			return 0, errInvalidOp
 		}
 		pc = next
 	}
@@ -261,9 +315,9 @@ func (e *env) run(f *Function) (int64, error) {
 func (e *env) bulkCopy(in *Instr) error {
 	n := e.regs[in.Rs2]
 	if n < 0 {
-		return fmt.Errorf("%w: memcpy negative length", ErrOutOfBounds)
+		return errMemcpyNegLen
 	}
-	dst, dlvl, err := e.object(in.Sym)
+	dst, err := e.object(in.Sym)
 	if err != nil {
 		return err
 	}
@@ -272,21 +326,22 @@ func (e *env) bulkCopy(in *Instr) error {
 	if in.Sym2 == PayloadObject {
 		src, slvl = e.payload, e.payloadLevel
 	} else {
-		src, slvl, err = e.object(in.Sym2)
+		so, err := e.object(in.Sym2)
 		if err != nil {
 			return err
 		}
+		src, slvl = so.mem, so.level
 	}
 	doff, soff := e.regs[in.Rd], e.regs[in.Rs1]
-	if doff < 0 || soff < 0 || doff+n > int64(len(dst)) || soff+n > int64(len(src)) {
-		return fmt.Errorf("%w: memcpy %s[%d] <- %s[%d] n=%d", ErrOutOfBounds, in.Sym, doff, in.Sym2, soff, n)
+	if doff < 0 || soff < 0 || doff+n > int64(len(dst.mem)) || soff+n > int64(len(src)) {
+		return dst.oobErr
 	}
 	if err := e.charge(bulkSetup + bursts(n)); err != nil {
 		return err
 	}
 	e.stats.AddAccess(slvl, bursts(n))
-	e.stats.AddAccess(dlvl, bursts(n))
-	copy(dst[doff:doff+n], src[soff:soff+n])
+	e.stats.AddAccess(dst.level, bursts(n))
+	copy(dst.mem[doff:doff+n], src[soff:soff+n])
 	return nil
 }
 
@@ -296,10 +351,10 @@ func (e *env) bulkCopy(in *Instr) error {
 func (e *env) bulkGray(in *Instr) error {
 	n := e.regs[in.Rs2]
 	if n < 0 || n%4 != 0 {
-		return fmt.Errorf("%w: gray length %d not a pixel multiple", ErrOutOfBounds, n)
+		return errGrayLen
 	}
 	pixels := n / 4
-	dst, dlvl, err := e.object(in.Sym)
+	dst, err := e.object(in.Sym)
 	if err != nil {
 		return err
 	}
@@ -308,55 +363,66 @@ func (e *env) bulkGray(in *Instr) error {
 	if in.Sym2 == PayloadObject {
 		src, slvl = e.payload, e.payloadLevel
 	} else {
-		src, slvl, err = e.object(in.Sym2)
+		so, err := e.object(in.Sym2)
 		if err != nil {
 			return err
 		}
+		src, slvl = so.mem, so.level
 	}
 	doff, soff := e.regs[in.Rd], e.regs[in.Rs1]
-	if doff < 0 || soff < 0 || soff+n > int64(len(src)) || doff+pixels > int64(len(dst)) {
-		return fmt.Errorf("%w: gray %s[%d] <- %s[%d] n=%d", ErrOutOfBounds, in.Sym, doff, in.Sym2, soff, n)
+	if doff < 0 || soff < 0 || soff+n > int64(len(src)) || doff+pixels > int64(len(dst.mem)) {
+		return dst.oobErr
 	}
 	// One instruction per pixel through the conversion assist.
 	if err := e.charge(bulkSetup + uint64(pixels)); err != nil {
 		return err
 	}
 	e.stats.AddAccess(slvl, bursts(n))
-	e.stats.AddAccess(dlvl, bursts(pixels))
-	for p := int64(0); p < pixels; p++ {
-		r := uint32(src[soff+p*4])
-		g := uint32(src[soff+p*4+1])
-		bl := uint32(src[soff+p*4+2])
-		dst[doff+p] = byte((77*r + 150*g + 29*bl) >> 8)
-	}
+	e.stats.AddAccess(dst.level, bursts(pixels))
+	grayPixels(dst.mem[doff:doff+pixels], src[soff:soff+n])
 	return nil
+}
+
+// grayPixels converts len(dst) RGBA pixels from src to luma bytes.
+func grayPixels(dst, src []byte) {
+	for p := range dst {
+		r := uint32(src[p*4])
+		g := uint32(src[p*4+1])
+		bl := uint32(src[p*4+2])
+		dst[p] = byte((77*r + 150*g + 29*bl) >> 8)
+	}
 }
 
 // bulkHash implements OpHash: FNV-1a over obj[rs1 : rs1+rs2].
 func (e *env) bulkHash(in *Instr) error {
-	mem, lvl, err := e.object(in.Sym)
+	slot, err := e.object(in.Sym)
 	if err != nil {
 		return err
 	}
 	off, n := e.regs[in.Rs1], e.regs[in.Rs2]
-	if off < 0 || n < 0 || off+n > int64(len(mem)) {
-		return fmt.Errorf("%w: hash %s[%d:%d]", ErrOutOfBounds, in.Sym, off, off+n)
+	if off < 0 || n < 0 || off+n > int64(len(slot.mem)) {
+		return slot.oobErr
 	}
 	if err := e.charge(bulkSetup + uint64(n+7)/8); err != nil {
 		return err
 	}
-	e.stats.AddAccess(lvl, bursts(n))
+	e.stats.AddAccess(slot.level, bursts(n))
+	e.set(in.Rd, int64(fnv1a(slot.mem[off:off+n])))
+	return nil
+}
+
+// fnv1a hashes b with 64-bit FNV-1a.
+func fnv1a(b []byte) uint64 {
 	const (
 		fnvOffset = 14695981039346656037
 		fnvPrime  = 1099511628211
 	)
 	h := uint64(fnvOffset)
-	for _, b := range mem[off : off+n] {
-		h ^= uint64(b)
+	for _, c := range b {
+		h ^= uint64(c)
 		h *= fnvPrime
 	}
-	e.set(in.Rd, int64(h))
-	return nil
+	return h
 }
 
 func boolTo64(b bool) int64 {

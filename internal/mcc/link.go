@@ -2,6 +2,8 @@ package mcc
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"lambdanic/internal/nicsim"
 )
@@ -17,6 +19,27 @@ const (
 	MatchFunction = "__match"
 )
 
+// Engine selects the execution backend for a linked image.
+type Engine int
+
+const (
+	// EngineCompiled (the default) executes closure-compiled function
+	// bodies with fused basic blocks and link-time symbol resolution.
+	EngineCompiled Engine = iota
+	// EngineInterp executes the IR through the reference switch
+	// interpreter. The compiled engine is differentially tested against
+	// it; ExecStats must match bit-for-bit.
+	EngineInterp
+)
+
+// String names the engine for reports and benchmarks.
+func (e Engine) String() string {
+	if e == EngineInterp {
+		return "interp"
+	}
+	return "compiled"
+}
+
 // LinkOptions tune the produced executable.
 type LinkOptions struct {
 	// StepLimit bounds dynamic instructions per request; 0 uses the
@@ -28,6 +51,20 @@ type LinkOptions struct {
 	// MultiPacketLevel is where RDMA-committed multi-packet payloads
 	// live (EMEM by default; §4.2.1 D3).
 	MultiPacketLevel nicsim.MemLevel
+	// Engine selects the execution backend (compiled by default).
+	Engine Engine
+}
+
+// objectSlot is a linked object: name resolution happened at link time,
+// so the data path indexes a dense slice instead of a string-keyed map.
+// The out-of-bounds error is pre-built so faulting programs do not
+// allocate per miss.
+type objectSlot struct {
+	name   string
+	mem    []byte
+	init   []byte
+	level  nicsim.MemLevel
+	oobErr error
 }
 
 // Executable is linked firmware implementing nicsim.Program: the
@@ -36,16 +73,27 @@ type LinkOptions struct {
 // runs", §4.1); Reset restores initial contents.
 type Executable struct {
 	prog      *Program
-	mem       map[string][]byte
-	levels    map[string]nicsim.MemLevel
+	slots     []objectSlot
+	slotIndex map[string]int // control-plane name lookups only
 	stepLimit uint64
 	opts      LinkOptions
+	engine    Engine
+
+	// Compiled backend state (built for every image; unused when the
+	// interpreter engine is selected).
+	funcs    map[string]*compiledFunc
+	dispatch *jumpTable
+	// envSlot is a single-element cache in front of envPool: the
+	// steady-state single-caller path trades one atomic swap for the
+	// pool's pin/unpin round trip.
+	envSlot atomic.Pointer[env]
+	envPool sync.Pool
 }
 
 var _ nicsim.Program = (*Executable)(nil)
 
-// Link validates the program, allocates object memory, and produces an
-// executable image.
+// Link validates the program, allocates object memory, resolves every
+// symbol, and produces an executable image.
 func Link(p *Program, opts LinkOptions) (*Executable, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -70,27 +118,68 @@ func Link(p *Program, opts LinkOptions) (*Executable, error) {
 	}
 	e := &Executable{
 		prog:      p,
-		mem:       make(map[string][]byte, len(p.Objects)),
-		levels:    make(map[string]nicsim.MemLevel, len(p.Objects)),
+		slots:     make([]objectSlot, len(p.Objects)),
+		slotIndex: make(map[string]int, len(p.Objects)),
 		stepLimit: opts.StepLimit,
 		opts:      opts,
+		engine:    opts.Engine,
+	}
+	for i, o := range p.Objects {
+		e.slots[i] = objectSlot{
+			name:   o.Name,
+			mem:    make([]byte, o.Size),
+			init:   o.Init,
+			level:  o.EffectiveLevel(),
+			oobErr: fmt.Errorf("%w: object %s", ErrOutOfBounds, o.Name),
+		}
+		e.slotIndex[o.Name] = i
 	}
 	e.Reset()
+	compileProgram(e)
 	return e, nil
 }
 
-// Reset restores every object to its initial contents.
+// Reset restores every object to its initial contents, in place:
+// compiled closures hold slot pointers, so backing arrays survive.
 func (e *Executable) Reset() {
-	for _, o := range e.prog.Objects {
-		buf := make([]byte, o.Size)
-		copy(buf, o.Init)
-		e.mem[o.Name] = buf
-		e.levels[o.Name] = o.EffectiveLevel()
+	for i := range e.slots {
+		s := &e.slots[i]
+		clear(s.mem)
+		copy(s.mem, s.init)
 	}
+}
+
+// slot resolves an object name, or nil (control-plane/compile-time
+// use only; the data path holds direct slot pointers).
+func (e *Executable) slot(name string) *objectSlot {
+	if i, ok := e.slotIndex[name]; ok {
+		return &e.slots[i]
+	}
+	return nil
 }
 
 // Program returns the linked program (read-only use).
 func (e *Executable) Program() *Program { return e.prog }
+
+// Engine reports which execution backend the image uses.
+func (e *Executable) Engine() Engine { return e.engine }
+
+// DispatchKind reports how the compiled engine enters the image:
+// "jump-table" (reduced match stage keyed on WorkloadID), "match-chain"
+// (a __match function executed as compiled code), or "direct" (per-ID
+// entry lookup). The interpreter engine reports "interp".
+func (e *Executable) DispatchKind() string {
+	switch {
+	case e.engine == EngineInterp:
+		return "interp"
+	case e.dispatch != nil:
+		return "jump-table"
+	case e.funcs[MatchFunction] != nil:
+		return "match-chain"
+	default:
+		return "direct"
+	}
+}
 
 // Handles reports whether the image has a lambda for the ID.
 func (e *Executable) Handles(id uint32) bool {
@@ -110,20 +199,127 @@ func (e *Executable) MemoryBytes() map[nicsim.MemLevel]int {
 	return out
 }
 
+// getEnv takes an execution context from the pool (compiled engine).
+func (e *Executable) getEnv() *env {
+	if en := e.envSlot.Swap(nil); en != nil {
+		en.reset()
+		return en
+	}
+	v := e.envPool.Get()
+	if v == nil {
+		return &env{exe: e}
+	}
+	en := v.(*env)
+	en.reset()
+	return en
+}
+
+func (e *Executable) putEnv(en *env) {
+	en.payload = nil // do not retain the caller's buffer
+	if e.envSlot.CompareAndSwap(nil, en) {
+		return
+	}
+	e.envPool.Put(en)
+}
+
+// prepare fills a request's initial machine state.
+func (e *Executable) prepare(en *env, req *nicsim.Request) {
+	en.payload = req.Payload
+	en.payloadLevel = e.opts.SinglePacketLevel
+	if req.Packets > 1 {
+		en.payloadLevel = e.opts.MultiPacketLevel
+	}
+	en.headers[FieldWorkloadID] = int64(req.LambdaID)
+	en.headers[FieldPayloadLen] = int64(len(req.Payload))
+}
+
 // Execute runs the image for one request: parse (header extraction),
 // match (synthesized __match function when present), then the lambda —
-// charging dynamic instructions and memory accesses.
+// charging dynamic instructions and memory accesses. The response
+// payload is detached from the engine's buffers and may be retained by
+// the caller (nicsim holds responses across simulated time); use
+// ExecutePooled on paths that can give the buffer back.
 func (e *Executable) Execute(req *nicsim.Request) (nicsim.Response, error) {
-	env := env{
-		exe:          e,
-		payload:      req.Payload,
-		payloadLevel: e.opts.SinglePacketLevel,
+	if e.engine == EngineInterp {
+		return e.executeInterp(req)
 	}
-	if req.Packets > 1 {
-		env.payloadLevel = e.opts.MultiPacketLevel
+	en := e.getEnv()
+	e.prepare(en, req)
+	status, err := e.runCompiled(en, req)
+	if err != nil {
+		resp := nicsim.Response{Stats: en.stats}
+		noEntry := err == ErrNoEntry
+		e.putEnv(en)
+		if noEntry {
+			return nicsim.Response{}, fmt.Errorf("%w: %d", ErrNoEntry, req.LambdaID)
+		}
+		return resp, fmt.Errorf("lambda %d: %w", req.LambdaID, err)
 	}
-	env.headers[FieldWorkloadID] = int64(req.LambdaID)
-	env.headers[FieldPayloadLen] = int64(len(req.Payload))
+	en.headers[FieldStatus] = status
+	resp := nicsim.Response{Payload: en.resp, Stats: en.stats}
+	en.resp = nil // ownership moves to the caller
+	e.putEnv(en)
+	return resp, nil
+}
+
+// ExecutePooled is Execute for steady-state data paths: the response
+// (including its payload bytes) is only valid inside fn, after which
+// the buffers return to the pool. Steady-state execution is 0 allocs
+// per op. The returned error matches Execute's.
+func (e *Executable) ExecutePooled(req *nicsim.Request, fn func(nicsim.Response)) error {
+	if e.engine == EngineInterp {
+		resp, err := e.executeInterp(req)
+		if fn != nil {
+			fn(resp)
+		}
+		return err
+	}
+	en := e.getEnv()
+	e.prepare(en, req)
+	status, err := e.runCompiled(en, req)
+	if err != nil {
+		noEntry := err == ErrNoEntry
+		if fn != nil && !noEntry {
+			fn(nicsim.Response{Stats: en.stats})
+		} else if fn != nil {
+			fn(nicsim.Response{})
+		}
+		e.putEnv(en)
+		if noEntry {
+			return fmt.Errorf("%w: %d", ErrNoEntry, req.LambdaID)
+		}
+		return fmt.Errorf("lambda %d: %w", req.LambdaID, err)
+	}
+	en.headers[FieldStatus] = status
+	if fn != nil {
+		fn(nicsim.Response{Payload: en.resp, Stats: en.stats})
+	}
+	e.putEnv(en)
+	return err
+}
+
+// runCompiled dispatches a prepared request through the compiled
+// backend: jump table when the reduced match stage was recognized,
+// compiled __match chain otherwise, direct entry when there is no
+// match stage.
+func (e *Executable) runCompiled(en *env, req *nicsim.Request) (int64, error) {
+	if e.dispatch != nil {
+		return e.dispatch.run(en)
+	}
+	if mf := e.funcs[MatchFunction]; mf != nil {
+		return mf.run(en)
+	}
+	name, ok := e.prog.Entries[req.LambdaID]
+	if !ok {
+		return 0, ErrNoEntry
+	}
+	return e.funcs[name].run(en)
+}
+
+// executeInterp is the reference interpreter data path.
+func (e *Executable) executeInterp(req *nicsim.Request) (nicsim.Response, error) {
+	env := env{exe: e}
+	e.prepare(&env, req)
 
 	entry := e.prog.Func(MatchFunction)
 	if entry == nil {
@@ -145,19 +341,42 @@ func (e *Executable) Execute(req *nicsim.Request) (nicsim.Response, error) {
 // by tests and the compiler's constant-effect checks). It returns the
 // status, response bytes, and statistics.
 func (e *Executable) RunStandalone(fn string, payload []byte, headers map[int]int64) (int64, []byte, nicsim.ExecStats, error) {
-	f := e.prog.Func(fn)
-	if f == nil {
+	if e.engine == EngineInterp {
+		f := e.prog.Func(fn)
+		if f == nil {
+			return 0, nil, nicsim.ExecStats{}, fmt.Errorf("mcc: unknown function %q", fn)
+		}
+		env := env{exe: e, payload: payload, payloadLevel: e.opts.SinglePacketLevel}
+		if env.payloadLevel == 0 {
+			env.payloadLevel = nicsim.MemCTM
+		}
+		for k, v := range headers {
+			if k >= 0 && k < NumFields {
+				env.headers[k] = v
+			}
+		}
+		status, err := env.run(f)
+		return status, env.resp, env.stats, err
+	}
+	cf := e.funcs[fn]
+	if cf == nil {
 		return 0, nil, nicsim.ExecStats{}, fmt.Errorf("mcc: unknown function %q", fn)
 	}
-	env := env{exe: e, payload: payload, payloadLevel: e.opts.SinglePacketLevel}
-	if env.payloadLevel == 0 {
-		env.payloadLevel = nicsim.MemCTM
+	en := e.getEnv()
+	en.payload = payload
+	en.payloadLevel = e.opts.SinglePacketLevel
+	if en.payloadLevel == 0 {
+		en.payloadLevel = nicsim.MemCTM
 	}
 	for k, v := range headers {
 		if k >= 0 && k < NumFields {
-			env.headers[k] = v
+			en.headers[k] = v
 		}
 	}
-	status, err := env.run(f)
-	return status, env.resp, env.stats, err
+	status, err := cf.run(en)
+	resp := en.resp
+	en.resp = nil // detached: the caller keeps the partial response
+	stats := en.stats
+	e.putEnv(en)
+	return status, resp, stats, err
 }

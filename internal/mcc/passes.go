@@ -131,19 +131,23 @@ func generateNaiveMatch(b *Builder, plan *MatchPlan) {
 	}
 }
 
-func generateReducedMatch(b *Builder, plan *MatchPlan) {
-	// Group tables by match field, preserving order of first
-	// appearance.
-	type group struct {
-		field   int64
-		entries []MatchEntry
-	}
-	var groups []*group
-	index := make(map[int64]*group)
+// matchGroup is one merged per-field dispatch group of the reduced
+// match stage; the codegen below and the compiled engine's jump table
+// (compile.go) must agree on it exactly.
+type matchGroup struct {
+	field   int64
+	entries []MatchEntry
+}
+
+// groupMatchTables merges tables by match field, preserving order of
+// first appearance and dropping duplicate values within a group.
+func groupMatchTables(plan *MatchPlan) []*matchGroup {
+	var groups []*matchGroup
+	index := make(map[int64]*matchGroup)
 	for _, t := range plan.Tables {
 		g, ok := index[t.Field]
 		if !ok {
-			g = &group{field: t.Field}
+			g = &matchGroup{field: t.Field}
 			index[t.Field] = g
 			groups = append(groups, g)
 		}
@@ -160,7 +164,11 @@ func generateReducedMatch(b *Builder, plan *MatchPlan) {
 			}
 		}
 	}
-	for gi, g := range groups {
+	return groups
+}
+
+func generateReducedMatch(b *Builder, plan *MatchPlan) {
+	for gi, g := range groupMatchTables(plan) {
 		b.HdrGet(2, g.field) // one key extraction per field
 		for ei, entry := range g.entries {
 			skip := fmt.Sprintf("g%d_e%d_skip", gi, ei)

@@ -130,6 +130,14 @@ func BuildNaiveProgram(ws []*Workload, target int) (*mcc.Program, error) {
 // and links the result, returning the executable image and the per-pass
 // trajectory (Figure 9).
 func CompileOptimized(ws []*Workload, target int) (*mcc.Executable, []mcc.PassResult, error) {
+	return CompileOptimizedWith(ws, target, mcc.LinkOptions{})
+}
+
+// CompileOptimizedWith is CompileOptimized with explicit link options
+// (execution engine, step limit, payload placement). The reduced match
+// stage the optimizer emits is what the compiled engine turns into its
+// WorkloadID jump table.
+func CompileOptimizedWith(ws []*Workload, target int, opts mcc.LinkOptions) (*mcc.Executable, []mcc.PassResult, error) {
 	naive, err := BuildNaiveProgram(ws, target)
 	if err != nil {
 		return nil, nil, err
@@ -138,7 +146,7 @@ func CompileOptimized(ws []*Workload, target int) (*mcc.Executable, []mcc.PassRe
 	if err != nil {
 		return nil, nil, err
 	}
-	exe, err := mcc.Link(opt, mcc.LinkOptions{})
+	exe, err := mcc.Link(opt, opts)
 	if err != nil {
 		return nil, nil, err
 	}
