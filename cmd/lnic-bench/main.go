@@ -4,15 +4,25 @@
 //
 // Usage:
 //
-//	lnic-bench [-quick] [-short] [-seed N]
-//	           [-experiment all|table1|fig6|fig7|fig8|table2|table3|table4|fig9|chaos|rpcbench|lambdabench]
+//	lnic-bench [-quick] [-short] [-seed N] [-kernel ladder|heap] [-parallel]
+//	           [-experiment all|table1|fig6|fig7|fig8|table2|table3|table4|fig9|chaos|rpcbench|lambdabench|simbench]
 //	           [-trace-out trace.json] [-bench-out BENCH_rpc.json]
+//	           [-bench-guard BENCH_sim_baseline.json]
+//	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -quick shrinks sample counts and the benchmark image for fast runs;
 // the default configuration reproduces the numbers recorded in
 // EXPERIMENTS.md. -trace-out writes the breakdown experiment's
 // request-lifecycle trace as Chrome trace-event JSON (load it in
 // chrome://tracing or https://ui.perfetto.dev).
+//
+// -kernel selects the simulation event-queue kernel (default ladder;
+// heap is the reference binary heap — results are bit-identical, only
+// wall-clock speed differs). -parallel runs the experiments that have a
+// multi-core path (scaleout, loadcurve, chaos) with per-NIC simulation
+// domains under the conservative parallel coordinator; results are
+// bit-identical to the serial runs. -cpuprofile and -memprofile write
+// pprof profiles of the run.
 //
 // The chaos experiment (not part of "all") crash-stops a worker NIC
 // under open-loop load and reports availability, error rate, and tail
@@ -31,17 +41,30 @@
 // the closure-compiled engine, and each paper workload is driven
 // through both, writing ns/op and allocs/op per engine to -bench-out
 // (default BENCH_lambda.json).
+//
+// The simbench experiment (not part of "all") measures the simulation
+// kernel itself: single-thread events/sec for the ladder queue versus
+// the binary heap (with and without event pooling), timeout-churn
+// throughput, and the 16-NIC fleet packed into 1..16 parallel domains.
+// The report goes to -bench-out (default BENCH_sim.json); with
+// -bench-guard the run fails if any single-thread row regressed more
+// than 20% against the committed baseline (rows are normalized to the
+// same run's sched/heap reference, so the comparison is
+// machine-independent).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"lambdanic/internal/benchio"
 	"lambdanic/internal/experiments"
 	"lambdanic/internal/obs"
+	"lambdanic/internal/sim"
 )
 
 func main() {
@@ -57,11 +80,19 @@ func run(args []string) error {
 	short := fs.Bool("short", false, "shrink the chaos experiment to a smoke run")
 	seed := fs.Int64("seed", 42, "simulation seed")
 	experiment := fs.String("experiment", "all",
-		"which experiment to run: all, table1, fig6, fig7, fig8, table2, table3, table4, fig9, optimizer, scaleout, loadcurve, nicclasses, ablations, breakdown, chaos, rpcbench, lambdabench")
+		"which experiment to run: all, table1, fig6, fig7, fig8, table2, table3, table4, fig9, optimizer, scaleout, loadcurve, nicclasses, ablations, breakdown, chaos, rpcbench, lambdabench, simbench")
+	kernel := fs.String("kernel", "ladder",
+		"simulation event-queue kernel: ladder or heap (bit-identical results)")
+	parallel := fs.Bool("parallel", false,
+		"run scaleout/loadcurve/chaos with per-NIC parallel simulation domains")
 	traceOut := fs.String("trace-out", "",
 		"write the breakdown experiment's Chrome trace-event JSON to this file")
 	benchOut := fs.String("bench-out", "",
-		"write the benchmark experiment's JSON report to this file (default BENCH_rpc.json for rpcbench, BENCH_lambda.json for lambdabench)")
+		"write the benchmark experiment's JSON report to this file (default BENCH_rpc.json for rpcbench, BENCH_lambda.json for lambdabench, BENCH_sim.json for simbench)")
+	benchGuard := fs.String("bench-guard", "",
+		"fail if the simbench report regresses >20% against this baseline JSON")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,6 +102,40 @@ func run(args []string) error {
 		cfg = experiments.Quick()
 	}
 	cfg.Seed = *seed
+	switch strings.ToLower(*kernel) {
+	case "", "ladder":
+		cfg.Kernel = sim.KernelLadder
+	case "heap":
+		cfg.Kernel = sim.KernelHeap
+	default:
+		return fmt.Errorf("unknown -kernel %q (want ladder or heap)", *kernel)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lnic-bench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "lnic-bench: memprofile:", err)
+			}
+		}()
+	}
 
 	want := strings.ToLower(*experiment)
 	ran := false
@@ -125,7 +190,11 @@ func run(args []string) error {
 		out(experiments.RenderFigure9(results))
 	}
 	if want == "all" || want == "scaleout" {
-		points, err := experiments.ScaleOut(cfg)
+		run := experiments.ScaleOut
+		if *parallel {
+			run = experiments.ParallelScaleOut
+		}
+		points, err := run(cfg)
 		if err != nil {
 			return err
 		}
@@ -139,7 +208,11 @@ func run(args []string) error {
 		out(experiments.RenderOptimizerImpact(r))
 	}
 	if want == "all" || want == "loadcurve" {
-		points, err := experiments.LoadLatencyCurve(cfg)
+		run := experiments.LoadLatencyCurve
+		if *parallel {
+			run = experiments.LoadLatencyCurveParallel
+		}
+		points, err := run(cfg)
 		if err != nil {
 			return err
 		}
@@ -178,7 +251,11 @@ func run(args []string) error {
 		if *short || *quick {
 			chCfg = experiments.QuickChaos()
 		}
-		rep, err := experiments.Chaos(cfg, chCfg)
+		runChaos := experiments.Chaos
+		if *parallel {
+			runChaos = experiments.ChaosParallel
+		}
+		rep, err := runChaos(cfg, chCfg)
 		if err != nil {
 			return err
 		}
@@ -217,6 +294,34 @@ func run(args []string) error {
 		out(experiments.RenderLambdaBench(rep))
 		if err := writeBench(*benchOut, "BENCH_lambda.json", rep); err != nil {
 			return err
+		}
+	}
+	if want == "simbench" {
+		sbCfg := experiments.DefaultSimBench()
+		if *short || *quick {
+			sbCfg = experiments.QuickSimBench()
+		}
+		rep, err := experiments.SimBench(cfg, sbCfg)
+		if err != nil {
+			return err
+		}
+		out(experiments.RenderSimBench(rep))
+		if err := writeBench(*benchOut, "BENCH_sim.json", rep); err != nil {
+			return err
+		}
+		if *benchGuard != "" {
+			baseline, err := benchio.ReadJSON(*benchGuard)
+			if err != nil {
+				return err
+			}
+			// Guard only the single-thread rows: raw rates are
+			// normalized to this run's sched/heap, so the check holds
+			// across machines; domain-scaling rows depend on the core
+			// count and are recorded, not gated.
+			if err := benchio.Guard(baseline, rep, "sched/heap", 0.20, "sched/", "timers/"); err != nil {
+				return err
+			}
+			fmt.Printf("lnic-bench: simbench within 20%% of baseline %s\n", *benchGuard)
 		}
 	}
 	if !ran {

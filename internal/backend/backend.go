@@ -233,6 +233,66 @@ func (b *LambdaNIC) InvokeTraced(id uint32, payload []byte, tr *obs.Req, done fu
 	b.sim.Schedule(wire, inject)
 }
 
+// WireDelay returns the one-way link latency for a payload of n bytes —
+// the delay a parallel-domain caller must model for the request hop it
+// performs itself (sim.Parallel Send).
+func (b *LambdaNIC) WireDelay(n int) sim.Time { return b.testbed.Link.OneWay(n) }
+
+// InvokeDelivered runs an invocation whose request already crossed the
+// wire: the caller modeled the request hop (typically as a cross-domain
+// sim.Parallel message of WireDelay latency), so the NIC injects at the
+// current time. done fires at NIC completion time with the response's
+// wire delay, which the caller models on the way back. Event-for-event
+// this matches InvokeTraced on a shared clock: the request hop and
+// response hop each cost exactly one scheduled event in either mode,
+// which is what keeps parallel and merged chaos runs differentially
+// identical. Multi-packet payloads still pay the RDMA commit here,
+// device-side.
+func (b *LambdaNIC) InvokeDelivered(id uint32, payload []byte, tr *obs.Req, done func(Result, sim.Time)) {
+	if done == nil {
+		done = func(Result, sim.Time) {}
+	}
+	if b.exe == nil {
+		done(Result{Err: ErrNotDeployed}, 0)
+		return
+	}
+	b.inflight++
+	if b.inflight > b.maxInflight {
+		b.maxInflight = b.inflight
+	}
+	if len(payload) > b.maxPayload {
+		b.maxPayload = len(payload)
+	}
+	packets := workloads.Packets(len(payload))
+	inject := func() {
+		req := &nicsim.Request{LambdaID: id, Payload: payload, Packets: packets, Trace: tr}
+		b.nic.Inject(req, func(resp nicsim.Response, err error) {
+			b.inflight--
+			if err != nil {
+				done(Result{Err: err}, 0)
+				return
+			}
+			done(Result{Payload: resp.Payload}, b.testbed.Link.OneWay(len(resp.Payload)))
+		})
+	}
+	if packets > 1 {
+		sent := b.sim.Now()
+		b.rdma.Write(b.region.Key(), 0, payload, func(err error) {
+			if err != nil {
+				b.inflight--
+				done(Result{Err: err}, 0)
+				return
+			}
+			if tr != nil {
+				tr.AddSpan(obs.StageTransport, "net", "rdma-commit", sent, b.sim.Now())
+			}
+			inject()
+		})
+		return
+	}
+	inject()
+}
+
 // Usage implements Backend: λ-NIC consumes NIC memory (firmware plus
 // in-flight working sets) and near-zero host resources (Table 3).
 func (b *LambdaNIC) Usage() Usage {

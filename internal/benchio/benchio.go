@@ -12,6 +12,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -244,6 +245,81 @@ func WriteJSON(path string, r Report) error {
 	data = append(data, '\n')
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return fmt.Errorf("benchio: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadJSON loads a report previously written by WriteJSON.
+func ReadJSON(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, fmt.Errorf("benchio: read %s: %w", path, err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("benchio: parse %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Guard compares a fresh report against a committed baseline and
+// returns an error naming every guarded row whose throughput regressed
+// by more than tolerance (a fraction: 0.20 allows a 20% drop).
+//
+// Raw req/sec is not comparable across machines, so each row is first
+// normalized to the same run's reference row — ratio = ReqPerSec /
+// reference.ReqPerSec — and the guard requires each current ratio to be
+// at least (1 - tolerance) times the baseline's. Machine speed cancels;
+// what remains is the relative cost of the scenario against the
+// reference implementation, which is exactly what a kernel regression
+// changes.
+//
+// Only rows whose Name begins with one of the prefixes are guarded:
+// multi-core scaling rows, for example, are meaningless to compare
+// between machines with different core counts. Rows present on only one
+// side are skipped — adding a scenario must not fail old baselines.
+func Guard(baseline, current Report, reference string, tolerance float64, prefixes ...string) error {
+	rps := func(r Report) map[string]float64 {
+		m := make(map[string]float64, len(r.Results))
+		for _, res := range r.Results {
+			m[res.Name] = res.ReqPerSec
+		}
+		return m
+	}
+	base, cur := rps(baseline), rps(current)
+	refB, refC := base[reference], cur[reference]
+	if refB <= 0 || refC <= 0 {
+		return fmt.Errorf("benchio: guard reference %q missing from %s",
+			reference, map[bool]string{true: "baseline", false: "current report"}[refB <= 0])
+	}
+	guarded := func(name string) bool {
+		for _, p := range prefixes {
+			if strings.HasPrefix(name, p) {
+				return true
+			}
+		}
+		return false
+	}
+	var violations []string
+	for _, res := range current.Results {
+		name := res.Name
+		if name == reference || !guarded(name) {
+			continue
+		}
+		b, ok := base[name]
+		if !ok || b <= 0 || cur[name] <= 0 {
+			continue
+		}
+		ratioB, ratioC := b/refB, cur[name]/refC
+		if ratioC < ratioB*(1-tolerance) {
+			violations = append(violations,
+				fmt.Sprintf("%s: %.3fx reference, baseline %.3fx (-%0.1f%%)",
+					name, ratioC, ratioB, 100*(1-ratioC/ratioB)))
+		}
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("benchio: throughput regressed beyond %.0f%% tolerance:\n  %s",
+			tolerance*100, strings.Join(violations, "\n  "))
 	}
 	return nil
 }

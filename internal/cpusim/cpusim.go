@@ -399,7 +399,7 @@ func (st *station) submit(service time.Duration, done func()) {
 
 func (st *station) run(service time.Duration, done func()) {
 	*st.busyAcc += service
-	st.sim.Schedule(service, func() {
+	st.sim.After(service, func() {
 		done()
 		if len(st.queue) > 0 {
 			next := st.queue[0]

@@ -74,7 +74,7 @@ func ablationSet() []*workloads.Workload {
 // paper's design eliminates.
 func AblationRunToCompletion(cfg Config) (*AblationResult, error) {
 	run := func(preemptive bool) (metrics.Summary, sim.Time, error) {
-		s := sim.New(cfg.Seed)
+		s := cfg.newSim()
 		nicCfg := nicsim.Config{NIC: smallNIC(cfg.Testbed), Preemptive: preemptive}
 		nic, err := nicsim.New(s, nicCfg)
 		if err != nil {
@@ -130,7 +130,7 @@ func AblationRunToCompletion(cfg Config) (*AblationResult, error) {
 // bounded (§4.2.1 D1).
 func AblationWFQ(cfg Config) (*AblationResult, error) {
 	run := func(dispatch nicsim.Dispatch) (metrics.Summary, error) {
-		s := sim.New(cfg.Seed)
+		s := cfg.newSim()
 		nic, err := nicsim.New(s, nicsim.Config{NIC: smallNIC(cfg.Testbed), Dispatch: dispatch})
 		if err != nil {
 			return metrics.Summary{}, err
@@ -240,7 +240,7 @@ func AblationMemoryStratification(cfg Config) (*AblationResult, error) {
 func AblationTransport(cfg Config) (*AblationResult, error) {
 	const tcpStateCycles = 1500 // connection setup/teardown on the NIC
 	measure := func(tcpLike bool) (metrics.Summary, error) {
-		s := sim.New(cfg.Seed)
+		s := cfg.newSim()
 		b, err := backend.NewLambdaNIC(s, cfg.Testbed, nicsim.DispatchUniform)
 		if err != nil {
 			return metrics.Summary{}, err
@@ -345,7 +345,7 @@ func AblationGatewayOnNIC(cfg Config) (*AblationResult, error) {
 // a hitless update (next-generation NICs) serves through it.
 func AblationHitlessSwap(cfg Config) (*AblationResult, error) {
 	run := func(downtime time.Duration) (float64, error) {
-		s := sim.New(cfg.Seed)
+		s := cfg.newSim()
 		nic, err := nicsim.New(s, nicsim.Config{NIC: cfg.Testbed.NIC, FirmwareSwapDowntime: downtime})
 		if err != nil {
 			return 0, err

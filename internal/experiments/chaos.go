@@ -145,6 +145,16 @@ type ChaosReport struct {
 	Transitions []healthd.Transition
 	// Survivors is the placement after eviction.
 	Survivors []string
+	// Executed is the total number of simulation events fired, summed
+	// across domains when the run is parallel. Chaos and ChaosParallel
+	// produce identical counts — the differential determinism check.
+	Executed uint64
+	// FinalClock is the virtual time of the last fired event (the most
+	// advanced domain clock in a parallel run).
+	FinalClock time.Duration
+	// Domains is the number of simulation domains the run used (1 for
+	// the shared-clock mode; 1 control + 1 per worker when parallel).
+	Domains int
 	// Requests and Marks feed the Chrome trace export; fault events
 	// appear as global instant markers.
 	Requests []*obs.Req
@@ -154,10 +164,12 @@ type ChaosReport struct {
 // chaosRouter spreads requests round-robin over the placed workers with
 // a per-attempt timeout and failover — the gateway's weakly-consistent
 // delivery (D3) against a fleet that can lose members mid-run. Routes
-// come from the control store's placement watch.
+// come from the control store's placement watch; the actual round trip
+// to a worker goes through the topology's route function, so the router
+// is oblivious to whether the fleet shares its clock.
 type chaosRouter struct {
 	s        *sim.Sim
-	backends map[string]*backend.LambdaNIC
+	route    func(name string, id uint32, payload []byte, tr *obs.Req, done func(backend.Result))
 	timeout  time.Duration
 	attempts int
 
@@ -200,7 +212,7 @@ func (r *chaosRouter) invoke(id uint32, payload []byte, tr *obs.Req, attempt int
 		}
 		done(backend.Result{Err: err})
 	}
-	r.backends[name].InvokeTraced(id, payload, tr, func(res backend.Result) {
+	r.route(name, id, payload, tr, func(res backend.Result) {
 		if finished {
 			// A late response after the attempt timed out: the router
 			// has already failed over.
@@ -232,29 +244,138 @@ type chaosSample struct {
 	failed  bool
 }
 
-// Chaos runs the chaos experiment (see the package comment above) and
-// returns the phase report.
-func Chaos(cfg Config, ch ChaosConfig) (*ChaosReport, error) {
-	ch = ch.withDefaults()
-	s := sim.New(cfg.Seed)
-	collector := obs.NewCollector(func() time.Duration { return s.Now() },
-		obs.WithSampleEvery(ch.TraceSampleEvery))
+// chaosTopology is how the chaos harness reaches the worker fleet. The
+// control plane — router, manager, detector, load generator, report —
+// always lives on ctrl; the worker NICs either share that clock (Chaos)
+// or run one simulation domain each under the conservative parallel
+// coordinator (ChaosParallel). Everything above this seam is identical
+// between the two modes, which is what makes the differential
+// determinism check meaningful.
+type chaosTopology struct {
+	ctrl *sim.Sim
+	// route performs one full round trip to the named worker — request
+	// wire hop, NIC execution, response wire hop — calling done back on
+	// ctrl's clock. A crashed worker is a black hole: done never fires.
+	route func(name string, id uint32, payload []byte, tr *obs.Req, done func(backend.Result))
+	// nic returns the named worker's device for fault application.
+	nic func(name string) *nicsim.NIC
+	// deviceAt schedules fn at t on the simulation owning the named
+	// worker's device. Only called before run starts.
+	deviceAt func(name string, t sim.Time, fn func())
+	run      func() error
+	executed func() uint64
+	clock    func() sim.Time
+	domains  int
+}
 
-	// Worker fleet: one simulated NIC per worker, all on one clock.
-	web := workloads.WebServer()
-	names := make([]string, ch.Workers)
-	nics := make(map[string]*backend.LambdaNIC, ch.Workers)
+func chaosNames(workers int) []string {
+	names := make([]string, workers)
 	for i := range names {
 		names[i] = fmt.Sprintf("m%d", i+2)
-		b, err := backend.NewLambdaNIC(s, cfg.Testbed, nicsim.DispatchUniform)
-		if err != nil {
-			return nil, fmt.Errorf("chaos: %w", err)
-		}
-		if err := b.Deploy([]*workloads.Workload{web}); err != nil {
-			return nil, fmt.Errorf("chaos: %w", err)
-		}
-		nics[names[i]] = b
 	}
+	return names
+}
+
+func newChaosNIC(cfg Config, s *sim.Sim, web *workloads.Workload) (*backend.LambdaNIC, error) {
+	b, err := backend.NewLambdaNIC(s, cfg.Testbed, nicsim.DispatchUniform)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	if err := b.Deploy([]*workloads.Workload{web}); err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	return b, nil
+}
+
+// Chaos runs the chaos experiment (see the package comment above) with
+// the whole fleet on one clock and returns the phase report.
+func Chaos(cfg Config, ch ChaosConfig) (*ChaosReport, error) {
+	ch = ch.withDefaults()
+	web := workloads.WebServer()
+	names := chaosNames(ch.Workers)
+
+	// Worker fleet: one simulated NIC per worker, all on one clock.
+	s := cfg.newSim()
+	nics := make(map[string]*backend.LambdaNIC, ch.Workers)
+	for _, name := range names {
+		b, err := newChaosNIC(cfg, s, web)
+		if err != nil {
+			return nil, err
+		}
+		nics[name] = b
+	}
+	topo := &chaosTopology{
+		ctrl: s,
+		route: func(name string, id uint32, payload []byte, tr *obs.Req, done func(backend.Result)) {
+			nics[name].InvokeTraced(id, payload, tr, done)
+		},
+		nic:      func(name string) *nicsim.NIC { return nics[name].NIC() },
+		deviceAt: func(name string, t sim.Time, fn func()) { s.At(t, fn) },
+		run:      s.RunUntilIdle,
+		executed: func() uint64 { return s.Executed },
+		clock:    s.Now,
+		domains:  1,
+	}
+	return chaosRun(cfg, ch, web, names, topo)
+}
+
+// ChaosParallel runs the same experiment with each worker NIC in its
+// own simulation domain, synchronized to the control-plane domain by
+// the inter-NIC link's minimum one-way latency (the lookahead). Wire
+// hops become cross-domain messages: the request hop is a ctrl→worker
+// Send of WireDelay(len(payload)), the response hop a worker→ctrl Send
+// of the response's wire delay — each exactly one scheduled event, just
+// like the Schedule calls of the shared-clock path, so event counts,
+// clocks, and the report are bit-identical to Chaos while worker
+// domains execute on separate cores. NIC-internal trace spans are
+// skipped in this mode (the span container would cross goroutines);
+// spans never schedule events, so timing is unaffected.
+func ChaosParallel(cfg Config, ch ChaosConfig) (*ChaosReport, error) {
+	ch = ch.withDefaults()
+	web := workloads.WebServer()
+	names := chaosNames(ch.Workers)
+
+	// The lookahead is the link's propagation floor: every wire hop is
+	// OneWay(n) >= OneWay(0), so Send's minimum-latency clamp never
+	// engages and cross-domain timing matches the shared clock exactly.
+	p := sim.NewParallel(cfg.Testbed.Link.OneWay(0))
+	ctrl := p.NewDomainKernel(cfg.Seed, cfg.Kernel)
+	doms := make(map[string]*sim.Domain, ch.Workers)
+	nics := make(map[string]*backend.LambdaNIC, ch.Workers)
+	for _, name := range names {
+		d := p.NewDomainKernel(cfg.Seed, cfg.Kernel)
+		b, err := newChaosNIC(cfg, d.Sim, web)
+		if err != nil {
+			return nil, err
+		}
+		doms[name], nics[name] = d, b
+	}
+	topo := &chaosTopology{
+		ctrl: ctrl.Sim,
+		route: func(name string, id uint32, payload []byte, tr *obs.Req, done func(backend.Result)) {
+			d, b := doms[name], nics[name]
+			ctrl.Send(d.ID(), b.WireDelay(len(payload)), func() {
+				b.InvokeDelivered(id, payload, nil, func(res backend.Result, back sim.Time) {
+					d.Send(ctrl.ID(), back, func() { done(res) })
+				})
+			})
+		},
+		nic:      func(name string) *nicsim.NIC { return nics[name].NIC() },
+		deviceAt: func(name string, t sim.Time, fn func()) { doms[name].At(t, fn) },
+		run:      p.RunUntilIdle,
+		executed: p.Executed,
+		clock:    p.Clock,
+		domains:  1 + len(names),
+	}
+	return chaosRun(cfg, ch, web, names, topo)
+}
+
+// chaosRun is the topology-independent harness: control plane, fault
+// timeline, load, and phase bucketing.
+func chaosRun(cfg Config, ch ChaosConfig, web *workloads.Workload, names []string, topo *chaosTopology) (*ChaosReport, error) {
+	s := topo.ctrl
+	collector := obs.NewCollector(func() time.Duration { return s.Now() },
+		obs.WithSampleEvery(ch.TraceSampleEvery))
 
 	// Control plane: the real manager over the Raft-backed store, with
 	// fleet capacity and per-replica demands sized so DRF places one
@@ -280,7 +401,7 @@ func Chaos(cfg Config, ch ChaosConfig) (*ChaosReport, error) {
 
 	router := &chaosRouter{
 		s:        s,
-		backends: nics,
+		route:    topo.route,
 		timeout:  ch.AttemptTimeout,
 		attempts: ch.Attempts,
 	}
@@ -362,20 +483,37 @@ func Chaos(cfg Config, ch ChaosConfig) (*ChaosReport, error) {
 	timeline := &faults.Timeline{Faults: []faults.SimFault{
 		{At: sim.Time(ch.KillAt), Kind: faults.FaultNICCrash, Target: victim},
 	}}
-	timeline.Schedule(s, func(f faults.SimFault) {
-		switch f.Kind {
-		case faults.FaultNICCrash:
-			nics[f.Target].NIC().Crash()
-			killed[f.Target] = true
-			rep.KillAt = s.Now()
-			collector.MarkEvent("faults", f.Kind.String()+":"+f.Target, s.Now())
-		case faults.FaultNICRecover:
-			nics[f.Target].NIC().Recover()
-			killed[f.Target] = false
-		case faults.FaultDegrade:
-			nics[f.Target].NIC().SetSlowdown(f.Factor)
-		}
-	})
+	// Each fault costs exactly two scheduled events in every topology:
+	// the device-side application on the simulation owning the target
+	// NIC, and a control-side mirror that suppresses the victim's
+	// heartbeats and stamps the report. On a shared clock both land on
+	// the same queue; under parallel domains the device half runs in the
+	// worker's domain. No cross-domain message is needed at the fault
+	// instant — a crash is a silent black hole, so only the heartbeat
+	// silence (already control-side) carries the failure signal.
+	for _, f := range timeline.Sorted() {
+		f := f
+		topo.deviceAt(f.Target, f.At, func() {
+			switch f.Kind {
+			case faults.FaultNICCrash:
+				topo.nic(f.Target).Crash()
+			case faults.FaultNICRecover:
+				topo.nic(f.Target).Recover()
+			case faults.FaultDegrade:
+				topo.nic(f.Target).SetSlowdown(f.Factor)
+			}
+		})
+		s.At(f.At, func() {
+			switch f.Kind {
+			case faults.FaultNICCrash:
+				killed[f.Target] = true
+				rep.KillAt = s.Now()
+				collector.MarkEvent("faults", f.Kind.String()+":"+f.Target, s.Now())
+			case faults.FaultNICRecover:
+				killed[f.Target] = false
+			}
+		})
+	}
 
 	// Open-loop Poisson load over the whole run. Arrival times are
 	// drawn up front from the simulation's seeded source, so the
@@ -401,9 +539,12 @@ func Chaos(cfg Config, ch ChaosConfig) (*ChaosReport, error) {
 		at += sim.Time(rng.ExpFloat64() / ch.RatePerSec * float64(time.Second))
 	}
 
-	if err := s.RunUntilIdle(); err != nil {
+	if err := topo.run(); err != nil {
 		return nil, fmt.Errorf("chaos: %w", err)
 	}
+	rep.Executed = topo.executed()
+	rep.FinalClock = topo.clock()
+	rep.Domains = topo.domains
 	if rep.KillAt == 0 {
 		return nil, errors.New("chaos: kill never fired (KillAt past Duration?)")
 	}

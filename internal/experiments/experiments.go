@@ -43,6 +43,10 @@ const (
 type Config struct {
 	Seed    int64
 	Testbed cluster.Testbed
+	// Kernel selects the sim event-queue implementation. Both kernels
+	// fire in the identical order, so results are bit-identical; the
+	// zero value is the (faster) ladder queue.
+	Kernel sim.KernelKind
 	// Image dimensions for the image-transformer workload.
 	ImageWidth, ImageHeight int
 	// Concurrency is the parallel test's outstanding-request count
@@ -97,9 +101,25 @@ func (c Config) set() []*workloads.Workload {
 	}
 }
 
+// newSim builds a simulation honoring the config's kernel selection.
+func (c Config) newSim() *sim.Sim {
+	return sim.NewWithKernel(c.Seed, c.Kernel)
+}
+
 // newBackend builds a fresh simulation plus backend and deploys ws.
 func (c Config) newBackend(id BackendID, ws []*workloads.Workload) (*sim.Sim, backend.Backend, error) {
-	s := sim.New(c.Seed)
+	s := c.newSim()
+	b, err := c.newBackendOn(s, id, ws)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, b, nil
+}
+
+// newBackendOn builds and deploys a backend on an existing simulation —
+// the entry point parallel experiments use to place a backend inside a
+// sim.Parallel domain.
+func (c Config) newBackendOn(s *sim.Sim, id BackendID, ws []*workloads.Workload) (backend.Backend, error) {
 	var (
 		b   backend.Backend
 		err error
@@ -114,15 +134,15 @@ func (c Config) newBackend(id BackendID, ws []*workloads.Workload) (*sim.Sim, ba
 	case BackendContainer:
 		b, err = backend.NewContainer(s, c.Testbed)
 	default:
-		return nil, nil, fmt.Errorf("experiments: unknown backend %q", id)
+		return nil, fmt.Errorf("experiments: unknown backend %q", id)
 	}
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	if err := b.Deploy(ws); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	return s, b, nil
+	return b, nil
 }
 
 // gateway wraps a backend with the modeled gateway stage used in the

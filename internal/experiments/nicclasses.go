@@ -80,7 +80,7 @@ func SmartNICClasses(cfg Config) ([]NICClassResult, error) {
 
 	measure := func(mk func(s *sim.Sim) (trace.Invoker, error)) (metrics.Summary, float64, error) {
 		// Latency: closed loop, one outstanding.
-		s := sim.New(cfg.Seed)
+		s := cfg.newSim()
 		inv, err := mk(s)
 		if err != nil {
 			return metrics.Summary{}, 0, err
@@ -93,7 +93,7 @@ func SmartNICClasses(cfg Config) ([]NICClassResult, error) {
 			return metrics.Summary{}, 0, err
 		}
 		// Throughput: saturating concurrency.
-		s2 := sim.New(cfg.Seed)
+		s2 := cfg.newSim()
 		inv2, err := mk(s2)
 		if err != nil {
 			return metrics.Summary{}, 0, err

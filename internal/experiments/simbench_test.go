@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinySimBench keeps the unit test fast; the real sizes run under
+// cmd/lnic-bench.
+func tinySimBench() SimBenchConfig {
+	return SimBenchConfig{
+		Events:        5_000,
+		Outstanding:   128,
+		ScaleRequests: 30,
+		NICs:          16,
+		Domains:       []int{1, 4},
+		Reps:          1,
+	}
+}
+
+func TestSimBench(t *testing.T) {
+	rep, err := SimBench(Quick(), tinySimBench())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"sched/heap", "sched/heap-pooled", "sched/ladder", "sched/ladder-pooled",
+		"timers/heap", "timers/ladder",
+		"scaleout16/domains=1", "scaleout16/domains=4",
+	}
+	if len(rep.Results) != len(want) {
+		t.Fatalf("got %d rows, want %d: %+v", len(rep.Results), len(want), rep.Results)
+	}
+	byName := map[string]int{}
+	for i, r := range rep.Results {
+		byName[r.Name] = i
+		if r.ReqPerSec <= 0 || r.Requests <= 0 {
+			t.Errorf("%s: empty measurement %+v", r.Name, r)
+		}
+	}
+	for _, name := range want {
+		if _, ok := byName[name]; !ok {
+			t.Errorf("missing row %s", name)
+		}
+	}
+
+	// The domain packing must not change the work: identical fleets in
+	// 1 and 4 domains fire identical event counts.
+	d1 := rep.Results[byName["scaleout16/domains=1"]]
+	d4 := rep.Results[byName["scaleout16/domains=4"]]
+	if d1.Requests != d4.Requests {
+		t.Errorf("domain packing changed event count: 1 domain fired %d, 4 domains %d",
+			d1.Requests, d4.Requests)
+	}
+
+	// Identical sched scenarios across kernels fire identical counts.
+	if a, b := rep.Results[byName["sched/heap"]].Requests,
+		rep.Results[byName["sched/ladder"]].Requests; a != b {
+		t.Errorf("sched event counts differ across kernels: heap=%d ladder=%d", a, b)
+	}
+
+	if out := RenderSimBench(rep); !strings.Contains(out, "scaleout16/domains=4") {
+		t.Errorf("render missing rows:\n%s", out)
+	}
+}
+
+func TestSimBenchRejectsBadDomains(t *testing.T) {
+	sb := tinySimBench()
+	sb.Domains = []int{3} // does not divide 16
+	if _, err := SimBench(Quick(), sb); err == nil {
+		t.Fatal("3 domains over 16 NICs should error")
+	}
+}

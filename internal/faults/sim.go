@@ -90,6 +90,6 @@ func (t *Timeline) Schedule(s *sim.Sim, apply func(SimFault)) {
 	}
 	for _, f := range t.Sorted() {
 		f := f
-		s.ScheduleAt(f.At, func() { apply(f) })
+		s.At(f.At, func() { apply(f) })
 	}
 }

@@ -212,6 +212,15 @@ type NIC struct {
 	hostPath func(*Request)
 
 	stats Stats
+
+	// Free lists and pre-bound callbacks keep the per-request path
+	// allocation-free: pending and wfq.Item structs recycle, and the
+	// completion callbacks are method values created once here rather
+	// than closures created per packet.
+	pfree      []*pending
+	ifree      []*wfq.Item
+	completeFn func(any)
+	preemptFn  func(any)
 }
 
 type pending struct {
@@ -251,12 +260,52 @@ func New(s *sim.Sim, cfg Config) (*NIC, error) {
 		// Stack ordered so thread 0 is dispatched first.
 		free[i] = threads - 1 - i
 	}
-	return &NIC{
+	n := &NIC{
 		sim:   s,
 		cfg:   cfg,
 		free:  free,
 		queue: q,
-	}, nil
+	}
+	n.completeFn = n.complete
+	n.preemptFn = n.preempt
+	return n, nil
+}
+
+// getPending pops a recycled pending or allocates one, fully
+// reinitialized for the request.
+func (n *NIC) getPending(req *Request, done func(Response, error)) *pending {
+	var p *pending
+	if l := len(n.pfree); l > 0 {
+		p = n.pfree[l-1]
+		n.pfree = n.pfree[:l-1]
+		*p = pending{}
+	} else {
+		p = &pending{}
+	}
+	p.req, p.done, p.waitSince = req, done, n.sim.Now()
+	return p
+}
+
+// putPending recycles a pending whose lifecycle has fully ended.
+func (n *NIC) putPending(p *pending) {
+	p.req, p.done = nil, nil
+	p.resp = Response{}
+	p.err = nil
+	n.pfree = append(n.pfree, p)
+}
+
+func (n *NIC) getItem() *wfq.Item {
+	if l := len(n.ifree); l > 0 {
+		it := n.ifree[l-1]
+		n.ifree = n.ifree[:l-1]
+		return it
+	}
+	return &wfq.Item{}
+}
+
+func (n *NIC) putItem(it *wfq.Item) {
+	it.Payload = nil
+	n.ifree = append(n.ifree, it)
 }
 
 // track returns the trace-track name for an NPU thread index, shaped
@@ -341,6 +390,7 @@ func (n *NIC) Crash() {
 			break
 		}
 		n.stats.Dropped++
+		n.putPending(p)
 	}
 }
 
@@ -368,14 +418,11 @@ func (n *NIC) scaled(d sim.Time) sim.Time {
 // done fires (in virtual time) when the response leaves the NIC. A nil
 // done is allowed for fire-and-forget traffic.
 func (n *NIC) Inject(req *Request, done func(Response, error)) {
-	complete := func(r Response, err error) {
-		if done != nil {
-			done(r, err)
-		}
-	}
 	if n.fw == nil {
 		n.stats.Dropped++
-		complete(Response{}, ErrNoFirmware)
+		if done != nil {
+			done(Response{}, ErrNoFirmware)
+		}
 		return
 	}
 	if n.crashed {
@@ -387,7 +434,9 @@ func (n *NIC) Inject(req *Request, done func(Response, error)) {
 	}
 	if n.down {
 		n.stats.Dropped++
-		complete(Response{}, ErrNICDown)
+		if done != nil {
+			done(Response{}, ErrNICDown)
+		}
 		return
 	}
 	if !n.fw.Handles(req.LambdaID) {
@@ -396,10 +445,12 @@ func (n *NIC) Inject(req *Request, done func(Response, error)) {
 		if n.hostPath != nil {
 			n.hostPath(req)
 		}
-		complete(Response{}, fmt.Errorf("nicsim: no lambda %d: sent to host", req.LambdaID))
+		if done != nil {
+			done(Response{}, fmt.Errorf("nicsim: no lambda %d: sent to host", req.LambdaID))
+		}
 		return
 	}
-	p := &pending{req: req, done: complete, waitSince: n.sim.Now()}
+	p := n.getPending(req, done)
 	if len(n.free) > 0 {
 		p.thread = n.free[len(n.free)-1]
 		n.free = n.free[:len(n.free)-1]
@@ -416,7 +467,9 @@ func (n *NIC) enqueue(p *pending) {
 		if size == 0 {
 			size = 64
 		}
-		n.queue.Enqueue(&wfq.Item{Flow: p.req.LambdaID, Size: size, Payload: p})
+		it := n.getItem()
+		it.Flow, it.Size, it.Payload = p.req.LambdaID, size, p
+		n.queue.Enqueue(it)
 	} else {
 		n.fifo = append(n.fifo, p)
 	}
@@ -468,19 +521,7 @@ func (n *NIC) start(p *pending) {
 			n.traceExecution(p, now)
 		}
 		p.remaining = 0
-		n.sim.Schedule(service, func() {
-			if n.crashed {
-				// The NIC died mid-service: the completion is lost, but
-				// the thread is accounted free so Recover restores full
-				// capacity.
-				n.stats.Dropped++
-				n.finish(p.thread)
-				return
-			}
-			n.stats.Completed++
-			p.done(p.resp, p.err)
-			n.finish(p.thread)
-		})
+		n.sim.AfterArg(service, n.completeFn, p)
 		return
 	}
 	// Serve one quantum, pay the switch, requeue behind other work.
@@ -495,15 +536,45 @@ func (n *NIC) start(p *pending) {
 	if tr := p.req.Trace; tr != nil {
 		tr.AddSpan(obs.StageExec, n.track(p.thread), "quantum", now, now+service)
 	}
-	n.sim.Schedule(service, func() {
-		if n.crashed {
-			n.stats.Dropped++
-			n.finish(p.thread)
-			return
-		}
-		n.enqueue(p)
+	n.sim.AfterArg(service, n.preemptFn, p)
+}
+
+// complete fires when a run-to-completion service interval ends. The
+// pending is recycled before user code runs, so a completion that
+// re-injects synchronously reuses it.
+func (n *NIC) complete(arg any) {
+	p := arg.(*pending)
+	thread := p.thread
+	if n.crashed {
+		// The NIC died mid-service: the completion is lost, but the
+		// thread is accounted free so Recover restores full capacity.
+		n.stats.Dropped++
+		n.putPending(p)
+		n.finish(thread)
+		return
+	}
+	done, resp, err := p.done, p.resp, p.err
+	n.putPending(p)
+	n.stats.Completed++
+	if done != nil {
+		done(resp, err)
+	}
+	n.finish(thread)
+}
+
+// preempt fires when a preemptive time slice expires: the request
+// requeues behind other work (ablation mode only).
+func (n *NIC) preempt(arg any) {
+	p := arg.(*pending)
+	if n.crashed {
+		n.stats.Dropped++
+		n.putPending(p)
 		n.finish(p.thread)
-	})
+		return
+	}
+	thread := p.thread
+	n.enqueue(p)
+	n.finish(thread)
 }
 
 // traceExecution lays the run-to-completion service time out as
@@ -554,7 +625,9 @@ func (n *NIC) dequeue() *pending {
 		if it == nil {
 			return nil
 		}
-		return it.Payload.(*pending)
+		p := it.Payload.(*pending)
+		n.putItem(it)
+		return p
 	}
 	// Uniform work-conserving hardware scheduler: FIFO drain.
 	if len(n.fifo) == 0 {

@@ -36,3 +36,47 @@ func BenchmarkNestedEventChain(b *testing.B) {
 		}
 	}
 }
+
+// benchSteady is the scheduling microbenchmark shape the simbench
+// experiment also uses: a large steady-state population of outstanding
+// events, each firing and rescheduling itself with a NIC-like delay
+// mixture (mostly µs-scale service events, some wire/RDMA delays, a
+// trickle of far-band control timers) — the regime where heap O(log n)
+// and per-event allocation hurt most.
+func benchSteady(b *testing.B, kind KernelKind, pooled bool, outstanding int) {
+	b.ReportAllocs()
+	s := NewWithKernel(1, kind)
+	fired := 0
+	var tick func()
+	tick = func() {
+		fired++
+		var d Time
+		switch fired % 10 {
+		case 0:
+			d = 10 * time.Millisecond // control plane: far band
+		case 1, 2:
+			d = Time(40+fired%20) * time.Microsecond // wire/RDMA
+		default:
+			d = Time(1000+fired%9000) * time.Nanosecond // NIC service
+		}
+		if pooled {
+			s.After(d, tick)
+		} else {
+			s.Schedule(d, tick)
+		}
+	}
+	for e := 0; e < outstanding; e++ {
+		s.Schedule(Time(e)*time.Microsecond, tick)
+	}
+	b.ResetTimer()
+	for fired < b.N {
+		if !s.Step() {
+			b.Fatal("queue drained")
+		}
+	}
+}
+
+func BenchmarkSteadyHeap(b *testing.B)         { benchSteady(b, KernelHeap, false, 32768) }
+func BenchmarkSteadyLadder(b *testing.B)       { benchSteady(b, KernelLadder, false, 32768) }
+func BenchmarkSteadyLadderPooled(b *testing.B) { benchSteady(b, KernelLadder, true, 32768) }
+func BenchmarkSteadyHeapPooled(b *testing.B)   { benchSteady(b, KernelHeap, true, 32768) }

@@ -1,0 +1,72 @@
+package sim
+
+// heapKernel is the reference event queue: a hand-rolled binary min-heap
+// over entry values ordered by (at, seq). It exists as the executable
+// specification the ladder queue is differentially tested against, and
+// as the far-band store inside the ladder itself. Storing entries by
+// value in a plain slice keeps operations allocation-free (the backing
+// array grows amortized) and avoids the interface boxing of
+// container/heap.
+type heapKernel struct {
+	h []entry
+}
+
+func (k *heapKernel) push(e entry) {
+	k.h = append(k.h, e)
+	k.up(len(k.h) - 1)
+}
+
+func (k *heapKernel) first() (entry, bool) {
+	if len(k.h) == 0 {
+		return entry{}, false
+	}
+	return k.h[0], true
+}
+
+func (k *heapKernel) shift() {
+	n := len(k.h) - 1
+	k.h[0] = k.h[n]
+	k.h[n] = entry{} // release the *Event reference
+	k.h = k.h[:n]
+	if n > 0 {
+		k.down(0)
+	}
+}
+
+func (k *heapKernel) len() int { return len(k.h) }
+
+func (k *heapKernel) up(i int) {
+	h := k.h
+	e := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.before(h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = e
+}
+
+func (k *heapKernel) down(i int) {
+	h := k.h
+	n := len(h)
+	e := h[i]
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		least := l
+		if r := l + 1; r < n && h[r].before(h[l]) {
+			least = r
+		}
+		if !h[least].before(e) {
+			break
+		}
+		h[i] = h[least]
+		i = least
+	}
+	h[i] = e
+}

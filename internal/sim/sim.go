@@ -9,10 +9,23 @@
 // The design is callback-driven rather than goroutine-driven: a single
 // goroutine owns the event loop, which keeps execution deterministic and
 // avoids any dependence on the Go runtime scheduler for simulated time.
+//
+// Two interchangeable queue kernels implement the same (at, seq) total
+// order: the default ladder queue (a fine-grained timer wheel for the
+// near-future band where almost all NIC events land, with a binary-heap
+// far band) and the reference binary heap. Because the firing order is
+// identical, every experiment produces bit-identical results on either
+// kernel; the ladder is simply faster. Events scheduled through the
+// fire-and-forget After/At/AfterArg entry points are recycled through a
+// free list, so the schedule/fire hot loop allocates nothing.
+//
+// For multi-NIC runs, parallel.go adds conservative parallel execution:
+// each NIC/host becomes a simulation domain with its own kernel, and
+// domains synchronize in barrier rounds bounded by the inter-domain
+// link-latency lookahead.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"math/rand"
 	"time"
@@ -26,13 +39,55 @@ type Time = time.Duration
 // before the event queue drained or the horizon was reached.
 var ErrStopped = errors.New("sim: stopped")
 
+// KernelKind selects the event-queue implementation backing a Sim. Both
+// kernels fire events in the identical (at, seq) total order, so the
+// choice affects throughput only, never results.
+type KernelKind int
+
+const (
+	// KernelLadder is the default two-band ladder queue: a timer wheel
+	// of fine-grained buckets covers the near future with O(1)
+	// amortized schedule/fire, and a binary heap holds the far band,
+	// merging matured entries bucket by bucket.
+	KernelLadder KernelKind = iota
+	// KernelHeap is the reference binary min-heap kernel — O(log n)
+	// per operation, kept as the executable specification the ladder
+	// is differentially tested against.
+	KernelHeap
+)
+
+// String names the kernel kind.
+func (k KernelKind) String() string {
+	switch k {
+	case KernelLadder:
+		return "ladder"
+	case KernelHeap:
+		return "heap"
+	default:
+		return "unknown"
+	}
+}
+
+// staleSeq marks an Event with no live queue entry (fired, cancelled,
+// or never scheduled). Sequence numbers are assigned from 0 upward and
+// can never reach it.
+const staleSeq = ^uint64(0)
+
 // Event is a scheduled callback. The callback runs exactly once, at the
 // event's timestamp, unless cancelled first.
 type Event struct {
-	at      Time
-	seq     uint64
-	fn      func()
-	index   int // heap index; -1 once removed
+	at  Time
+	seq uint64 // matches its queue entry while pending; staleSeq otherwise
+	fn  func()
+	// fnArg/arg are the allocation-free callback form used by AfterArg:
+	// a long-lived func(any) plus a per-fire argument, avoiding a fresh
+	// closure per scheduled event on hot paths.
+	fnArg func(any)
+	arg   any
+	// pooled events were scheduled through After/At/AfterArg — the
+	// caller holds no reference, so the kernel returns them to the
+	// free list when they fire.
+	pooled    bool
 	cancelled bool
 }
 
@@ -42,38 +97,40 @@ func (e *Event) Cancelled() bool { return e.cancelled }
 // At returns the virtual time the event fires at.
 func (e *Event) At() Time { return e.at }
 
-// eventQueue is a min-heap of events ordered by (at, seq).
-type eventQueue []*Event
+// entry is one queue slot: the firing key plus the event it belongs to.
+// Entries are values — kernels store them in plain slices, so queue
+// operations never allocate. An entry is stale (skipped when reached)
+// once its event's seq no longer matches: cancellation and reschedule
+// are O(1) flag flips, with the dead slot discarded lazily.
+type entry struct {
+	at  Time
+	seq uint64
+	ev  *Event
+}
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// before reports the (at, seq) ordering the whole kernel contract rests
+// on.
+func (a entry) before(b entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
+// stale reports whether the entry's event was cancelled, rescheduled,
+// or already fired.
+func (e entry) stale() bool { return e.ev.seq != e.seq }
 
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+// kernel is the priority-queue contract shared by the ladder and heap
+// implementations: entries come back in (at, seq) order, possibly
+// stale — the Sim filters those.
+type kernel interface {
+	// push inserts an entry. at is never before the last fired time.
+	push(entry)
+	// first returns the earliest entry without consuming it.
+	first() (entry, bool)
+	// shift consumes the entry first() last returned.
+	shift()
 }
 
 // Sim is a discrete-event simulation instance. The zero value is not
@@ -82,18 +139,32 @@ func (q *eventQueue) Pop() any {
 type Sim struct {
 	now     Time
 	seq     uint64
-	queue   eventQueue
+	k       kernel
 	rng     *rand.Rand
 	stopped bool
+	// live counts pending (non-stale) events.
+	live int
+	// free is the pooled-Event free list: events scheduled via
+	// After/At/AfterArg return here when they fire.
+	free []*Event
 
 	// Executed counts events that have fired, for diagnostics.
 	Executed uint64
 }
 
-// New returns a simulation with its clock at zero and a deterministic
-// random source seeded with seed.
-func New(seed int64) *Sim {
-	return &Sim{rng: rand.New(rand.NewSource(seed))}
+// New returns a simulation with its clock at zero, the default ladder
+// kernel, and a deterministic random source seeded with seed.
+func New(seed int64) *Sim { return NewWithKernel(seed, KernelLadder) }
+
+// NewWithKernel is New with an explicit queue kernel.
+func NewWithKernel(seed int64, kind KernelKind) *Sim {
+	s := &Sim{rng: rand.New(rand.NewSource(seed))}
+	if kind == KernelHeap {
+		s.k = &heapKernel{}
+	} else {
+		s.k = newLadder(defaultGranularity, defaultBuckets)
+	}
+	return s
 }
 
 // Now returns the current virtual time.
@@ -103,46 +174,92 @@ func (s *Sim) Now() Time { return s.now }
 // must use this source (never the global one) so runs stay reproducible.
 func (s *Sim) Rand() *rand.Rand { return s.rng }
 
+// schedule is the single insertion point behind every public variant.
+func (s *Sim) schedule(at Time, fn func(), fnArg func(any), arg any, pooled bool) *Event {
+	if at < s.now {
+		at = s.now
+	}
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		e = &Event{}
+	}
+	e.at, e.seq = at, s.seq
+	e.fn, e.fnArg, e.arg = fn, fnArg, arg
+	e.pooled, e.cancelled = pooled, false
+	s.k.push(entry{at: at, seq: s.seq, ev: e})
+	s.seq++
+	s.live++
+	return e
+}
+
 // Schedule runs fn after delay of virtual time. A negative delay is
-// treated as zero. It returns the event so callers may cancel it.
+// treated as zero. It returns the event so callers may cancel or
+// reschedule it; the event is caller-owned and never recycled. Prefer
+// After on hot paths that discard the handle.
 func (s *Sim) Schedule(delay Time, fn func()) *Event {
 	if delay < 0 {
 		delay = 0
 	}
-	return s.ScheduleAt(s.now+delay, fn)
+	return s.schedule(s.now+delay, fn, nil, nil, false)
 }
 
 // ScheduleAt runs fn at absolute virtual time at. Times in the past are
 // clamped to the current time.
 func (s *Sim) ScheduleAt(at Time, fn func()) *Event {
-	if at < s.now {
-		at = s.now
+	return s.schedule(at, fn, nil, nil, false)
+}
+
+// After runs fn after delay of virtual time, fire-and-forget: no handle
+// is returned, and the backing Event recycles through the kernel's free
+// list when it fires — the zero-allocation fast path for the per-packet
+// scheduling the hardware models do.
+func (s *Sim) After(delay Time, fn func()) {
+	if delay < 0 {
+		delay = 0
 	}
-	e := &Event{at: at, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.queue, e)
-	return e
+	s.schedule(s.now+delay, fn, nil, nil, true)
+}
+
+// At is After with an absolute virtual time (clamped to now).
+func (s *Sim) At(at Time, fn func()) {
+	s.schedule(at, fn, nil, nil, true)
+}
+
+// AfterArg is After for callbacks that would otherwise close over one
+// hot-path value: fn is typically a long-lived method value and arg the
+// per-fire payload (a pointer, so the interface conversion does not
+// allocate). Together with the pooled Event this makes schedule/fire
+// allocation-free.
+func (s *Sim) AfterArg(delay Time, fn func(any), arg any) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.schedule(s.now+delay, nil, fn, arg, true)
 }
 
 // Cancel removes a pending event. Cancelling an already-fired or
-// already-cancelled event is a no-op.
+// already-cancelled event is a no-op. The queue slot is discarded
+// lazily when reached, so Cancel is O(1).
 func (s *Sim) Cancel(e *Event) {
-	if e == nil || e.cancelled || e.index < 0 {
-		if e != nil {
-			e.cancelled = true
-		}
+	if e == nil {
 		return
 	}
+	if e.seq != staleSeq {
+		e.seq = staleSeq
+		s.live--
+	}
 	e.cancelled = true
-	heap.Remove(&s.queue, e.index)
 }
 
 // Reschedule re-arms an event to fire delay after the current time,
-// returning the (reused) event. It is the retransmit-timer fast path:
-// a pending event is moved in place with one sift (heap.Fix) instead of
-// a remove plus a push, and a fired or cancelled event is re-armed
-// without allocating a new Event. The event keeps its callback and is
-// ordered as if freshly scheduled. A nil event returns nil.
+// returning the (reused) event. It is the retransmit-timer fast path: a
+// pending event's old slot goes stale in place, and a fired or
+// cancelled event is re-armed without allocating a new Event. The event
+// keeps its callback and is ordered as if freshly scheduled. A nil
+// event returns nil.
 func (s *Sim) Reschedule(e *Event, delay Time) *Event {
 	if e == nil {
 		return nil
@@ -150,42 +267,87 @@ func (s *Sim) Reschedule(e *Event, delay Time) *Event {
 	if delay < 0 {
 		delay = 0
 	}
+	if e.seq == staleSeq {
+		s.live++
+	}
 	e.at = s.now + delay
 	e.seq = s.seq
-	s.seq++
 	e.cancelled = false
-	if e.index >= 0 {
-		heap.Fix(&s.queue, e.index)
-	} else {
-		heap.Push(&s.queue, e)
-	}
+	s.k.push(entry{at: e.at, seq: e.seq, ev: e})
+	s.seq++
 	return e
 }
 
 // Stop halts the event loop after the current callback returns.
 func (s *Sim) Stop() { s.stopped = true }
 
+// Stopped reports whether Stop has halted the loop. Run clears it.
+func (s *Sim) Stopped() bool { return s.stopped }
+
 // Pending returns the number of events waiting to fire.
-func (s *Sim) Pending() int { return len(s.queue) }
+func (s *Sim) Pending() int { return s.live }
+
+// peek returns the earliest pending entry, discarding stale slots.
+func (s *Sim) peek() (entry, bool) {
+	for {
+		en, ok := s.k.first()
+		if !ok {
+			return entry{}, false
+		}
+		if en.stale() {
+			s.k.shift()
+			continue
+		}
+		return en, true
+	}
+}
+
+// nextAt returns the time of the earliest pending event.
+func (s *Sim) nextAt() (Time, bool) {
+	en, ok := s.peek()
+	return en.at, ok
+}
+
+// fire consumes and executes the entry peek returned. Pooled events are
+// recycled before the callback runs, so a callback scheduling new
+// pooled work reuses the Event it was invoked from.
+func (s *Sim) fire(en entry) {
+	s.k.shift()
+	e := en.ev
+	e.seq = staleSeq
+	s.live--
+	s.now = en.at
+	s.Executed++
+	fn, fnArg, arg := e.fn, e.fnArg, e.arg
+	if e.pooled {
+		e.fn, e.fnArg, e.arg = nil, nil, nil
+		s.free = append(s.free, e)
+	}
+	if fnArg != nil {
+		fnArg(arg)
+		return
+	}
+	fn()
+}
 
 // Run executes events until the queue drains, the clock passes horizon,
 // or Stop is called. A zero horizon means no time limit. It returns
 // ErrStopped if halted by Stop, and nil otherwise.
 func (s *Sim) Run(horizon Time) error {
 	s.stopped = false
-	for len(s.queue) > 0 {
+	for {
 		if s.stopped {
 			return ErrStopped
 		}
-		next := s.queue[0]
-		if horizon > 0 && next.at > horizon {
+		en, ok := s.peek()
+		if !ok {
+			break
+		}
+		if horizon > 0 && en.at > horizon {
 			s.now = horizon
 			return nil
 		}
-		heap.Pop(&s.queue)
-		s.now = next.at
-		s.Executed++
-		next.fn()
+		s.fire(en)
 	}
 	if horizon > 0 && s.now < horizon {
 		s.now = horizon
@@ -193,19 +355,56 @@ func (s *Sim) Run(horizon Time) error {
 	return nil
 }
 
+// runWindow fires events strictly before limit without advancing the
+// clock past the last fired event — the per-round body the parallel
+// coordinator uses, where the clock must not outrun the barrier.
+func (s *Sim) runWindow(limit Time) error {
+	for {
+		if s.stopped {
+			return ErrStopped
+		}
+		en, ok := s.peek()
+		if !ok || en.at >= limit {
+			return nil
+		}
+		s.fire(en)
+	}
+}
+
 // RunUntilIdle executes events until none remain, with no time horizon.
 func (s *Sim) RunUntilIdle() error { return s.Run(0) }
 
-// Step executes exactly one event, returning false when the queue is
-// empty.
+// Step executes exactly one event. It returns false — executing
+// nothing — when the queue is empty or the simulation is stopped (Run
+// clears the stopped flag).
 func (s *Sim) Step() bool {
-	if len(s.queue) == 0 {
+	if s.stopped {
 		return false
 	}
-	next := heap.Pop(&s.queue).(*Event)
-	s.now = next.at
-	s.Executed++
-	next.fn()
+	en, ok := s.peek()
+	if !ok {
+		return false
+	}
+	s.fire(en)
+	return true
+}
+
+// StepUntil is Step bounded by a horizon the way Run is: an event past
+// the horizon does not fire, and the clock advances to the horizon
+// instead (a zero horizon means no limit). It returns false when
+// nothing fired.
+func (s *Sim) StepUntil(horizon Time) bool {
+	if s.stopped {
+		return false
+	}
+	en, ok := s.peek()
+	if !ok || (horizon > 0 && en.at > horizon) {
+		if horizon > 0 && s.now < horizon {
+			s.now = horizon
+		}
+		return false
+	}
+	s.fire(en)
 	return true
 }
 
