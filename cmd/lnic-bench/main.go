@@ -7,7 +7,7 @@
 //	lnic-bench [-quick] [-short] [-seed N] [-kernel ladder|heap] [-parallel]
 //	           [-experiment all|table1|fig6|fig7|fig8|table2|table3|table4|fig9|chaos|rpcbench|lambdabench|simbench]
 //	           [-trace-out trace.json] [-bench-out BENCH_rpc.json]
-//	           [-bench-guard BENCH_sim_baseline.json]
+//	           [-bench-guard BENCH_sim_baseline.json] [-slo-out SLO_chaos.json]
 //	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -quick shrinks sample counts and the benchmark image for fast runs;
@@ -27,8 +27,11 @@
 // The chaos experiment (not part of "all") crash-stops a worker NIC
 // under open-loop load and reports availability, error rate, and tail
 // latency before/during/after the failure-detection loop evicts it.
-// -short shrinks it to a smoke run; with -trace-out the request
-// lifecycles plus the fault instants (as global markers) are exported.
+// It also writes a windowed SLO error-budget report (availability and
+// p99-latency objectives sampled each heartbeat) to -slo-out (default
+// SLO_chaos.json). -short shrinks it to a smoke run; with -trace-out
+// the request lifecycles plus the fault instants (as global markers)
+// are exported.
 //
 // The rpcbench experiment (not part of "all") measures the real RPC
 // data plane — not the simulated testbed — over memnet and loopback
@@ -91,6 +94,8 @@ func run(args []string) error {
 		"write the benchmark experiment's JSON report to this file (default BENCH_rpc.json for rpcbench, BENCH_lambda.json for lambdabench, BENCH_sim.json for simbench)")
 	benchGuard := fs.String("bench-guard", "",
 		"fail if the simbench report regresses >20% against this baseline JSON")
+	sloOut := fs.String("slo-out", "",
+		"write the chaos experiment's SLO error-budget report JSON to this file (default SLO_chaos.json)")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
 	if err := fs.Parse(args); err != nil {
@@ -260,6 +265,21 @@ func run(args []string) error {
 			return err
 		}
 		out(experiments.RenderChaos(rep))
+		if rep.SLO != nil {
+			path := *sloOut
+			if path == "" {
+				path = "SLO_chaos.json"
+			}
+			data, err := rep.SLO.JSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("lnic-bench: wrote SLO report (%d samples) to %s\n",
+				len(rep.SLO.Samples), path)
+		}
 		if *traceOut != "" {
 			if err := obs.WriteChromeTraceFileWithMarks(*traceOut, rep.Requests, rep.Marks); err != nil {
 				return err

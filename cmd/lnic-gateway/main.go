@@ -7,7 +7,7 @@
 //
 //	lnic-gateway -listen 127.0.0.1:8080 \
 //	    -route "1=127.0.0.1:9000,127.0.0.1:9001" -route "4=127.0.0.1:9000" \
-//	    [-metrics :9101] [-trace-out trace.json] \
+//	    [-metrics :9101] [-pprof :9111] [-trace-out trace.json] \
 //	    [-faults "drop=0.05,to=127.0.0.1:9000"] [-faults-seed N]
 //
 // Each -route maps one workload ID to its worker addresses. -trace-out
@@ -59,6 +59,7 @@ func run(args []string) error {
 	var routes routeFlags
 	fs.Var(&routes, "route", "workloadID=addr1,addr2 (repeatable)")
 	metricsAddr := fs.String("metrics", "", "serve Prometheus-style metrics on this HTTP address")
+	pprofAddr := fs.String("pprof", "", "serve Go runtime profiling (/debug/pprof/) on this HTTP address")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace of proxied requests to this file on shutdown")
 	faultSpec := fs.String("faults", "", "fault rule for the gateway socket, e.g. \"drop=0.05,to=127.0.0.1:9000\"")
 	faultSeed := fs.Int64("faults-seed", 42, "seed for deterministic fault decisions")
@@ -114,6 +115,17 @@ func run(args []string) error {
 		}()
 		defer srv.Close()
 		fmt.Printf("lnic-gateway: metrics on http://%s/\n", *metricsAddr)
+	}
+
+	if *pprofAddr != "" {
+		srv := &http.Server{Addr: *pprofAddr, Handler: monitor.PprofMux()}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "lnic-gateway: pprof server:", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("lnic-gateway: pprof on http://%s/debug/pprof/\n", *pprofAddr)
 	}
 
 	for _, spec := range routes {

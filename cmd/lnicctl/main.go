@@ -19,6 +19,15 @@
 //	         enabled, optionally crash-stop one worker, and print each
 //	         worker's liveness, last-heartbeat age, and suspicion level
 //	         plus the placement recorded in the control store
+//	top      -targets m2=host:port,m3=host:port [-interval D]
+//	         scrape every daemon's monitoring endpoint twice, D apart,
+//	         and print per-(nic, workload) request rates, errors, and
+//	         latency percentiles computed from the deltas
+//	slo      -targets ... [-interval D] [-availability T] [-p99 D]
+//	         [-p99-target T]
+//	         scrape the fleet twice and grade the interval against
+//	         availability and p99-latency objectives: good fraction,
+//	         error-budget burn rate, met/violated
 package main
 
 import (
@@ -37,6 +46,7 @@ import (
 	"lambdanic/internal/mcc"
 	"lambdanic/internal/mcl"
 	"lambdanic/internal/metrics"
+	"lambdanic/internal/telemetry"
 	"lambdanic/internal/transport"
 	"lambdanic/internal/workloads"
 )
@@ -50,13 +60,17 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: lnicctl <invoke|compile|artifacts|health> [flags]")
+		return fmt.Errorf("usage: lnicctl <invoke|compile|artifacts|health|top|slo> [flags]")
 	}
 	switch args[0] {
 	case "invoke":
 		return invoke(args[1:])
 	case "health":
 		return health(args[1:])
+	case "top":
+		return top(args[1:])
+	case "slo":
+		return slo(args[1:])
 	case "compile":
 		return compile()
 	case "artifacts":
@@ -135,6 +149,68 @@ func health(args []string) error {
 	}
 	fmt.Printf("placement %s (id %d): %v\n", p.Workload, p.ID, p.Workers)
 	fmt.Printf("gateway live workers: %d\n", d.Gateway().LiveWorkers())
+	return nil
+}
+
+// scrapeTwice collects the fleet's metrics pages at the ends of one
+// observation interval; every fleet number is a delta between the two.
+func scrapeTwice(spec string, interval time.Duration) (prev, cur telemetry.FleetSnapshot, err error) {
+	if spec == "" {
+		return prev, cur, fmt.Errorf("missing -targets (e.g. -targets m2=127.0.0.1:9102,gw=127.0.0.1:9100)")
+	}
+	targets, err := telemetry.ParseTargets(spec)
+	if err != nil {
+		return prev, cur, err
+	}
+	c := telemetry.NewCollector(targets)
+	ctx := context.Background()
+	prev = c.Collect(ctx)
+	time.Sleep(interval)
+	cur = c.Collect(ctx)
+	return prev, cur, nil
+}
+
+// top is the live fleet view: per-(nic, workload) request rates,
+// errors, and latency percentiles over one scrape interval.
+func top(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ContinueOnError)
+	targets := fs.String("targets", "", "comma-separated nic=host:port scrape targets (-metrics endpoints)")
+	interval := fs.Duration("interval", 2*time.Second, "observation interval between the two scrapes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	prev, cur, err := scrapeTwice(*targets, *interval)
+	if err != nil {
+		return err
+	}
+	fmt.Print(telemetry.RenderTop(telemetry.FleetRows(prev, cur, *interval), *interval))
+	return nil
+}
+
+// slo grades one observation interval of fleet traffic against
+// availability and tail-latency objectives.
+func slo(args []string) error {
+	fs := flag.NewFlagSet("slo", flag.ContinueOnError)
+	targets := fs.String("targets", "", "comma-separated nic=host:port scrape targets (-metrics endpoints)")
+	interval := fs.Duration("interval", 2*time.Second, "observation interval between the two scrapes")
+	availability := fs.Float64("availability", 0.999, "availability objective target (0..1)")
+	p99 := fs.Duration("p99", time.Millisecond, "latency objective threshold")
+	p99Target := fs.Float64("p99-target", 0.99, "fraction of requests that must finish within -p99")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	prev, cur, err := scrapeTwice(*targets, *interval)
+	if err != nil {
+		return err
+	}
+	statuses, err := telemetry.FleetSLO(prev, cur, []telemetry.Objective{
+		{Name: "availability", Kind: telemetry.ObjectiveAvailability, Target: *availability},
+		{Name: "p99-latency", Kind: telemetry.ObjectiveLatency, Target: *p99Target, Threshold: *p99},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(telemetry.RenderSLO(statuses, *interval))
 	return nil
 }
 

@@ -7,7 +7,7 @@
 //
 //	lnicd -listen 127.0.0.1:9000 [-memcached 127.0.0.1:11211] \
 //	      [-workloads web,kvget,kvset,image] [-serve-memcached :11211] \
-//	      [-metrics :9100] [-trace-out trace.json] \
+//	      [-metrics :9100] [-pprof :9110] [-trace-out trace.json] \
 //	      [-faults "drop=0.05,delay=2ms"] [-faults-seed N]
 //
 // The key-value client lambdas require -memcached (or an embedded
@@ -53,6 +53,7 @@ func run(args []string) error {
 	imgW := fs.Int("image-width", workloads.DefaultImageWidth, "image transformer max width")
 	imgH := fs.Int("image-height", workloads.DefaultImageHeight, "image transformer max height")
 	metricsAddr := fs.String("metrics", "", "serve Prometheus-style metrics on this HTTP address")
+	pprofAddr := fs.String("pprof", "", "serve Go runtime profiling (/debug/pprof/) on this HTTP address")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace of served requests to this file on shutdown")
 	faultSpec := fs.String("faults", "", "fault rule for the serving socket, e.g. \"drop=0.05,delay=2ms\"")
 	faultSeed := fs.Int64("faults-seed", 42, "seed for deterministic fault decisions")
@@ -132,6 +133,17 @@ func run(args []string) error {
 		}()
 		defer srv.Close()
 		fmt.Printf("lnicd: metrics on http://%s/\n", *metricsAddr)
+	}
+
+	if *pprofAddr != "" {
+		srv := &http.Server{Addr: *pprofAddr, Handler: monitor.PprofMux()}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "lnicd: pprof server:", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("lnicd: pprof on http://%s/debug/pprof/\n", *pprofAddr)
 	}
 
 	available := map[string]*workloads.Workload{

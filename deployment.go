@@ -205,6 +205,9 @@ func (d *Deployment) startHealth(cfg DeploymentConfig) error {
 			return hbs
 		},
 		func() time.Duration { return time.Since(epoch) })
+	if err := d.hd.EnableMetrics(d.metrics); err != nil {
+		return err
+	}
 	d.hd.OnTransition = func(tr healthd.Transition) {
 		if tr.To != healthd.StatusDead {
 			return

@@ -9,6 +9,7 @@ import (
 
 	"lambdanic/internal/monitor"
 	"lambdanic/internal/obs"
+	"lambdanic/internal/telemetry"
 	"lambdanic/internal/transport"
 	"lambdanic/internal/workloads"
 )
@@ -32,9 +33,9 @@ type Worker struct {
 	// Optional monitoring-engine instrumentation (§6.1.1).
 	registry   *monitor.Registry
 	mRequests  map[uint32]*monitor.Counter
-	mWlLatency map[uint32]*monitor.Histogram
+	mWlLatency map[uint32]*telemetry.Histogram
 	mErrors    *monitor.Counter
-	mLatency   *monitor.Histogram
+	mLatency   *telemetry.Histogram
 
 	// Optional request-lifecycle tracing.
 	tracer obs.Tracer
@@ -69,16 +70,19 @@ func (w *Worker) EnableMetrics(reg *monitor.Registry) error {
 	if err != nil {
 		return err
 	}
-	latency, err := reg.Histogram("lnic_worker_latency_seconds",
-		"lambda service latency", nil, monitor.DefaultLatencyBuckets)
-	if err != nil {
+	// Service latency goes through the telemetry plane's lock-free
+	// histogram: the serve path records with one atomic add rather than
+	// serializing every request on a registry mutex.
+	latency := telemetry.NewHistogram()
+	if err := latency.Expose(reg, "lnic_worker_latency_seconds",
+		"lambda service latency", nil); err != nil {
 		return err
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.registry = reg
 	w.mRequests = make(map[uint32]*monitor.Counter)
-	w.mWlLatency = make(map[uint32]*monitor.Histogram)
+	w.mWlLatency = make(map[uint32]*telemetry.Histogram)
 	w.mErrors = errs
 	w.mLatency = latency
 	return nil
@@ -111,10 +115,10 @@ func (w *Worker) Install(wl *workloads.Workload) error {
 			return err
 		}
 		w.mRequests[wl.ID] = c
-		h, err := w.registry.Histogram("lnic_worker_workload_latency_seconds",
+		h := telemetry.NewHistogram()
+		if err := h.Expose(w.registry, "lnic_worker_workload_latency_seconds",
 			"lambda service latency per workload",
-			map[string]string{"workload": wl.Name}, monitor.DefaultLatencyBuckets)
-		if err != nil {
+			map[string]string{"workload": wl.Name}); err != nil {
 			return err
 		}
 		w.mWlLatency[wl.ID] = h

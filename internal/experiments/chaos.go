@@ -14,6 +14,7 @@ import (
 	"lambdanic/internal/nicsim"
 	"lambdanic/internal/obs"
 	"lambdanic/internal/sim"
+	"lambdanic/internal/telemetry"
 	"lambdanic/internal/workloads"
 )
 
@@ -159,7 +160,22 @@ type ChaosReport struct {
 	// appear as global instant markers.
 	Requests []*obs.Req
 	Marks    []obs.Mark
+	// SLO is the telemetry plane's judgment of the same run: objectives
+	// sampled every heartbeat interval over a rolling window on the
+	// simulation's virtual clock. The latency burn rate spikes during
+	// the outage (failovers add an AttemptTimeout to every request that
+	// first hits the dead NIC) and decays back once the window clears
+	// the eviction.
+	SLO *telemetry.SLOReport
 }
+
+// Chaos SLO objectives: the provider promises three nines of
+// availability and a p99 no worse than one attempt timeout (a request
+// that fails over has necessarily waited at least that long).
+const (
+	chaosAvailabilityTarget = 0.999
+	chaosLatencyQuantile    = 0.99
+)
 
 // chaosRouter spreads requests round-robin over the placed workers with
 // a per-attempt timeout and failover — the gateway's weakly-consistent
@@ -417,6 +433,32 @@ func chaosRun(cfg Config, ch ChaosConfig, web *workloads.Workload, names []strin
 	rep := &ChaosReport{HeartbeatInterval: ch.HeartbeatInterval}
 	end := sim.Time(ch.Duration)
 
+	// The telemetry plane rides the run on the control domain's virtual
+	// clock: a rolling window of a few heartbeat intervals, graded
+	// against the provider's objectives at every detector check. The
+	// sampling piggybacks on the existing check event, so the event
+	// count — and with it the Chaos/ChaosParallel differential — is
+	// untouched.
+	slo, err := telemetry.NewSLOTracker(
+		telemetry.NewWindowed(telemetry.WindowConfig{
+			Slots:        4,
+			SlotDuration: ch.HeartbeatInterval,
+		}),
+		telemetry.Objective{
+			Name: "availability", Kind: telemetry.ObjectiveAvailability,
+			Target: chaosAvailabilityTarget,
+		},
+		telemetry.Objective{
+			Name: "p99-latency", Kind: telemetry.ObjectiveLatency,
+			Target: chaosLatencyQuantile, Threshold: ch.AttemptTimeout,
+		},
+	)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	sloMeter := slo.Windowed()
+	sloMeter.Stats(0)
+
 	// Heartbeats: each worker publishes into the control store every
 	// interval — the virtual-time twin of healthd.Heartbeater. A killed
 	// worker falls silent; that silence IS the failure signal.
@@ -450,6 +492,7 @@ func chaosRun(cfg Config, ch ChaosConfig, web *workloads.Workload, names []strin
 	var checkEv *sim.Event
 	check = func() {
 		now := s.Now()
+		slo.Sample(now)
 		if hbs, err := mgr.HealthSnapshot(); err == nil {
 			for _, hb := range hbs {
 				if tr := det.Observe(hb, now); tr != nil {
@@ -529,6 +572,7 @@ func chaosRun(cfg Config, ch ChaosConfig, web *workloads.Workload, names []strin
 			tr := collector.Begin(web.ID, web.Name)
 			router.invoke(web.ID, payload, tr, 0, func(res backend.Result) {
 				tr.Finish(s.Now(), res.Err)
+				sloMeter.Observe(s.Now()-start, res.Err != nil)
 				samples = append(samples, chaosSample{
 					start:   start,
 					latency: s.Now() - start,
@@ -559,6 +603,8 @@ func chaosRun(cfg Config, ch ChaosConfig, web *workloads.Workload, names []strin
 	rep.Failovers = router.failovers
 	rep.Requests = collector.Requests()
 	rep.Marks = collector.Marks()
+	sloReport := slo.Report()
+	rep.SLO = &sloReport
 
 	// Phase bucketing by request start time.
 	bounds := []struct {
@@ -607,6 +653,11 @@ func RenderChaos(rep *ChaosReport) string {
 	}
 	for _, tr := range rep.Transitions {
 		fmt.Fprintf(&b, "  transition: %s %s -> %s at %v\n", tr.Worker, tr.From, tr.To, tr.At)
+	}
+	if rep.SLO != nil {
+		for _, line := range strings.Split(strings.TrimRight(rep.SLO.Text(), "\n"), "\n") {
+			fmt.Fprintf(&b, "  %s\n", line)
+		}
 	}
 	return b.String()
 }

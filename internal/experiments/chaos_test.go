@@ -126,3 +126,91 @@ func TestChaosDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestChaosSLOReport asserts the telemetry plane's view of the outage:
+// burn rates spike while the rolling window covers the dead NIC and
+// decay back to zero once the survivors own the route.
+func TestChaosSLOReport(t *testing.T) {
+	ch := QuickChaos()
+	rep, err := Chaos(Quick(), ch)
+	if err != nil {
+		t.Fatalf("Chaos: %v", err)
+	}
+	if rep.SLO == nil || len(rep.SLO.Samples) == 0 {
+		t.Fatal("no SLO report attached")
+	}
+	if want := 4 * ch.HeartbeatInterval; rep.SLO.Window != want {
+		t.Errorf("SLO window = %v, want %v", rep.SLO.Window, want)
+	}
+
+	// Steady-state burn just before the kill (past the warmup where the
+	// very first requests race the placement watch), peak burn while
+	// the window covers the outage, and the final sample after
+	// recovery.
+	window := 4 * ch.HeartbeatInterval
+	var steadyBurn, outageBurn float64
+	for _, s := range rep.SLO.Samples {
+		lat := s.Status("p99-latency")
+		if lat == nil {
+			t.Fatal("p99-latency objective missing from sample")
+		}
+		if s.At > rep.KillAt/2 && s.At <= rep.KillAt && lat.BurnRate > steadyBurn {
+			steadyBurn = lat.BurnRate
+		}
+		if s.At > rep.KillAt && s.At <= rep.EvictedAt+window && lat.BurnRate > outageBurn {
+			outageBurn = lat.BurnRate
+		}
+	}
+	if steadyBurn != 0 {
+		t.Errorf("steady-state latency burn = %v, want 0", steadyBurn)
+	}
+	if outageBurn <= 1 {
+		t.Errorf("outage latency burn = %v, want > 1 (budget burning fast)", outageBurn)
+	}
+
+	final := rep.SLO.Samples[len(rep.SLO.Samples)-1]
+	for _, name := range []string{"availability", "p99-latency"} {
+		st := final.Status(name)
+		if st == nil {
+			t.Fatalf("objective %s missing from final sample", name)
+		}
+		if st.BurnRate != 0 || !st.Met {
+			t.Errorf("final %s burn = %v met=%v, want recovered (0, true)", name, st.BurnRate, st.Met)
+		}
+	}
+
+	// The summary mirrors the timeline: the worst burn is the outage
+	// spike and its peak falls inside the outage window.
+	for _, sum := range rep.SLO.Summary {
+		if sum.Name != "p99-latency" {
+			continue
+		}
+		if sum.WorstBurnRate != outageBurn {
+			t.Errorf("summary worst burn %v != timeline max %v", sum.WorstBurnRate, outageBurn)
+		}
+		if sum.PeakAt <= rep.KillAt || sum.PeakAt > rep.EvictedAt+window {
+			t.Errorf("peak at %v, want inside outage window (%v, %v]",
+				sum.PeakAt, rep.KillAt, rep.EvictedAt+window)
+		}
+		if sum.FinalBurnRate != 0 {
+			t.Errorf("summary final burn = %v, want 0", sum.FinalBurnRate)
+		}
+	}
+
+	// The rendered report carries the SLO table.
+	out := RenderChaos(rep)
+	for _, want := range []string{"SLO report", "p99-latency", "WORST BURN"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+
+	// And it serializes for the bench harness's SLO_chaos.json artifact.
+	raw, err := rep.SLO.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "worst_burn_rate") {
+		t.Error("JSON report missing summary fields")
+	}
+}

@@ -3,12 +3,25 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"lambdanic/internal/metrics"
 	"lambdanic/internal/sim"
+	"lambdanic/internal/telemetry"
 	"lambdanic/internal/trace"
 	"lambdanic/internal/workloads"
 )
+
+// LoadCurveObjective is the latency SLO each load point is graded
+// against: 99% of requests inside 1 ms. λ-NIC holds it across the
+// whole sweep; bare metal blows through it once offered load passes
+// its dispatch knee — the hockey stick restated in error-budget terms.
+var LoadCurveObjective = telemetry.Objective{
+	Name:      "p99-latency",
+	Kind:      telemetry.ObjectiveLatency,
+	Target:    0.99,
+	Threshold: time.Millisecond,
+}
 
 // LoadPoint is one offered-load measurement on a latency-vs-load curve.
 type LoadPoint struct {
@@ -16,6 +29,19 @@ type LoadPoint struct {
 	OfferedRPS float64
 	P50, P99   float64 // seconds
 	Errors     int
+	// GoodFrac and BurnRate grade the point against LoadCurveObjective;
+	// SLOMet reports whether the objective held at this offered load.
+	GoodFrac float64
+	BurnRate float64
+	SLOMet   bool
+}
+
+// gradeLoadPoint fills the SLO columns from the point's latency sample.
+func (p *LoadPoint) gradeLoadPoint(lat *metrics.Sample) {
+	o := LoadCurveObjective
+	p.GoodFrac = lat.FracAtOrBelow(o.Threshold.Seconds())
+	p.BurnRate = (1 - p.GoodFrac) / (1 - o.Target)
+	p.SLOMet = p.GoodFrac >= o.Target
 }
 
 // LoadLatencyCurve sweeps offered load (open-loop Poisson arrivals)
@@ -48,13 +74,15 @@ func LoadLatencyCurve(cfg Config) ([]LoadPoint, error) {
 			if err != nil {
 				return nil, fmt.Errorf("loadcurve %s@%.0f: %w", bid, rate, err)
 			}
-			out = append(out, LoadPoint{
+			pt := LoadPoint{
 				Backend:    bid,
 				OfferedRPS: rate,
 				P50:        res.Latency.Quantile(0.50),
 				P99:        res.Latency.Quantile(0.99),
 				Errors:     res.Errors,
-			})
+			}
+			pt.gradeLoadPoint(&res.Latency)
+			out = append(out, pt)
 		}
 	}
 	return out, nil
@@ -104,6 +132,7 @@ func LoadLatencyCurveParallel(cfg Config) ([]LoadPoint, error) {
 		out[i].P50 = res.Latency.Quantile(0.50)
 		out[i].P99 = res.Latency.Quantile(0.99)
 		out[i].Errors = res.Errors
+		out[i].gradeLoadPoint(&res.Latency)
 	}
 	return out, nil
 }
@@ -112,14 +141,21 @@ func LoadLatencyCurveParallel(cfg Config) ([]LoadPoint, error) {
 func RenderLoadCurve(points []LoadPoint) string {
 	var b strings.Builder
 	b.WriteString("Latency vs offered load (open-loop Poisson, web server)\n")
+	fmt.Fprintf(&b, "  SLO: %g%% of requests ≤ %s\n",
+		LoadCurveObjective.Target*100, LoadCurveObjective.Threshold)
 	last := BackendID("")
 	for _, p := range points {
 		if p.Backend != last {
 			fmt.Fprintf(&b, "  %s:\n", p.Backend)
 			last = p.Backend
 		}
-		fmt.Fprintf(&b, "    %7.0f req/s  p50=%-10s p99=%-10s\n",
-			p.OfferedRPS, metrics.FormatSeconds(p.P50), metrics.FormatSeconds(p.P99))
+		met := "met"
+		if !p.SLOMet {
+			met = "VIOLATED"
+		}
+		fmt.Fprintf(&b, "    %7.0f req/s  p50=%-10s p99=%-10s burn=%6.2fx  %s\n",
+			p.OfferedRPS, metrics.FormatSeconds(p.P50), metrics.FormatSeconds(p.P99),
+			p.BurnRate, met)
 	}
 	return b.String()
 }

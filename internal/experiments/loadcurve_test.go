@@ -38,7 +38,25 @@ func TestLoadLatencyCurveShape(t *testing.T) {
 				nic[i].OfferedRPS, nic[i].P99, bare[i].P99)
 		}
 	}
-	if out := RenderLoadCurve(points); !strings.Contains(out, "offered load") {
+	// SLO grading: λ-NIC holds the 1 ms p99 objective at every offered
+	// load; bare metal must violate it (burn > 1) once past its knee.
+	for _, p := range nic {
+		if !p.SLOMet {
+			t.Errorf("λ-NIC violated SLO at %.0f req/s: good=%.4f burn=%.2f",
+				p.OfferedRPS, p.GoodFrac, p.BurnRate)
+		}
+	}
+	if last := bare[len(bare)-1]; last.SLOMet || last.BurnRate <= 1 {
+		t.Errorf("bare metal should burn budget past its knee: good=%.4f burn=%.2f",
+			last.GoodFrac, last.BurnRate)
+	}
+	out := RenderLoadCurve(points)
+	if !strings.Contains(out, "offered load") {
 		t.Error("render broken")
+	}
+	for _, want := range []string{"SLO", "burn=", "VIOLATED"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
 	}
 }

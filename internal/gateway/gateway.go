@@ -27,6 +27,7 @@ import (
 
 	"lambdanic/internal/monitor"
 	"lambdanic/internal/obs"
+	"lambdanic/internal/telemetry"
 	"lambdanic/internal/transport"
 )
 
@@ -74,7 +75,7 @@ type instruments struct {
 	errors    *monitor.Counter
 	failovers *monitor.Counter
 	timeouts  *monitor.Counter
-	latency   *monitor.Histogram
+	latency   *telemetry.Histogram
 	tracer    obs.Tracer
 }
 
@@ -245,9 +246,12 @@ func (g *Gateway) EnableMetrics(reg *monitor.Registry) error {
 		func() float64 { return float64(g.LiveWorkers()) }); err != nil {
 		return err
 	}
-	latency, err := reg.Histogram("lnic_gateway_upstream_latency_seconds",
-		"upstream call latency", nil, monitor.DefaultLatencyBuckets)
-	if err != nil {
+	// The latency histogram is the telemetry plane's lock-free sharded
+	// implementation: the request hot path records with a single atomic
+	// add instead of convoying on the registry histogram's mutex.
+	latency := telemetry.NewHistogram()
+	if err := latency.Expose(reg, "lnic_gateway_upstream_latency_seconds",
+		"upstream call latency", nil); err != nil {
 		return err
 	}
 	g.ep.SetRetransmitHook(retransmits.Inc)

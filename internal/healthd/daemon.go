@@ -3,6 +3,8 @@ package healthd
 import (
 	"sync"
 	"time"
+
+	"lambdanic/internal/monitor"
 )
 
 // Heartbeater periodically publishes a worker's liveness. The publish
@@ -121,6 +123,19 @@ type Daemon struct {
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}
+
+	// Monitoring-engine instrumentation (nil unless EnableMetrics):
+	// per-worker load, phi, and status gauges, registered lazily as
+	// workers first appear in a poll.
+	reg    *monitor.Registry
+	gauges map[string]*workerGauges
+}
+
+// workerGauges is one worker's set of health gauges.
+type workerGauges struct {
+	load   *monitor.Gauge
+	phi    *monitor.Gauge
+	status *monitor.Gauge
 }
 
 // NewDaemon wires a detector to a heartbeat source and a clock.
@@ -137,6 +152,58 @@ func NewDaemon(det *Detector, source func() []Heartbeat, now func() time.Duratio
 // Detector exposes the daemon's detector (snapshots, status queries).
 func (d *Daemon) Detector() *Detector { return d.det }
 
+// EnableMetrics publishes each polled worker's health into the
+// monitoring engine: lnic_healthd_load (in-flight requests from the
+// last heartbeat), lnic_healthd_phi (suspicion score), and
+// lnic_healthd_status (0 alive, 1 suspect, 2 dead), all labeled by
+// worker. Gauges register lazily the first time a worker appears, so
+// enabling before any poll covers the whole fleet.
+func (d *Daemon) EnableMetrics(reg *monitor.Registry) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.reg != nil {
+		return nil
+	}
+	d.reg = reg
+	d.gauges = make(map[string]*workerGauges)
+	return nil
+}
+
+// publishHealth updates the per-worker gauges from a detector snapshot.
+func (d *Daemon) publishHealth(now time.Duration) {
+	d.mu.Lock()
+	reg, gauges := d.reg, d.gauges
+	d.mu.Unlock()
+	if reg == nil {
+		return
+	}
+	for _, wh := range d.det.Snapshot(now) {
+		g := gauges[wh.Worker]
+		if g == nil {
+			labels := map[string]string{"worker": wh.Worker}
+			load, err := reg.Gauge("lnic_healthd_load", "worker in-flight load from the last heartbeat", labels)
+			if err != nil {
+				continue
+			}
+			phi, err := reg.Gauge("lnic_healthd_phi", "worker suspicion score (heartbeat age over mean interval)", labels)
+			if err != nil {
+				continue
+			}
+			status, err := reg.Gauge("lnic_healthd_status", "worker liveness: 0 alive, 1 suspect, 2 dead", labels)
+			if err != nil {
+				continue
+			}
+			g = &workerGauges{load: load, phi: phi, status: status}
+			d.mu.Lock()
+			gauges[wh.Worker] = g
+			d.mu.Unlock()
+		}
+		g.load.Set(float64(wh.Load))
+		g.phi.Set(wh.Phi)
+		g.status.Set(float64(wh.Status))
+	}
+}
+
 // Poll runs one observe+check cycle and returns the transitions.
 func (d *Daemon) Poll() []Transition {
 	now := d.now()
@@ -147,6 +214,7 @@ func (d *Daemon) Poll() []Transition {
 		}
 	}
 	out = append(out, d.det.Check(now)...)
+	d.publishHealth(now)
 	if d.OnTransition != nil {
 		for _, tr := range out {
 			d.OnTransition(tr)

@@ -112,6 +112,23 @@ func (s *Sample) ensureSorted() {
 	s.sorted = true
 }
 
+// FracAtOrBelow returns the exact fraction of observations ≤ v — the
+// good fraction of a latency objective. An empty sample reports 1 (no
+// traffic breaches nothing).
+func (s *Sample) FracAtOrBelow(v float64) float64 {
+	if len(s.values) == 0 {
+		return 1
+	}
+	s.ensureSorted()
+	i := sort.SearchFloat64s(s.values, v)
+	// SearchFloat64s finds the first index ≥ v; walk past equal values
+	// so the bound is inclusive.
+	for i < len(s.values) && s.values[i] == v {
+		i++
+	}
+	return float64(i) / float64(len(s.values))
+}
+
 // Point is one step of an empirical CDF: Frac of observations are ≤
 // Value.
 type Point struct {

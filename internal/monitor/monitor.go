@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -66,6 +67,14 @@ var DefaultLatencyBuckets = []float64{
 	1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10,
 }
 
+// FineLatencyBuckets spans 1µs..10s in a 1-2-5 series (seconds) — fine
+// enough that tail quantiles interpolated from a scrape are meaningful.
+// The telemetry plane's histograms expose through these bounds.
+var FineLatencyBuckets = []float64{
+	1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4,
+	1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2, 1e-1, 2e-1, 5e-1, 1, 2, 5, 10,
+}
+
 // NewHistogram builds a histogram with the given ascending upper
 // bounds; a +Inf bucket is implicit.
 func NewHistogram(bounds []float64) *Histogram {
@@ -102,6 +111,18 @@ func (h *Histogram) Snapshot() (bounds []float64, cumulative []uint64, sum float
 	return bounds, cumulative, h.sum, h.samples
 }
 
+// HistogramSnapshot is a point-in-time cumulative view of a histogram,
+// produced by external histogram implementations registered through
+// HistogramFunc (the telemetry plane's lock-free histograms expose
+// themselves this way). Cumulative has len(Bounds)+1 entries; the last
+// is the +Inf bucket and equals Count.
+type HistogramSnapshot struct {
+	Bounds     []float64
+	Cumulative []uint64
+	Sum        float64
+	Count      uint64
+}
+
 // metric is one registered metric with metadata.
 type metric struct {
 	name   string
@@ -112,6 +133,7 @@ type metric struct {
 	g      *Gauge
 	gf     func() float64
 	h      *Histogram
+	hf     func() HistogramSnapshot
 }
 
 // Registry holds registered metrics; safe for concurrent use.
@@ -126,6 +148,23 @@ func NewRegistry() *Registry {
 	return &Registry{seen: make(map[string]bool)}
 }
 
+// escapeLabelValue applies the exposition format's label-value escaping:
+// backslash, double quote, and newline are escaped; everything else is
+// emitted raw (the format is UTF-8, not ASCII-armored).
+func escapeLabelValue(v string) string {
+	return labelEscaper.Replace(v)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// escapeHelp applies the exposition format's HELP-text escaping:
+// backslash and newline only (quotes are legal in help text).
+func escapeHelp(v string) string {
+	return helpEscaper.Replace(v)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
 // renderLabels formats a label map deterministically.
 func renderLabels(labels map[string]string) string {
 	if len(labels) == 0 {
@@ -138,7 +177,7 @@ func renderLabels(labels map[string]string) string {
 	sort.Strings(keys)
 	parts := make([]string, 0, len(keys))
 	for _, k := range keys {
-		parts = append(parts, fmt.Sprintf("%s=%q", k, labels[k]))
+		parts = append(parts, fmt.Sprintf(`%s="%s"`, k, escapeLabelValue(labels[k])))
 	}
 	return "{" + strings.Join(parts, ",") + "}"
 }
@@ -184,6 +223,18 @@ func (r *Registry) GaugeFunc(name, help string, labels map[string]string, fn fun
 		return fmt.Errorf("monitor: GaugeFunc %s: nil function", name)
 	}
 	return r.register(&metric{name: name, help: help, labels: renderLabels(labels), kind: "gauge", gf: fn})
+}
+
+// HistogramFunc registers a histogram whose cumulative snapshot is
+// computed by fn at scrape time — the bridge for externally-owned
+// histogram implementations (the telemetry plane's lock-free sharded
+// histograms). fn is called from the scrape goroutine and must be safe
+// for concurrent use.
+func (r *Registry) HistogramFunc(name, help string, labels map[string]string, fn func() HistogramSnapshot) error {
+	if fn == nil {
+		return fmt.Errorf("monitor: HistogramFunc %s: nil function", name)
+	}
+	return r.register(&metric{name: name, help: help, labels: renderLabels(labels), kind: "histogram", hf: fn})
 }
 
 // Histogram registers and returns a histogram.
@@ -235,7 +286,7 @@ func (r *Registry) Render() string {
 		if !helped[m.name] {
 			helped[m.name] = true
 			if m.help != "" {
-				fmt.Fprintf(&b, "# HELP %s %s\n", m.name, m.help)
+				fmt.Fprintf(&b, "# HELP %s %s\n", m.name, escapeHelp(m.help))
 			}
 			fmt.Fprintf(&b, "# TYPE %s %s\n", m.name, m.kind)
 		}
@@ -251,7 +302,16 @@ func (r *Registry) Render() string {
 			}
 			fmt.Fprintf(&b, "%s%s %g\n", m.name, m.labels, v)
 		case "histogram":
-			bounds, cum, sum, count := m.h.Snapshot()
+			var bounds []float64
+			var cum []uint64
+			var sum float64
+			var count uint64
+			if m.hf != nil {
+				snap := m.hf()
+				bounds, cum, sum, count = snap.Bounds, snap.Cumulative, snap.Sum, snap.Count
+			} else {
+				bounds, cum, sum, count = m.h.Snapshot()
+			}
 			base := strings.TrimSuffix(m.labels, "}")
 			for i, ub := range bounds {
 				fmt.Fprintf(&b, "%s_bucket%s %d\n", m.name, bucketLabels(base, m.labels, fmt.Sprintf("%g", ub)), cum[i])
@@ -275,9 +335,23 @@ func bucketLabels(base, full, le string) string {
 // Handler serves the registry over HTTP (GET /metrics style).
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if _, err := w.Write([]byte(r.Render())); err != nil {
 			return
 		}
 	})
+}
+
+// PprofMux returns a mux serving the Go runtime's profiling endpoints
+// under /debug/pprof/ without registering anything on
+// http.DefaultServeMux. The daemons hang it off an opt-in -pprof
+// address so production sockets never expose profiling by accident.
+func PprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

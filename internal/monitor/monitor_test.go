@@ -202,6 +202,28 @@ func TestHTTPHandler(t *testing.T) {
 	}
 }
 
+func TestPprofMux(t *testing.T) {
+	srv := httptest.NewServer(PprofMux())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("pprof index status = %d", resp.StatusCode)
+	}
+	// Nothing outside /debug/pprof/ is served.
+	resp, err = srv.Client().Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("root status = %d, want 404", resp.StatusCode)
+	}
+}
+
 func TestGaugeFunc(t *testing.T) {
 	r := NewRegistry()
 	live := 4

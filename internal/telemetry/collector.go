@@ -1,0 +1,350 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Target is one scrapeable daemon: the nic label it contributes to the
+// fleet view, and its monitoring-engine HTTP endpoint.
+type Target struct {
+	// Nic names the node in fleet output (m2, m3, gateway).
+	Nic string
+	// URL is the exposition endpoint (http://host:port/).
+	URL string
+}
+
+// ParseTargets parses a comma-separated "nic=url,nic=url" flag value.
+// A bare "url" entry gets its nic label from the URL's host part.
+func ParseTargets(spec string) ([]Target, error) {
+	var out []Target
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		nic, url, ok := strings.Cut(part, "=")
+		if !ok {
+			url = part
+			nic = strings.TrimPrefix(strings.TrimPrefix(part, "http://"), "https://")
+		}
+		if !strings.Contains(url, "://") {
+			url = "http://" + url
+		}
+		out = append(out, Target{Nic: nic, URL: url})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("telemetry: no scrape targets in %q", spec)
+	}
+	return out, nil
+}
+
+// TargetScrape is one target's parsed page (or its scrape error).
+type TargetScrape struct {
+	Target
+	Err    error
+	Scrape Scrape
+}
+
+// FleetSnapshot is every target scraped at (roughly) one instant.
+type FleetSnapshot struct {
+	Scrapes []TargetScrape
+}
+
+// Collector pulls the fleet's registries over their existing HTTP
+// surfaces. The zero value is not ready — use NewCollector.
+type Collector struct {
+	targets []Target
+	client  *http.Client
+	// fetch is swappable for tests and for scraping in-memory
+	// registries without a listener.
+	fetch func(ctx context.Context, url string) (io.ReadCloser, error)
+}
+
+// NewCollector builds a collector over the given targets.
+func NewCollector(targets []Target) *Collector {
+	c := &Collector{
+		targets: targets,
+		client:  &http.Client{Timeout: 5 * time.Second},
+	}
+	c.fetch = c.httpFetch
+	return c
+}
+
+// SetFetcher overrides the page fetcher (tests, in-memory registries).
+func (c *Collector) SetFetcher(fn func(ctx context.Context, url string) (io.ReadCloser, error)) {
+	c.fetch = fn
+}
+
+func (c *Collector) httpFetch(ctx context.Context, url string) (io.ReadCloser, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, fmt.Errorf("telemetry: scrape %s: HTTP %d", url, resp.StatusCode)
+	}
+	return resp.Body, nil
+}
+
+// Collect scrapes every target concurrently. Per-target failures are
+// recorded, not fatal: a dead worker must not blind the fleet view.
+func (c *Collector) Collect(ctx context.Context) FleetSnapshot {
+	snap := FleetSnapshot{Scrapes: make([]TargetScrape, len(c.targets))}
+	var wg sync.WaitGroup
+	for i, t := range c.targets {
+		wg.Add(1)
+		go func(i int, t Target) {
+			defer wg.Done()
+			snap.Scrapes[i] = c.scrapeOne(ctx, t)
+		}(i, t)
+	}
+	wg.Wait()
+	return snap
+}
+
+func (c *Collector) scrapeOne(ctx context.Context, t Target) TargetScrape {
+	ts := TargetScrape{Target: t}
+	body, err := c.fetch(ctx, t.URL)
+	if err != nil {
+		ts.Err = err
+		return ts
+	}
+	defer body.Close()
+	ts.Scrape, ts.Err = ParseExposition(body)
+	return ts
+}
+
+// FleetRow is one (nic, workload) line of the fleet view, computed
+// from the delta between two snapshots.
+type FleetRow struct {
+	Nic      string  `json:"nic"`
+	Workload string  `json:"workload"` // "" for the node-wide row
+	Requests uint64  `json:"requests"`
+	Errors   uint64  `json:"errors"`
+	RatePerS float64 `json:"rate_per_sec"`
+	P50      float64 `json:"p50_seconds"`
+	P99      float64 `json:"p99_seconds"`
+}
+
+// latencyFamilies maps a scraped histogram family to the workload
+// label the fleet view groups by. The node-wide families carry no
+// workload label; the per-workload family carries one.
+var latencyFamilies = map[string]bool{
+	"lnic_worker_latency_seconds":           true,
+	"lnic_worker_workload_latency_seconds":  true,
+	"lnic_gateway_upstream_latency_seconds": true,
+}
+
+// errorFamilies are the per-node counters summed into each node-wide
+// row's error column.
+var errorFamilies = []string{
+	"lnic_worker_errors_total",
+	"lnic_gateway_upstream_errors_total",
+}
+
+// FleetRows computes the per-(nic, workload) view from the delta
+// between two snapshots taken `elapsed` apart. Targets that failed in
+// either snapshot contribute an error row with no numbers.
+func FleetRows(prev, cur FleetSnapshot, elapsed time.Duration) []FleetRow {
+	var rows []FleetRow
+	prevByNic := map[string]TargetScrape{}
+	for _, ts := range prev.Scrapes {
+		prevByNic[ts.Nic] = ts
+	}
+	for _, ts := range cur.Scrapes {
+		if ts.Err != nil {
+			rows = append(rows, FleetRow{Nic: ts.Nic, Workload: "(scrape failed)"})
+			continue
+		}
+		prevTS, hasPrev := prevByNic[ts.Nic]
+		if hasPrev && prevTS.Err != nil {
+			hasPrev = false
+		}
+		prevHists := map[string]ScrapedHistogram{}
+		if hasPrev {
+			for _, h := range prevTS.Scrape.Histograms() {
+				prevHists[h.Name+"|"+labelKey(h.Labels)] = h
+			}
+		}
+		var nodeErrs uint64
+		for _, fam := range errorFamilies {
+			curV, ok := ts.Scrape.Value(fam, nil)
+			if !ok {
+				continue
+			}
+			prevV := 0.0
+			if hasPrev {
+				prevV, _ = prevTS.Scrape.Value(fam, nil)
+			}
+			if curV > prevV {
+				nodeErrs += uint64(curV - prevV)
+			}
+		}
+		for _, h := range ts.Scrape.Histograms() {
+			if !latencyFamilies[h.Name] {
+				continue
+			}
+			delta := h
+			if prevH, ok := prevHists[h.Name+"|"+labelKey(h.Labels)]; ok {
+				delta = h.Sub(prevH)
+			}
+			row := FleetRow{
+				Nic:      ts.Nic,
+				Workload: h.Labels["workload"],
+				Requests: delta.Count,
+				P50:      delta.Quantile(0.50),
+				P99:      delta.Quantile(0.99),
+			}
+			if row.Workload == "" {
+				row.Errors = nodeErrs
+			}
+			if elapsed > 0 {
+				row.RatePerS = float64(delta.Count) / elapsed.Seconds()
+			}
+			rows = append(rows, row)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Nic != rows[j].Nic {
+			return rows[i].Nic < rows[j].Nic
+		}
+		return rows[i].Workload < rows[j].Workload
+	})
+	return rows
+}
+
+// RenderTop renders the fleet rows as the lnicctl top table.
+func RenderTop(rows []FleetRow, elapsed time.Duration) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet view over %s\n", elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "%-10s %-18s %9s %8s %10s %10s %10s\n",
+		"NIC", "WORKLOAD", "REQS", "ERRS", "REQ/S", "P50", "P99")
+	for _, r := range rows {
+		if r.Workload == "(scrape failed)" {
+			fmt.Fprintf(&b, "%-10s %-18s %s\n", r.Nic, "-", "scrape failed")
+			continue
+		}
+		wl := r.Workload
+		if wl == "" {
+			wl = "(node)"
+		}
+		fmt.Fprintf(&b, "%-10s %-18s %9d %8d %10.1f %10s %10s\n",
+			r.Nic, wl, r.Requests, r.Errors, r.RatePerS,
+			fmtSeconds(r.P50), fmtSeconds(r.P99))
+	}
+	return b.String()
+}
+
+func fmtSeconds(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
+}
+
+// FleetSLO grades scraped deltas against objectives: availability from
+// the request/error counters, latency from the merged node-wide
+// histograms. It returns one status per objective.
+func FleetSLO(prev, cur FleetSnapshot, objectives []Objective) ([]ObjectiveStatus, error) {
+	var reqs, errs uint64
+	var merged ScrapedHistogram
+	prevByNic := map[string]TargetScrape{}
+	for _, ts := range prev.Scrapes {
+		prevByNic[ts.Nic] = ts
+	}
+	for _, ts := range cur.Scrapes {
+		if ts.Err != nil {
+			continue
+		}
+		prevTS, hasPrev := prevByNic[ts.Nic]
+		if hasPrev && prevTS.Err != nil {
+			hasPrev = false
+		}
+		counterDelta := func(name string) uint64 {
+			curV, ok := ts.Scrape.Value(name, nil)
+			if !ok {
+				return 0
+			}
+			prevV := 0.0
+			if hasPrev {
+				prevV, _ = prevTS.Scrape.Value(name, nil)
+			}
+			if curV > prevV {
+				return uint64(curV - prevV)
+			}
+			return 0
+		}
+		for _, fam := range errorFamilies {
+			errs += counterDelta(fam)
+		}
+		prevHists := map[string]ScrapedHistogram{}
+		if hasPrev {
+			for _, h := range prevTS.Scrape.Histograms() {
+				prevHists[h.Name+"|"+labelKey(h.Labels)] = h
+			}
+		}
+		for _, h := range ts.Scrape.Histograms() {
+			// Node-wide families only: the per-workload family would
+			// double-count every request.
+			if !latencyFamilies[h.Name] || h.Labels["workload"] != "" {
+				continue
+			}
+			delta := h
+			if prevH, ok := prevHists[h.Name+"|"+labelKey(h.Labels)]; ok {
+				delta = h.Sub(prevH)
+			}
+			reqs += delta.Count
+			merged.Merge(delta)
+		}
+	}
+	total := reqs + errs
+	out := make([]ObjectiveStatus, 0, len(objectives))
+	for _, o := range objectives {
+		if err := o.validate(); err != nil {
+			return nil, err
+		}
+		st := ObjectiveStatus{Objective: o, GoodFraction: 1.0}
+		switch o.Kind {
+		case ObjectiveAvailability:
+			if total > 0 {
+				st.GoodFraction = float64(reqs) / float64(total)
+			}
+		case ObjectiveLatency:
+			st.GoodFraction = merged.FracAtOrBelow(o.Threshold.Seconds())
+		}
+		st.BurnRate = (1 - st.GoodFraction) / (1 - o.Target)
+		st.Met = st.GoodFraction >= o.Target
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// RenderSLO renders objective statuses as the lnicctl slo table.
+func RenderSLO(statuses []ObjectiveStatus, elapsed time.Duration) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fleet SLO over %s\n", elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "%-24s %-13s %8s %10s %10s %6s\n",
+		"OBJECTIVE", "KIND", "TARGET", "GOOD", "BURN", "MET")
+	for _, s := range statuses {
+		kind := string(s.Kind)
+		if s.Kind == ObjectiveLatency {
+			kind = fmt.Sprintf("p≤%s", s.Threshold)
+		}
+		met := "no"
+		if s.Met {
+			met = "yes"
+		}
+		fmt.Fprintf(&b, "%-24s %-13s %7.4g%% %9.4f%% %9.2fx %6s\n",
+			s.Name, kind, s.Target*100, s.GoodFraction*100, s.BurnRate, met)
+	}
+	return b.String()
+}

@@ -1,0 +1,46 @@
+package telemetry
+
+import (
+	"lambdanic/internal/monitor"
+)
+
+// Exposition renders the snapshot as a monitoring-engine histogram
+// snapshot with the given ascending upper bounds (in seconds) and unit
+// scale (seconds per histogram unit; 1e-9 for the nanosecond latency
+// histograms). Native log-linear buckets are far finer than any
+// exposition bound set, so each native bucket is attributed to the
+// first bound at or above its upper edge.
+func (s HistSnapshot) Exposition(bounds []float64, secondsPerUnit float64) monitor.HistogramSnapshot {
+	out := monitor.HistogramSnapshot{
+		Bounds:     bounds,
+		Cumulative: make([]uint64, len(bounds)+1),
+		Sum:        float64(s.Sum) * secondsPerUnit,
+		Count:      s.Count,
+	}
+	bi := 0
+	var cum uint64
+	for b, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		upper := float64(BucketUpper(b)) * secondsPerUnit
+		for bi < len(bounds) && upper > bounds[bi] {
+			out.Cumulative[bi] = cum
+			bi++
+		}
+		cum += c
+	}
+	for ; bi <= len(bounds); bi++ {
+		out.Cumulative[bi] = cum
+	}
+	return out
+}
+
+// Expose registers the histogram in the monitoring engine's registry
+// under the given name, rendered through the fine latency bounds at
+// scrape time. The histogram's units must be nanoseconds.
+func (h *Histogram) Expose(reg *monitor.Registry, name, help string, labels map[string]string) error {
+	return reg.HistogramFunc(name, help, labels, func() monitor.HistogramSnapshot {
+		return h.Snapshot().Exposition(monitor.FineLatencyBuckets, 1e-9)
+	})
+}
