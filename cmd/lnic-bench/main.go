@@ -5,7 +5,7 @@
 // Usage:
 //
 //	lnic-bench [-quick] [-short] [-seed N] [-kernel ladder|heap] [-parallel]
-//	           [-experiment all|table1|fig6|fig7|fig8|table2|table3|table4|fig9|chaos|rpcbench|lambdabench|simbench]
+//	           [-experiment all|table1|fig6|fig7|fig8|table2|table3|table4|fig9|chaos|tenants|rpcbench|lambdabench|simbench]
 //	           [-trace-out trace.json] [-bench-out BENCH_rpc.json]
 //	           [-bench-guard BENCH_sim_baseline.json] [-slo-out SLO_chaos.json]
 //	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
@@ -32,6 +32,17 @@
 // SLO_chaos.json). -short shrinks it to a smoke run; with -trace-out
 // the request lifecycles plus the fault instants (as global markers)
 // are exported.
+//
+// The tenants experiment (not part of "all") colocates an interactive
+// tenant with a bursty batch tenant on a shared rack running
+// tenant-weighted WFQ dispatch and per-tenant gateway admission, then
+// checks the isolation bound: interactive p99 during the batch flood
+// stays within bound and the error-budget burn returns to zero after.
+// The run fails if the bound is violated. Per-tenant phase results go
+// to -bench-out (default BENCH_tenants.json) and the interactive SLO
+// timeline to -slo-out (default SLO_tenants.json). -short shrinks it
+// to a smoke run; -parallel runs one simulation domain per NIC with
+// bit-identical results.
 //
 // The rpcbench experiment (not part of "all") measures the real RPC
 // data plane — not the simulated testbed — over memnet and loopback
@@ -83,11 +94,11 @@ func run(args []string) error {
 	short := fs.Bool("short", false, "shrink the chaos experiment to a smoke run")
 	seed := fs.Int64("seed", 42, "simulation seed")
 	experiment := fs.String("experiment", "all",
-		"which experiment to run: all, table1, fig6, fig7, fig8, table2, table3, table4, fig9, optimizer, scaleout, loadcurve, nicclasses, ablations, breakdown, chaos, rpcbench, lambdabench, simbench")
+		"which experiment to run: all, table1, fig6, fig7, fig8, table2, table3, table4, fig9, optimizer, scaleout, loadcurve, nicclasses, ablations, breakdown, chaos, tenants, rpcbench, lambdabench, simbench")
 	kernel := fs.String("kernel", "ladder",
 		"simulation event-queue kernel: ladder or heap (bit-identical results)")
 	parallel := fs.Bool("parallel", false,
-		"run scaleout/loadcurve/chaos with per-NIC parallel simulation domains")
+		"run scaleout/loadcurve/chaos/tenants with per-NIC parallel simulation domains")
 	traceOut := fs.String("trace-out", "",
 		"write the breakdown experiment's Chrome trace-event JSON to this file")
 	benchOut := fs.String("bench-out", "",
@@ -286,6 +297,43 @@ func run(args []string) error {
 			}
 			fmt.Printf("lnic-bench: wrote Chrome trace (%d requests, %d fault marks) to %s\n",
 				len(rep.Requests), len(rep.Marks), *traceOut)
+		}
+	}
+	if want == "tenants" {
+		tnCfg := experiments.DefaultTenants()
+		if *short || *quick {
+			tnCfg = experiments.QuickTenants()
+		}
+		runTenants := experiments.Tenants
+		if *parallel {
+			runTenants = experiments.TenantsParallel
+		}
+		rep, err := runTenants(cfg, tnCfg)
+		if err != nil {
+			return err
+		}
+		out(experiments.RenderTenants(rep))
+		if err := writeBench(*benchOut, "BENCH_tenants.json", rep.Bench()); err != nil {
+			return err
+		}
+		if rep.SLO != nil {
+			path := *sloOut
+			if path == "" {
+				path = "SLO_tenants.json"
+			}
+			data, err := rep.SLO.JSON()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("lnic-bench: wrote SLO report (%d samples) to %s\n",
+				len(rep.SLO.Samples), path)
+		}
+		if !rep.Isolated {
+			return fmt.Errorf("tenants: isolation bound violated (interactive p99 during burst %v > %v, final burn %.2fx)",
+				rep.DuringP99, rep.IsolationP99, rep.FinalBurn)
 		}
 	}
 	if want == "rpcbench" {

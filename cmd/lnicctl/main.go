@@ -19,15 +19,19 @@
 //	         enabled, optionally crash-stop one worker, and print each
 //	         worker's liveness, last-heartbeat age, and suspicion level
 //	         plus the placement recorded in the control store
-//	top      -targets m2=host:port,m3=host:port [-interval D]
+//	top      -targets m2=host:port,m3=host:port [-interval D] [-tenant T]
 //	         scrape every daemon's monitoring endpoint twice, D apart,
-//	         and print per-(nic, workload) request rates, errors, and
-//	         latency percentiles computed from the deltas
+//	         and print per-(nic, workload, tenant) request rates,
+//	         errors, sheds, and latency percentiles computed from the
+//	         deltas; -tenant narrows the view to one tenant's rows
+//	         including its gateway admission sheds
 //	slo      -targets ... [-interval D] [-availability T] [-p99 D]
-//	         [-p99-target T]
+//	         [-p99-target T] [-tenant T]
 //	         scrape the fleet twice and grade the interval against
 //	         availability and p99-latency objectives: good fraction,
-//	         error-budget burn rate, met/violated
+//	         error-budget burn rate, met/violated; -tenant grades one
+//	         tenant's traffic only, counting its admission sheds as
+//	         availability bad events
 package main
 
 import (
@@ -176,6 +180,7 @@ func top(args []string) error {
 	fs := flag.NewFlagSet("top", flag.ContinueOnError)
 	targets := fs.String("targets", "", "comma-separated nic=host:port scrape targets (-metrics endpoints)")
 	interval := fs.Duration("interval", 2*time.Second, "observation interval between the two scrapes")
+	tenantName := fs.String("tenant", "", "show only this tenant's rows (and its admission sheds)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -183,7 +188,8 @@ func top(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(telemetry.RenderTop(telemetry.FleetRows(prev, cur, *interval), *interval))
+	rows := telemetry.FilterTenant(telemetry.FleetRows(prev, cur, *interval), *tenantName)
+	fmt.Print(telemetry.RenderTop(rows, *interval))
 	return nil
 }
 
@@ -196,6 +202,7 @@ func slo(args []string) error {
 	availability := fs.Float64("availability", 0.999, "availability objective target (0..1)")
 	p99 := fs.Duration("p99", time.Millisecond, "latency objective threshold")
 	p99Target := fs.Float64("p99-target", 0.99, "fraction of requests that must finish within -p99")
+	tenantName := fs.String("tenant", "", "grade only this tenant's traffic (sheds count against availability)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -203,10 +210,10 @@ func slo(args []string) error {
 	if err != nil {
 		return err
 	}
-	statuses, err := telemetry.FleetSLO(prev, cur, []telemetry.Objective{
+	statuses, err := telemetry.FleetSLOTenant(prev, cur, []telemetry.Objective{
 		{Name: "availability", Kind: telemetry.ObjectiveAvailability, Target: *availability},
 		{Name: "p99-latency", Kind: telemetry.ObjectiveLatency, Target: *p99Target, Threshold: *p99},
-	})
+	}, *tenantName)
 	if err != nil {
 		return err
 	}

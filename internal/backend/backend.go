@@ -116,7 +116,16 @@ type LambdaNIC struct {
 // NewLambdaNIC constructs the λ-NIC backend. dispatch selects the NIC
 // scheduler policy (zero value: the hardware's uniform dispatch).
 func NewLambdaNIC(s *sim.Sim, tb cluster.Testbed, dispatch nicsim.Dispatch) (*LambdaNIC, error) {
-	nic, err := nicsim.New(s, nicsim.Config{NIC: tb.NIC, Dispatch: dispatch})
+	return NewLambdaNICWithConfig(s, tb, nicsim.Config{Dispatch: dispatch})
+}
+
+// NewLambdaNICWithConfig constructs the backend over a fully specified
+// NIC scheduler config — the entry point for tenant-weighted WFQ
+// dispatch (Dispatch, TenantOf, TenantWeights). The config's NIC
+// hardware description is taken from the testbed.
+func NewLambdaNICWithConfig(s *sim.Sim, tb cluster.Testbed, nicCfg nicsim.Config) (*LambdaNIC, error) {
+	nicCfg.NIC = tb.NIC
+	nic, err := nicsim.New(s, nicCfg)
 	if err != nil {
 		return nil, err
 	}

@@ -16,6 +16,7 @@ import (
 
 	"lambdanic/internal/mcc"
 	"lambdanic/internal/raftkv"
+	"lambdanic/internal/tenant"
 	"lambdanic/internal/workloads"
 )
 
@@ -116,6 +117,10 @@ type Manager struct {
 	demands    []WorkloadDemand
 	perThreads float64
 	perMem     float64
+
+	// tenants is the tenant registry (tenant.go); lazily created so
+	// single-tenant deployments pay nothing.
+	tenants *tenant.Registry
 }
 
 // Manager errors.

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"lambdanic/internal/drf"
+	"lambdanic/internal/nicsim"
+	"lambdanic/internal/tenant"
+	"lambdanic/internal/workloads"
+)
+
+// Tenant-aware control plane: the workload manager owns the tenant
+// registry, publishes tenants into the Raft control store beside
+// workloads and placements, and binds every tenant-registered lambda
+// to its owner so the data path (gateway admission, NIC hierarchical
+// WFQ, worker metric labels) can key on tenant identity.
+
+// Tenants returns the manager's tenant registry (created on first
+// use, pre-seeded with the default tenant).
+func (m *Manager) Tenants() *tenant.Registry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.tenants == nil {
+		m.tenants = tenant.NewRegistry()
+	}
+	return m.tenants
+}
+
+// RegisterTenant adds a tenant to the registry and publishes it at
+// tenant/<name> in the control store.
+func (m *Manager) RegisterTenant(t tenant.Tenant) (*tenant.Tenant, error) {
+	reg := m.Tenants()
+	stored, err := reg.Add(t)
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.Marshal(stored)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.control.Put("tenant/"+stored.Name, string(data), m.controlTicks); err != nil {
+		return nil, fmt.Errorf("core: record tenant: %w", err)
+	}
+	return stored, nil
+}
+
+// RegisterFor registers a workload under the named tenant: the
+// workload gets its unique ID as usual, is stamped with the owning
+// tenant (metric labels), and the ID→tenant binding is recorded for
+// data-path classification.
+func (m *Manager) RegisterFor(tenantName string, w *workloads.Workload) (uint32, error) {
+	reg := m.Tenants()
+	if _, ok := reg.Get(tenantName); !ok {
+		return 0, fmt.Errorf("%w: %s", tenant.ErrUnknownTenant, tenantName)
+	}
+	w.Tenant = tenantName
+	id, err := m.Register(w)
+	if err != nil {
+		return 0, err
+	}
+	if err := reg.Bind(id, tenantName); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// PlanTenantPlacements allocates replicas with DRF keyed by tenant
+// instead of by lambda: each grant is one replica set — one replica of
+// every lambda the tenant owns — so a tenant fanning out over many
+// lambdas competes as a single DRF user. Tenant quota vectors
+// (NPU threads, instruction-store bytes, IMEM/EMEM budgets) compile to
+// task caps via drf.SetLimit, enforcing isolation at placement time.
+// Workloads are grouped by their Tenant field ("" = default tenant);
+// every named tenant must exist in reg.
+func PlanTenantPlacements(fleet FleetCapacity, reg *tenant.Registry, demands []WorkloadDemand) ([]PlannedPlacement, error) {
+	if len(fleet.Workers) == 0 {
+		return nil, fmt.Errorf("core: fleet has no workers")
+	}
+	if len(demands) == 0 {
+		return nil, fmt.Errorf("core: no workload demands")
+	}
+	if reg == nil {
+		reg = tenant.NewRegistry()
+	}
+	capacity := drf.Resources{}
+	addCap := func(key string, v float64) {
+		if v > 0 {
+			capacity[key] = v
+		}
+	}
+	addCap(nicsim.ResThreads, fleet.Threads)
+	addCap(nicsim.ResMemMB, fleet.MemoryMB)
+	addCap(nicsim.ResInstr, fleet.InstrStore)
+	addCap(nicsim.ResIMEM, fleet.IMEMBytes)
+	addCap(nicsim.ResEMEM, fleet.EMEMBytes)
+	alloc, err := drf.New(capacity)
+	if err != nil {
+		return nil, err
+	}
+
+	// Group demands by owning tenant, preserving first-seen order for
+	// deterministic output (the DRF grant order itself is name-sorted
+	// inside the allocator).
+	type group struct {
+		ten     *tenant.Tenant
+		ds      []WorkloadDemand
+		perTask drf.Resources
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, d := range demands {
+		if d.Workload == nil {
+			return nil, fmt.Errorf("core: demand without workload")
+		}
+		name := d.Workload.Tenant
+		if name == "" {
+			name = tenant.DefaultTenantName
+		}
+		g, ok := groups[name]
+		if !ok {
+			ten, found := reg.Get(name)
+			if !found {
+				return nil, fmt.Errorf("%w: %s (workload %s)", tenant.ErrUnknownTenant, name, d.Workload.Name)
+			}
+			g = &group{ten: ten, perTask: drf.Resources{}}
+			groups[name] = g
+			order = append(order, name)
+		}
+		g.ds = append(g.ds, d)
+		addDemand := func(key string, v float64) {
+			if v > 0 {
+				g.perTask[key] += v
+			}
+		}
+		addDemand(nicsim.ResThreads, d.ThreadsPerReplica)
+		addDemand(nicsim.ResMemMB, d.MemoryMBPerReplica)
+		addDemand(nicsim.ResInstr, d.InstrPerReplica)
+		addDemand(nicsim.ResIMEM, d.IMEMBytesPerReplica)
+		addDemand(nicsim.ResEMEM, d.EMEMBytesPerReplica)
+	}
+
+	for _, name := range order {
+		g := groups[name]
+		if err := alloc.AddUser(name, g.perTask); err != nil {
+			return nil, fmt.Errorf("core: tenant %s demand: %w", name, err)
+		}
+		if lim := nicsim.MaxTasks(nicsim.QuotaVector(g.ten.Quota), g.perTask); lim > 0 {
+			if err := alloc.SetLimit(name, lim); err != nil {
+				return nil, err
+			}
+		}
+	}
+	alloc.AllocateAll()
+
+	var out []PlannedPlacement
+	next := 0
+	for _, name := range order {
+		g := groups[name]
+		replicas := alloc.Tasks(name)
+		if replicas == 0 {
+			return nil, fmt.Errorf("core: tenant %s starved (demand exceeds fleet share or quota)", name)
+		}
+		for _, d := range g.ds {
+			workers := make([]string, 0, replicas)
+			seen := make(map[string]bool)
+			for r := 0; r < replicas; r++ {
+				w := fleet.Workers[next%len(fleet.Workers)]
+				next++
+				if !seen[w] {
+					seen[w] = true
+					workers = append(workers, w)
+				}
+			}
+			sort.Strings(workers)
+			out = append(out, PlannedPlacement{
+				Workload: d.Workload.Name,
+				Tenant:   name,
+				Replicas: replicas,
+				Workers:  workers,
+			})
+		}
+	}
+	return out, nil
+}

@@ -78,6 +78,13 @@ func (w *Worker) EnableMetrics(reg *monitor.Registry) error {
 		"lambda service latency", nil); err != nil {
 		return err
 	}
+	// The transport worker pool sheds requests under overload (PR 3);
+	// surface that counter so `lnicctl top` can tell shedding from
+	// silence. Read at scrape time — the pool owns the count.
+	if err := reg.CounterFunc("lnic_worker_pool_drops_total",
+		"requests shed by the transport worker pool", nil, w.ep.Drops); err != nil {
+		return err
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.registry = reg
@@ -109,16 +116,21 @@ func (w *Worker) Install(wl *workloads.Workload) error {
 	w.handlers[wl.ID] = wl.Handle
 	w.names[wl.ID] = wl.Name
 	if w.registry != nil {
+		labels := map[string]string{"workload": wl.Name}
+		if wl.Tenant != "" {
+			// The owning tenant rides along as a label so fleet views
+			// (lnicctl top/slo -tenant) can scope rows per tenant.
+			labels["tenant"] = wl.Tenant
+		}
 		c, err := w.registry.Counter("lnic_worker_requests_total",
-			"requests served per lambda", map[string]string{"workload": wl.Name})
+			"requests served per lambda", labels)
 		if err != nil {
 			return err
 		}
 		w.mRequests[wl.ID] = c
 		h := telemetry.NewHistogram()
 		if err := h.Expose(w.registry, "lnic_worker_workload_latency_seconds",
-			"lambda service latency per workload",
-			map[string]string{"workload": wl.Name}); err != nil {
+			"lambda service latency per workload", labels); err != nil {
 			return err
 		}
 		w.mWlLatency[wl.ID] = h

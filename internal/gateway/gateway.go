@@ -47,6 +47,11 @@ type Gateway struct {
 
 	failovers atomic.Uint64
 	timeouts  atomic.Uint64
+	throttled atomic.Uint64
+
+	// admission is the optional tenant admission snapshot
+	// (admission.go), copy-on-write like routes.
+	admission atomicAdmission
 
 	// instr is the monitoring/tracing snapshot, also copy-on-write so
 	// the forward path reads it with one atomic load.
@@ -75,6 +80,7 @@ type instruments struct {
 	errors    *monitor.Counter
 	failovers *monitor.Counter
 	timeouts  *monitor.Counter
+	throttled *monitor.Counter
 	latency   *telemetry.Histogram
 	tracer    obs.Tracer
 }
@@ -241,6 +247,31 @@ func (g *Gateway) EnableMetrics(reg *monitor.Registry) error {
 	if err != nil {
 		return err
 	}
+	throttled, err := reg.Counter("lnic_gateway_tenant_throttled_total", "requests shed by tenant admission control", nil)
+	if err != nil {
+		return err
+	}
+	// Per-tenant shed series, read straight from the admission
+	// controller at scrape time. Call EnableAdmission before
+	// EnableMetrics so the tenant set is known here.
+	if a := g.admission.Load(); a != nil {
+		for id, name := range a.adm.Quotas() {
+			id := id
+			if err := reg.CounterFunc("lnic_gateway_tenant_shed_total",
+				"requests shed by tenant admission control, per tenant",
+				map[string]string{"tenant": name},
+				func() uint64 { return a.adm.Shed(id) }); err != nil {
+				return err
+			}
+		}
+	}
+	// The gateway's own pool sheds under overload exactly like a
+	// worker's; exposing it separates "gateway saturated" from
+	// "tenant over quota".
+	if err := reg.CounterFunc("lnic_gateway_pool_drops_total",
+		"requests shed by the gateway worker pool", nil, g.ep.Drops); err != nil {
+		return err
+	}
 	if err := reg.GaugeFunc("lnic_gateway_live_workers",
 		"distinct worker addresses across all routes", nil,
 		func() float64 { return float64(g.LiveWorkers()) }); err != nil {
@@ -258,7 +289,7 @@ func (g *Gateway) EnableMetrics(reg *monitor.Registry) error {
 	g.mu.Lock()
 	ins := g.instrumentsCopy()
 	ins.forwarded, ins.unrouted, ins.errors, ins.latency = forwarded, unrouted, upErr, latency
-	ins.failovers, ins.timeouts = failovers, timeouts
+	ins.failovers, ins.timeouts, ins.throttled = failovers, timeouts, throttled
 	g.instr.Store(ins)
 	g.mu.Unlock()
 	return nil
@@ -292,6 +323,11 @@ func (g *Gateway) instrumentsCopy() *instruments {
 // worker in the snapshot before giving up — keeping a lambda available
 // while any replica lives.
 func (g *Gateway) handle(req *transport.Message) ([]byte, error) {
+	// Tenant admission runs before any routing work: an over-quota
+	// request costs the gateway one bucket probe, nothing upstream.
+	if err := g.admit(req.Header.WorkloadID); err != nil {
+		return nil, err
+	}
 	ins := g.instr.Load()
 	var tr *obs.Req
 	if ins != nil && ins.tracer != nil {

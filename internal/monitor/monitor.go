@@ -130,6 +130,7 @@ type metric struct {
 	labels string // pre-rendered {k="v",...} or ""
 	kind   string
 	c      *Counter
+	cf     func() uint64
 	g      *Gauge
 	gf     func() float64
 	h      *Histogram
@@ -214,6 +215,17 @@ func (r *Registry) Gauge(name, help string, labels map[string]string) (*Gauge, e
 	return g, nil
 }
 
+// CounterFunc registers a counter whose value is read by fn at scrape
+// time — for monotonic counts owned elsewhere (the transport worker
+// pool's shed counter) that would otherwise need a push loop. fn must
+// be monotonically non-decreasing and safe for concurrent use.
+func (r *Registry) CounterFunc(name, help string, labels map[string]string, fn func() uint64) error {
+	if fn == nil {
+		return fmt.Errorf("monitor: CounterFunc %s: nil function", name)
+	}
+	return r.register(&metric{name: name, help: help, labels: renderLabels(labels), kind: "counter", cf: fn})
+}
+
 // GaugeFunc registers a gauge whose value is computed by fn at scrape
 // time — for values owned elsewhere (live-worker counts, control-store
 // leader changes) that would otherwise need a push loop. fn is called
@@ -292,7 +304,13 @@ func (r *Registry) Render() string {
 		}
 		switch m.kind {
 		case "counter":
-			fmt.Fprintf(&b, "%s%s %d\n", m.name, m.labels, m.c.Value())
+			v := uint64(0)
+			if m.cf != nil {
+				v = m.cf()
+			} else {
+				v = m.c.Value()
+			}
+			fmt.Fprintf(&b, "%s%s %d\n", m.name, m.labels, v)
 		case "gauge":
 			v := 0.0
 			if m.gf != nil {

@@ -137,10 +137,15 @@ type Program interface {
 // WFQ is λ-NIC's policy from §4.2.1 D1).
 type Dispatch int
 
-// Dispatch policies.
+// Dispatch policies. DispatchTenantWFQ is the multi-tenant variant:
+// hierarchical WFQ with an outer queue across tenants (weighted by
+// tenant class) and an inner per-lambda queue within each tenant, so a
+// tenant flooding many lambdas cannot take more than its weighted
+// share from colocated tenants.
 const (
 	DispatchUniform Dispatch = iota + 1
 	DispatchWFQ
+	DispatchTenantWFQ
 )
 
 // Errors returned by the NIC.
@@ -171,6 +176,14 @@ type Config struct {
 	// ContextSwitchCycles is the per-preemption state save/restore cost
 	// (default 500 cycles).
 	ContextSwitchCycles uint64
+	// TenantOf classifies a lambda ID to its owning tenant ID for
+	// DispatchTenantWFQ (typically tenant.Registry.OwnerID). Nil maps
+	// everything to tenant 0.
+	TenantOf func(lambdaID uint32) uint32
+	// TenantWeights are outer-queue WFQ weights per tenant ID for
+	// DispatchTenantWFQ (typically tenant.Registry.Weights()). Missing
+	// tenants default to weight 1.
+	TenantWeights map[uint32]float64
 }
 
 // Stats aggregates NIC-level counters.
@@ -205,7 +218,12 @@ type NIC struct {
 	free   []int
 	tracks []string // lazily built thread-index -> "islandI/coreC/tT"
 	queue  *wfq.Scheduler
+	hq     *wfq.Hierarchical // DispatchTenantWFQ only
 	fifo   []*pending
+
+	// tenantDone counts completions per tenant ID (DispatchTenantWFQ
+	// isolation experiments read these; nil until first completion).
+	tenantDone map[uint32]uint64
 
 	// hostPath receives requests with no matching lambda ID (§4.1:
 	// "sends the packet to the host OS"). Nil drops them.
@@ -254,6 +272,18 @@ func New(s *sim.Sim, cfg Config) (*NIC, error) {
 	if err != nil {
 		return nil, err
 	}
+	var hq *wfq.Hierarchical
+	if cfg.Dispatch == DispatchTenantWFQ {
+		hq, err = wfq.NewHierarchical(1, 1)
+		if err != nil {
+			return nil, err
+		}
+		for tid, w := range cfg.TenantWeights {
+			if err := hq.SetTenantWeight(tid, w); err != nil {
+				return nil, fmt.Errorf("nicsim: tenant %d: %w", tid, err)
+			}
+		}
+	}
 	threads := cfg.NIC.NPUThreads()
 	free := make([]int, threads)
 	for i := range free {
@@ -265,6 +295,7 @@ func New(s *sim.Sim, cfg Config) (*NIC, error) {
 		cfg:   cfg,
 		free:  free,
 		queue: q,
+		hq:    hq,
 	}
 	n.completeFn = n.complete
 	n.preemptFn = n.preempt
@@ -460,17 +491,30 @@ func (n *NIC) Inject(req *Request, done func(Response, error)) {
 	n.enqueue(p)
 }
 
+// tenantOf classifies a lambda to its tenant (DispatchTenantWFQ).
+func (n *NIC) tenantOf(lambdaID uint32) uint32 {
+	if n.cfg.TenantOf != nil {
+		return n.cfg.TenantOf(lambdaID)
+	}
+	return 0
+}
+
 func (n *NIC) enqueue(p *pending) {
 	p.waitSince = n.sim.Now()
-	if n.cfg.Dispatch == DispatchWFQ {
+	switch n.cfg.Dispatch {
+	case DispatchWFQ, DispatchTenantWFQ:
 		size := uint64(len(p.req.Payload))
 		if size == 0 {
 			size = 64
 		}
 		it := n.getItem()
 		it.Flow, it.Size, it.Payload = p.req.LambdaID, size, p
-		n.queue.Enqueue(it)
-	} else {
+		if n.cfg.Dispatch == DispatchTenantWFQ {
+			n.hq.Enqueue(n.tenantOf(p.req.LambdaID), it)
+		} else {
+			n.queue.Enqueue(it)
+		}
+	default:
 		n.fifo = append(n.fifo, p)
 	}
 	if d := n.queueDepth(); d > n.stats.MaxQueueDepth {
@@ -478,7 +522,13 @@ func (n *NIC) enqueue(p *pending) {
 	}
 }
 
-func (n *NIC) queueDepth() int { return n.queue.Len() + len(n.fifo) }
+func (n *NIC) queueDepth() int {
+	depth := n.queue.Len() + len(n.fifo)
+	if n.hq != nil {
+		depth += n.hq.Len()
+	}
+	return depth
+}
 
 // start runs a request on an occupied thread. In the default
 // run-to-completion mode (D1) the whole service time is served in one
@@ -554,13 +604,24 @@ func (n *NIC) complete(arg any) {
 		return
 	}
 	done, resp, err := p.done, p.resp, p.err
+	tenant := n.tenantOf(p.req.LambdaID)
 	n.putPending(p)
 	n.stats.Completed++
+	if n.cfg.Dispatch == DispatchTenantWFQ {
+		if n.tenantDone == nil {
+			n.tenantDone = make(map[uint32]uint64)
+		}
+		n.tenantDone[tenant]++
+	}
 	if done != nil {
 		done(resp, err)
 	}
 	n.finish(thread)
 }
+
+// TenantCompleted returns how many requests of one tenant have
+// completed (DispatchTenantWFQ only; always 0 otherwise).
+func (n *NIC) TenantCompleted(tenantID uint32) uint64 { return n.tenantDone[tenantID] }
 
 // preempt fires when a preemptive time slice expires: the request
 // requeues behind other work (ablation mode only).
@@ -620,8 +681,13 @@ func (n *NIC) finish(thread int) {
 }
 
 func (n *NIC) dequeue() *pending {
-	if n.cfg.Dispatch == DispatchWFQ {
-		it := n.queue.Dequeue()
+	if n.cfg.Dispatch == DispatchWFQ || n.cfg.Dispatch == DispatchTenantWFQ {
+		var it *wfq.Item
+		if n.cfg.Dispatch == DispatchTenantWFQ {
+			it = n.hq.Dequeue()
+		} else {
+			it = n.queue.Dequeue()
+		}
 		if it == nil {
 			return nil
 		}

@@ -1,0 +1,92 @@
+package nicsim
+
+import (
+	"math"
+
+	"lambdanic/internal/cluster"
+	"lambdanic/internal/drf"
+	"lambdanic/internal/tenant"
+)
+
+// DRF resource keys for NIC capacity: the dimensions a tenant quota
+// can cap. Placement (internal/core) allocates replicas over these
+// vectors keyed by tenant, so isolation is enforced before a single
+// request hits the wire.
+const (
+	ResThreads = "threads" // NPU hardware threads
+	ResInstr   = "instr"   // per-core instruction-store bytes
+	ResIMEM    = "imem"    // on-chip internal memory bytes
+	ResEMEM    = "emem"    // external memory bytes
+	ResMemMB   = "memMB"   // host-side memory (fallback replicas)
+)
+
+// FleetResources builds the DRF capacity vector for a rack of `nics`
+// identical NICs. Zero-valued hardware dimensions are omitted — DRF
+// capacities must be positive, and demands never naming a key treat
+// it as zero (the drf zero-demand-key semantics).
+func FleetResources(cfg cluster.NICConfig, nics int) drf.Resources {
+	if nics <= 0 {
+		nics = 1
+	}
+	cap := drf.Resources{}
+	if t := cfg.NPUThreads(); t > 0 {
+		cap[ResThreads] = float64(t * nics)
+	}
+	if cfg.InstrStorePerCore > 0 {
+		cap[ResInstr] = float64(cfg.InstrStorePerCore * nics)
+	}
+	if cfg.IMEMBytes > 0 {
+		cap[ResIMEM] = float64(cfg.IMEMBytes * nics)
+	}
+	if cfg.EMEMBytes > 0 {
+		cap[ResEMEM] = float64(cfg.EMEMBytes * nics)
+	}
+	return cap
+}
+
+// QuotaVector converts a tenant quota to the DRF resource caps it
+// names; zero quota fields (unlimited) are omitted.
+func QuotaVector(q tenant.Quota) drf.Resources {
+	out := drf.Resources{}
+	if q.NPUThreads > 0 {
+		out[ResThreads] = q.NPUThreads
+	}
+	if q.InstrStoreBytes > 0 {
+		out[ResInstr] = float64(q.InstrStoreBytes)
+	}
+	if q.IMEMBytes > 0 {
+		out[ResIMEM] = float64(q.IMEMBytes)
+	}
+	if q.EMEMBytes > 0 {
+		out[ResEMEM] = float64(q.EMEMBytes)
+	}
+	if q.MemoryMB > 0 {
+		out[ResMemMB] = q.MemoryMB
+	}
+	return out
+}
+
+// MaxTasks computes how many replicas of per-task demand fit inside a
+// tenant's quota vector: floor over each resource the quota names of
+// quota/demand. Resources the quota does not name are unlimited; a
+// quota capping a resource the demand does not consume does not bind.
+// Returns 0 for "unlimited" (no quota dimension binds) so the result
+// plugs straight into drf.SetLimit.
+func MaxTasks(quota, demand drf.Resources) int {
+	limit := math.MaxInt
+	bound := false
+	for k, q := range quota {
+		d, ok := demand[k]
+		if !ok || d <= 0 {
+			continue
+		}
+		bound = true
+		if n := int(q / d); n < limit {
+			limit = n
+		}
+	}
+	if !bound {
+		return 0
+	}
+	return limit
+}

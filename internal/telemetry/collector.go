@@ -129,10 +129,16 @@ func (c *Collector) scrapeOne(ctx context.Context, t Target) TargetScrape {
 // FleetRow is one (nic, workload) line of the fleet view, computed
 // from the delta between two snapshots.
 type FleetRow struct {
-	Nic      string  `json:"nic"`
-	Workload string  `json:"workload"` // "" for the node-wide row
+	Nic      string `json:"nic"`
+	Workload string `json:"workload"` // "" for the node-wide row
+	// Tenant is the owning tenant when the scraped series carries a
+	// tenant label ("" otherwise).
+	Tenant   string  `json:"tenant,omitempty"`
 	Requests uint64  `json:"requests"`
 	Errors   uint64  `json:"errors"`
+	// Shed counts requests dropped before execution: worker/gateway
+	// pool drops on node rows, admission throttles on tenant rows.
+	Shed     uint64  `json:"shed"`
 	RatePerS float64 `json:"rate_per_sec"`
 	P50      float64 `json:"p50_seconds"`
 	P99      float64 `json:"p99_seconds"`
@@ -153,6 +159,18 @@ var errorFamilies = []string{
 	"lnic_worker_errors_total",
 	"lnic_gateway_upstream_errors_total",
 }
+
+// shedFamilies are the per-node pre-execution drop counters summed into
+// each node-wide row's shed column.
+var shedFamilies = []string{
+	"lnic_worker_pool_drops_total",
+	"lnic_gateway_pool_drops_total",
+	"lnic_gateway_tenant_throttled_total",
+}
+
+// tenantShedFamily is the gateway's per-tenant admission shed counter;
+// each tenant-labeled series becomes an "(admission)" row.
+const tenantShedFamily = "lnic_gateway_tenant_shed_total"
 
 // FleetRows computes the per-(nic, workload) view from the delta
 // between two snapshots taken `elapsed` apart. Targets that failed in
@@ -178,19 +196,26 @@ func FleetRows(prev, cur FleetSnapshot, elapsed time.Duration) []FleetRow {
 				prevHists[h.Name+"|"+labelKey(h.Labels)] = h
 			}
 		}
-		var nodeErrs uint64
-		for _, fam := range errorFamilies {
-			curV, ok := ts.Scrape.Value(fam, nil)
+		counterDelta := func(fam string, labels map[string]string) uint64 {
+			curV, ok := ts.Scrape.Value(fam, labels)
 			if !ok {
-				continue
+				return 0
 			}
 			prevV := 0.0
 			if hasPrev {
-				prevV, _ = prevTS.Scrape.Value(fam, nil)
+				prevV, _ = prevTS.Scrape.Value(fam, labels)
 			}
 			if curV > prevV {
-				nodeErrs += uint64(curV - prevV)
+				return uint64(curV - prevV)
 			}
+			return 0
+		}
+		var nodeErrs, nodeShed uint64
+		for _, fam := range errorFamilies {
+			nodeErrs += counterDelta(fam, nil)
+		}
+		for _, fam := range shedFamilies {
+			nodeShed += counterDelta(fam, nil)
 		}
 		for _, h := range ts.Scrape.Histograms() {
 			if !latencyFamilies[h.Name] {
@@ -203,17 +228,32 @@ func FleetRows(prev, cur FleetSnapshot, elapsed time.Duration) []FleetRow {
 			row := FleetRow{
 				Nic:      ts.Nic,
 				Workload: h.Labels["workload"],
+				Tenant:   h.Labels["tenant"],
 				Requests: delta.Count,
 				P50:      delta.Quantile(0.50),
 				P99:      delta.Quantile(0.99),
 			}
 			if row.Workload == "" {
 				row.Errors = nodeErrs
+				row.Shed = nodeShed
 			}
 			if elapsed > 0 {
 				row.RatePerS = float64(delta.Count) / elapsed.Seconds()
 			}
 			rows = append(rows, row)
+		}
+		// Per-tenant admission sheds become their own rows so a
+		// tenant-filtered view still shows what the gateway dropped.
+		for _, sm := range ts.Scrape.Samples {
+			if sm.Name != tenantShedFamily || sm.Labels["tenant"] == "" {
+				continue
+			}
+			rows = append(rows, FleetRow{
+				Nic:      ts.Nic,
+				Workload: "(admission)",
+				Tenant:   sm.Labels["tenant"],
+				Shed:     counterDelta(tenantShedFamily, sm.Labels),
+			})
 		}
 	}
 	sort.Slice(rows, func(i, j int) bool {
@@ -225,12 +265,27 @@ func FleetRows(prev, cur FleetSnapshot, elapsed time.Duration) []FleetRow {
 	return rows
 }
 
+// FilterTenant keeps the rows owned by one tenant (plus scrape-failure
+// rows, which must never be hidden by a filter).
+func FilterTenant(rows []FleetRow, tenantName string) []FleetRow {
+	if tenantName == "" {
+		return rows
+	}
+	out := make([]FleetRow, 0, len(rows))
+	for _, r := range rows {
+		if r.Tenant == tenantName || r.Workload == "(scrape failed)" {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
 // RenderTop renders the fleet rows as the lnicctl top table.
 func RenderTop(rows []FleetRow, elapsed time.Duration) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "fleet view over %s\n", elapsed.Round(time.Millisecond))
-	fmt.Fprintf(&b, "%-10s %-18s %9s %8s %10s %10s %10s\n",
-		"NIC", "WORKLOAD", "REQS", "ERRS", "REQ/S", "P50", "P99")
+	fmt.Fprintf(&b, "%-10s %-18s %-10s %9s %8s %8s %10s %10s %10s\n",
+		"NIC", "WORKLOAD", "TENANT", "REQS", "ERRS", "SHED", "REQ/S", "P50", "P99")
 	for _, r := range rows {
 		if r.Workload == "(scrape failed)" {
 			fmt.Fprintf(&b, "%-10s %-18s %s\n", r.Nic, "-", "scrape failed")
@@ -240,8 +295,12 @@ func RenderTop(rows []FleetRow, elapsed time.Duration) string {
 		if wl == "" {
 			wl = "(node)"
 		}
-		fmt.Fprintf(&b, "%-10s %-18s %9d %8d %10.1f %10s %10s\n",
-			r.Nic, wl, r.Requests, r.Errors, r.RatePerS,
+		ten := r.Tenant
+		if ten == "" {
+			ten = "-"
+		}
+		fmt.Fprintf(&b, "%-10s %-18s %-10s %9d %8d %8d %10.1f %10s %10s\n",
+			r.Nic, wl, ten, r.Requests, r.Errors, r.Shed, r.RatePerS,
 			fmtSeconds(r.P50), fmtSeconds(r.P99))
 	}
 	return b.String()
@@ -307,6 +366,79 @@ func FleetSLO(prev, cur FleetSnapshot, objectives []Objective) ([]ObjectiveStatu
 		}
 	}
 	total := reqs + errs
+	out := make([]ObjectiveStatus, 0, len(objectives))
+	for _, o := range objectives {
+		if err := o.validate(); err != nil {
+			return nil, err
+		}
+		st := ObjectiveStatus{Objective: o, GoodFraction: 1.0}
+		switch o.Kind {
+		case ObjectiveAvailability:
+			if total > 0 {
+				st.GoodFraction = float64(reqs) / float64(total)
+			}
+		case ObjectiveLatency:
+			st.GoodFraction = merged.FracAtOrBelow(o.Threshold.Seconds())
+		}
+		st.BurnRate = (1 - st.GoodFraction) / (1 - o.Target)
+		st.Met = st.GoodFraction >= o.Target
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+// FleetSLOTenant grades one tenant's traffic: latency from the merged
+// tenant-labeled per-workload histograms, availability counting the
+// gateway's admission sheds for that tenant as the bad events — the
+// question it answers is "did this tenant's admitted traffic meet its
+// objectives, and how much was turned away".
+func FleetSLOTenant(prev, cur FleetSnapshot, objectives []Objective, tenantName string) ([]ObjectiveStatus, error) {
+	if tenantName == "" {
+		return FleetSLO(prev, cur, objectives)
+	}
+	var reqs, shed uint64
+	var merged ScrapedHistogram
+	prevByNic := map[string]TargetScrape{}
+	for _, ts := range prev.Scrapes {
+		prevByNic[ts.Nic] = ts
+	}
+	for _, ts := range cur.Scrapes {
+		if ts.Err != nil {
+			continue
+		}
+		prevTS, hasPrev := prevByNic[ts.Nic]
+		if hasPrev && prevTS.Err != nil {
+			hasPrev = false
+		}
+		prevHists := map[string]ScrapedHistogram{}
+		if hasPrev {
+			for _, h := range prevTS.Scrape.Histograms() {
+				prevHists[h.Name+"|"+labelKey(h.Labels)] = h
+			}
+		}
+		for _, h := range ts.Scrape.Histograms() {
+			if !latencyFamilies[h.Name] || h.Labels["tenant"] != tenantName {
+				continue
+			}
+			delta := h
+			if prevH, ok := prevHists[h.Name+"|"+labelKey(h.Labels)]; ok {
+				delta = h.Sub(prevH)
+			}
+			reqs += delta.Count
+			merged.Merge(delta)
+		}
+		labels := map[string]string{"tenant": tenantName}
+		if curV, ok := ts.Scrape.Value(tenantShedFamily, labels); ok {
+			prevV := 0.0
+			if hasPrev {
+				prevV, _ = prevTS.Scrape.Value(tenantShedFamily, labels)
+			}
+			if curV > prevV {
+				shed += uint64(curV - prevV)
+			}
+		}
+	}
+	total := reqs + shed
 	out := make([]ObjectiveStatus, 0, len(objectives))
 	for _, o := range objectives {
 		if err := o.validate(); err != nil {

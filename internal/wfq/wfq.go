@@ -64,6 +64,15 @@ func (s *Scheduler) SetWeight(flow uint32, w float64) error {
 	return nil
 }
 
+// RemoveFlow forgets a flow's weight and finish-time state so the
+// maps don't leak as tenants or lambdas churn. Queued items of the
+// flow are unaffected; if the flow is re-added later it restarts from
+// the current virtual time like a brand-new flow.
+func (s *Scheduler) RemoveFlow(flow uint32) {
+	delete(s.weights, flow)
+	delete(s.lastFinish, flow)
+}
+
 func (s *Scheduler) weight(flow uint32) float64 {
 	if w, ok := s.weights[flow]; ok {
 		return w

@@ -1,0 +1,61 @@
+package workloads
+
+import (
+	"bytes"
+	"testing"
+
+	"lambdanic/internal/nicsim"
+)
+
+func TestBatchSweeperNICMatchesNative(t *testing.T) {
+	bw := BatchSweeperVariant("batch_sweep", BatchSweepID, 50)
+	exe := compile(t, []*Workload{bw})
+	for i := 0; i < 3; i++ {
+		payload := bw.MakeRequest(i*37 + 1)
+		nic := execNIC(t, exe, BatchSweepID, payload)
+		native, err := bw.Handle(payload, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(nic, native) {
+			t.Errorf("request %d: NIC %x != native %x", i, nic, native)
+		}
+		if len(nic) != 8 {
+			t.Errorf("request %d: response length %d, want 8", i, len(nic))
+		}
+	}
+}
+
+// The sweep loop must charge one EMEM access per iteration — that is
+// what makes a batch request expensive on the NIC.
+func TestBatchSweeperChargesEMEM(t *testing.T) {
+	const sweeps = 200
+	bw := BatchSweeperVariant("batch_sweep", BatchSweepID, sweeps)
+	exe := compile(t, []*Workload{bw})
+	req := &nicsim.Request{LambdaID: BatchSweepID, Payload: bw.MakeRequest(0), Packets: 1}
+	if _, err := exe.Execute(req); err != nil { // warm the runtime lib
+		t.Fatal(err)
+	}
+	resp, err := exe.Execute(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Stats.Accesses(nicsim.MemEMEM); got < sweeps {
+		t.Errorf("EMEM accesses = %d, want >= %d (one per sweep)", got, sweeps)
+	}
+	// The wrap index stays in bounds for long scans past the block end.
+	long := BatchSweeperVariant("batch_long", BatchSweepID+10, 2000)
+	exeLong := compile(t, []*Workload{long})
+	reqLong := &nicsim.Request{LambdaID: BatchSweepID + 10, Payload: long.MakeRequest(9), Packets: 1}
+	if _, err := exeLong.Execute(reqLong); err != nil {
+		t.Fatalf("2000-sweep scan faulted: %v", err)
+	}
+	nic := execNIC(t, exeLong, BatchSweepID+10, long.MakeRequest(9))
+	native, err := long.Handle(long.MakeRequest(9), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(nic, native) {
+		t.Errorf("wrapped scan: NIC %x != native %x", nic, native)
+	}
+}

@@ -37,6 +37,7 @@ const (
 	KVGetClientID      uint32 = 2
 	KVSetClientID      uint32 = 3
 	ImageTransformerID uint32 = 4
+	BatchSweepID       uint32 = 5
 )
 
 // MTU mirrors transport.DefaultMTU for packet-count estimation without
@@ -54,6 +55,10 @@ type Deps struct {
 type Workload struct {
 	Name string
 	ID   uint32
+	// Tenant names the owning tenant ("" = the default tenant). Set by
+	// tenant-aware registration (core.Manager.RegisterFor); it rides
+	// into worker metrics as a label so fleet views can scope by owner.
+	Tenant string
 	// Spec is the Match+Lambda form for the NIC backend.
 	Spec *matchlambda.LambdaSpec
 	// Profile is the CPU-side service demand for the baseline
