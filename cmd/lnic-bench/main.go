@@ -56,6 +56,16 @@
 // through both, writing ns/op and allocs/op per engine to -bench-out
 // (default BENCH_lambda.json).
 //
+// The rdmabench experiment (not part of "all") measures the one-sided
+// RDMA fast path in virtual time: KV GETs served by one-sided reads of
+// the EMEM-resident table versus the lambda-invocation path, the
+// throughput-versus-window scalability curve, and doorbell-batched
+// large transfers versus the per-fragment path. The report goes to
+// -bench-out (default BENCH_rdma.json); with -bench-guard the run
+// fails if any row regressed more than 20% against the committed
+// baseline. Virtual-clock rates are machine-independent, so the guard
+// is meaningful on any host.
+//
 // The simbench experiment (not part of "all") measures the simulation
 // kernel itself: single-thread events/sec for the ladder queue versus
 // the binary heap (with and without event pooling), timeout-churn
@@ -94,7 +104,7 @@ func run(args []string) error {
 	short := fs.Bool("short", false, "shrink the chaos experiment to a smoke run")
 	seed := fs.Int64("seed", 42, "simulation seed")
 	experiment := fs.String("experiment", "all",
-		"which experiment to run: all, table1, fig6, fig7, fig8, table2, table3, table4, fig9, optimizer, scaleout, loadcurve, nicclasses, ablations, breakdown, chaos, tenants, rpcbench, lambdabench, simbench")
+		"which experiment to run: all, table1, fig6, fig7, fig8, table2, table3, table4, fig9, optimizer, scaleout, loadcurve, nicclasses, ablations, breakdown, chaos, tenants, rpcbench, lambdabench, simbench, rdmabench")
 	kernel := fs.String("kernel", "ladder",
 		"simulation event-queue kernel: ladder or heap (bit-identical results)")
 	parallel := fs.Bool("parallel", false,
@@ -102,9 +112,9 @@ func run(args []string) error {
 	traceOut := fs.String("trace-out", "",
 		"write the breakdown experiment's Chrome trace-event JSON to this file")
 	benchOut := fs.String("bench-out", "",
-		"write the benchmark experiment's JSON report to this file (default BENCH_rpc.json for rpcbench, BENCH_lambda.json for lambdabench, BENCH_sim.json for simbench)")
+		"write the benchmark experiment's JSON report to this file (default BENCH_rpc.json for rpcbench, BENCH_lambda.json for lambdabench, BENCH_sim.json for simbench, BENCH_rdma.json for rdmabench)")
 	benchGuard := fs.String("bench-guard", "",
-		"fail if the simbench report regresses >20% against this baseline JSON")
+		"fail if the simbench/rdmabench report regresses >20% against this baseline JSON")
 	sloOut := fs.String("slo-out", "",
 		"write the chaos experiment's SLO error-budget report JSON to this file (default SLO_chaos.json)")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -362,6 +372,33 @@ func run(args []string) error {
 		out(experiments.RenderLambdaBench(rep))
 		if err := writeBench(*benchOut, "BENCH_lambda.json", rep); err != nil {
 			return err
+		}
+	}
+	if want == "rdmabench" {
+		rbCfg := experiments.DefaultRdmaBench()
+		if *short || *quick {
+			rbCfg = experiments.QuickRdmaBench()
+		}
+		rep, err := experiments.RdmaBench(cfg, rbCfg)
+		if err != nil {
+			return err
+		}
+		out(experiments.RenderRdmaBench(rep))
+		if err := writeBench(*benchOut, "BENCH_rdma.json", rep); err != nil {
+			return err
+		}
+		if *benchGuard != "" {
+			baseline, err := benchio.ReadJSON(*benchGuard)
+			if err != nil {
+				return err
+			}
+			// All rates are virtual-clock and thus machine-independent;
+			// every kvget and large row is guarded, normalized to the
+			// single-client lambda baseline.
+			if err := benchio.Guard(baseline, rep, "kvget/lambda/c1", 0.20, "kvget/", "large/"); err != nil {
+				return err
+			}
+			fmt.Printf("lnic-bench: rdmabench within 20%% of baseline %s\n", *benchGuard)
 		}
 	}
 	if want == "simbench" {

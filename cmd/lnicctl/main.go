@@ -22,9 +22,10 @@
 //	top      -targets m2=host:port,m3=host:port [-interval D] [-tenant T]
 //	         scrape every daemon's monitoring endpoint twice, D apart,
 //	         and print per-(nic, workload, tenant) request rates,
-//	         errors, sheds, and latency percentiles computed from the
-//	         deltas; -tenant narrows the view to one tenant's rows
-//	         including its gateway admission sheds
+//	         errors, sheds, one-sided fast-path GET rates (1SIDED/S,
+//	         from lnic_worker_bypass_total), and latency percentiles
+//	         computed from the deltas; -tenant narrows the view to one
+//	         tenant's rows including its gateway admission sheds
 //	slo      -targets ... [-interval D] [-availability T] [-p99 D]
 //	         [-p99-target T] [-tenant T]
 //	         scrape the fleet twice and grade the interval against

@@ -73,12 +73,19 @@ func run(args []string) error {
 		fmt.Printf("lnicd: fault rules installed: %+v\n", rules)
 	}
 
+	var kvTable *kvstore.Table
 	if *serveMemcached != "" {
 		mcConn, err := net.ListenPacket("udp", *serveMemcached)
 		if err != nil {
 			return fmt.Errorf("memcached listen: %w", err)
 		}
-		srv := kvstore.NewServer(kvstore.NewStore(), mcConn)
+		// The store mirrors into an EMEM-style table so the colocated
+		// worker serves GETs over the one-sided fast path (counted in
+		// lnic_worker_bypass_total / lnicctl top's 1SIDED/S column).
+		store := kvstore.NewStore()
+		kvTable = kvstore.NewTable(kvstore.DefaultSlots)
+		store.SetMirror(kvTable)
+		srv := kvstore.NewServer(store, mcConn)
 		defer srv.Close()
 		fmt.Printf("lnicd: memcached substitute on %v\n", srv.Addr())
 		if *memcached == "" {
@@ -86,7 +93,7 @@ func run(args []string) error {
 		}
 	}
 
-	deps := &workloads.Deps{}
+	deps := &workloads.Deps{KVTable: kvTable}
 	if *memcached != "" {
 		addr, err := net.ResolveUDPAddr("udp", *memcached)
 		if err != nil {

@@ -104,12 +104,18 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 	}
 	d.manager = manager
 
-	// memcached substitute on the master node (§6.1.2).
+	// memcached substitute on the master node (§6.1.2), with a
+	// write-through EMEM-table mirror: the table is the RDMA-readable
+	// form of the store, and each worker probes it on the one-sided
+	// GET fast path instead of invoking the kv lambda.
 	mcConn, err := n.Listen("m1:memcached")
 	if err != nil {
 		return fail(err)
 	}
-	d.mem = kvstore.NewServer(kvstore.NewStore(), wrap(mcConn, "m1:memcached"))
+	store := kvstore.NewStore()
+	kvTable := kvstore.NewTable(kvstore.DefaultSlots)
+	store.SetMirror(kvTable)
+	d.mem = kvstore.NewServer(store, wrap(mcConn, "m1:memcached"))
 	d.closers = append(d.closers, d.mem.Close)
 
 	// Worker nodes M2..M(1+n), each with its own memcached client.
@@ -123,7 +129,10 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		if err != nil {
 			return fail(err)
 		}
-		deps := &workloads.Deps{KV: kvstore.NewClient(wrap(kvConn, name+":kv"), transport.MemAddr("m1:memcached"))}
+		deps := &workloads.Deps{
+			KV:      kvstore.NewClient(wrap(kvConn, name+":kv"), transport.MemAddr("m1:memcached")),
+			KVTable: kvTable,
+		}
 		w := core.NewWorker(wrap(wConn, name), deps)
 		if i == 0 {
 			// One worker feeds the monitoring engine (per-node scrape in

@@ -21,6 +21,7 @@ import (
 
 	"lambdanic/internal/cluster"
 	"lambdanic/internal/cpusim"
+	"lambdanic/internal/kvstore"
 	"lambdanic/internal/mcc"
 	"lambdanic/internal/nicsim"
 	"lambdanic/internal/obs"
@@ -111,6 +112,16 @@ type LambdaNIC struct {
 	// NIC memory accounting.
 	inflight, maxInflight int
 	maxPayload            int
+
+	// One-sided KV bypass state (EnableKVBypass): the EMEM-resident
+	// table registered as an RDMA region, the QP its reads go through,
+	// and hit/miss counters.
+	kvBypassID  uint32
+	kvTable     *kvstore.Table
+	kvRegion    *rdma.Region
+	kvQP        *rdma.QP
+	kvHits      uint64
+	kvFallbacks uint64
 }
 
 // NewLambdaNIC constructs the λ-NIC backend. dispatch selects the NIC
@@ -177,6 +188,33 @@ func (b *LambdaNIC) Invoke(id uint32, payload []byte, done func(Result)) {
 	b.InvokeTraced(id, payload, nil, done)
 }
 
+// EnableKVBypass arms the one-sided KV GET fast path for the given
+// workload: the table (the EMEM-resident mirror of the KV store) is
+// registered as an RDMA region, and GET requests for that workload are
+// served by one-sided reads of the key's probe window — batched under
+// a single doorbell — with a client-side scan. window bounds the QP's
+// outstanding reads (0 = unlimited); it is the knob behind the
+// SMART-style throughput-vs-window curve. Misses (and every non-GET)
+// fall back to the lambda-invocation path.
+func (b *LambdaNIC) EnableKVBypass(id uint32, table *kvstore.Table, window int) error {
+	region, err := b.rdma.RegisterBuffer("kv-table", table.Bytes())
+	if err != nil {
+		return fmt.Errorf("lambda-nic kv bypass: %w", err)
+	}
+	b.kvBypassID = id
+	b.kvTable = table
+	b.kvRegion = region
+	b.kvQP = b.rdma.NewQP(window)
+	return nil
+}
+
+// BypassStats reports one-sided GETs served without a lambda (hits)
+// and bypass attempts that fell back to the lambda path (fallbacks).
+func (b *LambdaNIC) BypassStats() (hits, fallbacks uint64) { return b.kvHits, b.kvFallbacks }
+
+// RDMA exposes the backend's RDMA engine (counters, Describe).
+func (b *LambdaNIC) RDMA() *rdma.Engine { return b.rdma }
+
 // InvokeTraced implements Traced: like Invoke, additionally recording
 // the transport hops (wire trips, RDMA commit) into tr and threading tr
 // through the NIC so queue wait and execution are attributed too.
@@ -188,6 +226,68 @@ func (b *LambdaNIC) InvokeTraced(id uint32, payload []byte, tr *obs.Req, done fu
 		done(Result{Err: ErrNotDeployed})
 		return
 	}
+	// One-sided fast path: a KV GET is served by RDMA reads of the
+	// table's probe window, never dispatching an NPU thread. Bypass
+	// requests stage no payload in NIC memory, so they skip the
+	// inflight working-set accounting.
+	if b.kvTable != nil && id == b.kvBypassID {
+		if key, isGet := workloads.KVRequestKey(payload); isGet {
+			b.invokeKVBypass(key, payload, tr, done)
+			return
+		}
+	}
+	b.invokeLambda(id, payload, tr, done)
+}
+
+// invokeKVBypass serves one GET over the one-sided path: the key's
+// probe window (two ranges when it wraps) is fetched by RDMA reads
+// flushed under one doorbell, then scanned client-side. A miss falls
+// back to the lambda path — the read round trip was the price of
+// optimism.
+func (b *LambdaNIC) invokeKVBypass(key string, payload []byte, tr *obs.Req, done func(Result)) {
+	start := b.sim.Now()
+	aOff, aLen, bOff, bLen := b.kvTable.ProbeWindow(key)
+	window := make([]byte, aLen+bLen)
+	remaining := 1
+	if bLen > 0 {
+		remaining++
+	}
+	complete := func() {
+		remaining--
+		if remaining > 0 {
+			return
+		}
+		if tr != nil {
+			tr.AddSpan(obs.StageTransport, "rdma", "one-sided-read", start, b.sim.Now())
+		}
+		if v, ok := kvstore.Lookup(window, key); ok {
+			b.kvHits++
+			done(Result{Payload: append([]byte(nil), v...)})
+			return
+		}
+		b.kvFallbacks++
+		b.invokeLambda(b.kvBypassID, payload, tr, done)
+	}
+	b.kvQP.PostRead(b.kvRegion.Key(), aOff, aLen, func(data []byte, err error) {
+		if err == nil {
+			copy(window[:aLen], data)
+		}
+		complete()
+	})
+	if bLen > 0 {
+		b.kvQP.PostRead(b.kvRegion.Key(), bOff, bLen, func(data []byte, err error) {
+			if err == nil {
+				copy(window[aLen:], data)
+			}
+			complete()
+		})
+	}
+	b.kvQP.RingDoorbell()
+}
+
+// invokeLambda is the lambda-invocation path shared by InvokeTraced
+// and the bypass fallback.
+func (b *LambdaNIC) invokeLambda(id uint32, payload []byte, tr *obs.Req, done func(Result)) {
 	b.inflight++
 	if b.inflight > b.maxInflight {
 		b.maxInflight = b.inflight

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"lambdanic/internal/cluster"
+	"lambdanic/internal/kvstore"
 	"lambdanic/internal/mcc"
 	"lambdanic/internal/nicsim"
 	"lambdanic/internal/sim"
@@ -126,17 +127,16 @@ func TestLambdaNICMultiPacketUsesRDMA(t *testing.T) {
 	if err := s.RunUntilIdle(); err != nil {
 		t.Fatal(err)
 	}
-	writes, bytes, _ := b.rdma.Stats()
-	if writes == 0 || bytes == 0 {
-		t.Errorf("multi-packet request bypassed RDMA: writes=%d bytes=%d", writes, bytes)
+	c := b.rdma.Counters()
+	if c.Writes == 0 || c.BytesWritten == 0 {
+		t.Errorf("multi-packet request bypassed RDMA: writes=%d bytes=%d", c.Writes, c.BytesWritten)
 	}
 	// A single-packet request must not touch the RDMA engine.
 	b.Invoke(workloads.WebServerID, workloads.WebServer().MakeRequest(0), nil)
 	if err := s.RunUntilIdle(); err != nil {
 		t.Fatal(err)
 	}
-	writes2, _, _ := b.rdma.Stats()
-	if writes2 != writes {
+	if c2 := b.rdma.Counters(); c2.Writes != c.Writes {
 		t.Error("single-packet request used RDMA")
 	}
 }
@@ -312,5 +312,75 @@ func TestFirmwareEngineCycleParity(t *testing.T) {
 		if got := compiled[id]; got != want {
 			t.Errorf("workload %d: compiled latency %v != interpreter latency %v (ExecStats diverged)", id, got, want)
 		}
+	}
+}
+
+// TestLambdaNICKVBypass exercises the one-sided GET fast path: keys
+// mirrored into the EMEM table are served by RDMA reads (no NPU
+// dispatch), absent keys fall back to the lambda path, and the bypass
+// is faster than the invocation it replaces.
+func TestLambdaNICKVBypass(t *testing.T) {
+	s := sim.New(1)
+	b := newNICBackend(t, s)
+	table := kvstore.NewTable(1024)
+	if !table.Set("user:0005", []byte("value-5")) {
+		t.Fatal("table.Set failed")
+	}
+	warm(t, s, b)
+	if err := b.EnableKVBypass(workloads.KVGetClientID, table, 8); err != nil {
+		t.Fatal(err)
+	}
+
+	get := workloads.KVGetClient()
+	var hitPayload []byte
+	hitStart := s.Now()
+	var hitElapsed sim.Time
+	b.Invoke(get.ID, get.MakeRequest(5), func(r Result) {
+		if r.Err != nil {
+			t.Errorf("bypass GET: %v", r.Err)
+		}
+		hitPayload = r.Payload
+		hitElapsed = s.Now() - hitStart
+	})
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if string(hitPayload) != "value-5" {
+		t.Errorf("bypass GET = %q, want value-5", hitPayload)
+	}
+	if hits, fb := b.BypassStats(); hits != 1 || fb != 0 {
+		t.Errorf("bypass stats = %d/%d, want 1 hit, 0 fallbacks", hits, fb)
+	}
+	if c := b.RDMA().Counters(); c.Reads == 0 {
+		t.Error("bypass hit issued no RDMA reads")
+	}
+
+	// A key absent from the table falls back to the lambda path.
+	fbStart := s.Now()
+	var fbElapsed sim.Time
+	b.Invoke(get.ID, get.MakeRequest(6), func(r Result) {
+		if r.Err != nil {
+			t.Errorf("fallback GET: %v", r.Err)
+		}
+		fbElapsed = s.Now() - fbStart
+	})
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if hits, fb := b.BypassStats(); hits != 1 || fb != 1 {
+		t.Errorf("bypass stats = %d/%d, want 1 hit, 1 fallback", hits, fb)
+	}
+	if hitElapsed >= fbElapsed {
+		t.Errorf("bypass hit (%v) not faster than lambda fallback (%v)", hitElapsed, fbElapsed)
+	}
+
+	// SETs never take the bypass.
+	set := workloads.KVSetClient()
+	b.Invoke(set.ID, set.MakeRequest(5), nil)
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if hits, fb := b.BypassStats(); hits != 1 || fb != 1 {
+		t.Errorf("bypass stats after SET = %d/%d, want unchanged", hits, fb)
 	}
 }

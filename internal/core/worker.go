@@ -28,11 +28,13 @@ type Worker struct {
 
 	mu       sync.RWMutex
 	handlers map[uint32]func(payload []byte, deps *workloads.Deps) ([]byte, error)
+	bypasses map[uint32]func(payload []byte, deps *workloads.Deps) ([]byte, bool)
 	names    map[uint32]string
 
 	// Optional monitoring-engine instrumentation (§6.1.1).
 	registry   *monitor.Registry
 	mRequests  map[uint32]*monitor.Counter
+	mBypass    map[uint32]*monitor.Counter
 	mWlLatency map[uint32]*telemetry.Histogram
 	mErrors    *monitor.Counter
 	mLatency   *telemetry.Histogram
@@ -47,6 +49,7 @@ func NewWorker(conn net.PacketConn, deps *workloads.Deps) *Worker {
 	w := &Worker{
 		deps:     deps,
 		handlers: make(map[uint32]func([]byte, *workloads.Deps) ([]byte, error)),
+		bypasses: make(map[uint32]func([]byte, *workloads.Deps) ([]byte, bool)),
 		names:    make(map[uint32]string),
 	}
 	w.ep = transport.NewEndpoint(conn, w.handle)
@@ -89,6 +92,7 @@ func (w *Worker) EnableMetrics(reg *monitor.Registry) error {
 	defer w.mu.Unlock()
 	w.registry = reg
 	w.mRequests = make(map[uint32]*monitor.Counter)
+	w.mBypass = make(map[uint32]*monitor.Counter)
 	w.mWlLatency = make(map[uint32]*telemetry.Histogram)
 	w.mErrors = errs
 	w.mLatency = latency
@@ -114,6 +118,9 @@ func (w *Worker) Install(wl *workloads.Workload) error {
 		return fmt.Errorf("%w: id %d", ErrDuplicateWorkload, wl.ID)
 	}
 	w.handlers[wl.ID] = wl.Handle
+	if wl.Bypass != nil {
+		w.bypasses[wl.ID] = wl.Bypass
+	}
 	w.names[wl.ID] = wl.Name
 	if w.registry != nil {
 		labels := map[string]string{"workload": wl.Name}
@@ -128,6 +135,14 @@ func (w *Worker) Install(wl *workloads.Workload) error {
 			return err
 		}
 		w.mRequests[wl.ID] = c
+		if wl.Bypass != nil {
+			b, err := w.registry.Counter("lnic_worker_bypass_total",
+				"requests served by the one-sided fast path, no lambda invoked", labels)
+			if err != nil {
+				return err
+			}
+			w.mBypass[wl.ID] = b
+		}
 		h := telemetry.NewHistogram()
 		if err := h.Expose(w.registry, "lnic_worker_workload_latency_seconds",
 			"lambda service latency per workload", labels); err != nil {
@@ -143,6 +158,7 @@ func (w *Worker) Remove(id uint32) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	delete(w.handlers, id)
+	delete(w.bypasses, id)
 	delete(w.names, id)
 }
 
@@ -162,8 +178,10 @@ func (w *Worker) handle(req *transport.Message) ([]byte, error) {
 	defer w.inflight.Add(-1)
 	w.mu.RLock()
 	h, ok := w.handlers[req.Header.WorkloadID]
+	bypass := w.bypasses[req.Header.WorkloadID]
 	name := w.names[req.Header.WorkloadID]
 	counter := w.mRequests[req.Header.WorkloadID]
+	bypassCounter := w.mBypass[req.Header.WorkloadID]
 	wlLatency := w.mWlLatency[req.Header.WorkloadID]
 	errs, latency := w.mErrors, w.mLatency
 	tracer := w.tracer
@@ -185,6 +203,30 @@ func (w *Worker) handle(req *transport.Message) ([]byte, error) {
 	}
 	start := time.Now()
 	execStart := tr.Now()
+	// One-sided fast path first: a bypass hit serves the request
+	// without invoking the lambda, and is recorded in the same latency
+	// histograms (a served request is a served request) plus its own
+	// counter so fleet views can tell the paths apart.
+	if bypass != nil {
+		if resp, served := bypass(req.Payload, w.deps); served {
+			elapsed := time.Since(start)
+			tr.AddSpan(obs.StageExec, "worker/"+name, "bypass", execStart, tr.Now())
+			tr.Finish(tr.Now(), nil)
+			if latency != nil {
+				latency.ObserveDuration(elapsed)
+			}
+			if wlLatency != nil {
+				wlLatency.ObserveDuration(elapsed)
+			}
+			if counter != nil {
+				counter.Inc()
+			}
+			if bypassCounter != nil {
+				bypassCounter.Inc()
+			}
+			return resp, nil
+		}
+	}
 	resp, err := h(req.Payload, w.deps)
 	elapsed := time.Since(start)
 	tr.AddSpan(obs.StageExec, "worker/"+name, "", execStart, tr.Now())

@@ -7,6 +7,8 @@ import (
 	"testing"
 	"time"
 
+	"lambdanic/internal/kvstore"
+	"lambdanic/internal/monitor"
 	"lambdanic/internal/transport"
 	"lambdanic/internal/workloads"
 )
@@ -50,6 +52,76 @@ func TestWorkerRejectsHandlerlessWorkload(t *testing.T) {
 	w := newTestWorker(t, n, "w1")
 	if err := w.Install(&workloads.Workload{Name: "stub", ID: 9}); err == nil {
 		t.Error("workload without handler installed")
+	}
+}
+
+// TestWorkerBypassFastPath checks the one-sided fast path: a bypass
+// hit serves the request without invoking the handler and is counted
+// in both lnic_worker_requests_total and lnic_worker_bypass_total; a
+// bypass miss falls through to the handler.
+func TestWorkerBypassFastPath(t *testing.T) {
+	n := transport.NewMemNetwork(1)
+	conn, err := n.Listen("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := kvstore.NewTable(64)
+	table.Set("hit", []byte("from-table"))
+	w := NewWorker(conn, &workloads.Deps{KVTable: table})
+	defer w.Close()
+	reg := monitor.NewRegistry()
+	if err := w.EnableMetrics(reg); err != nil {
+		t.Fatal(err)
+	}
+	handlerRuns := 0
+	wl := &workloads.Workload{
+		Name: "kv_probe",
+		ID:   77,
+		Handle: func(payload []byte, deps *workloads.Deps) ([]byte, error) {
+			handlerRuns++
+			return []byte("from-lambda"), nil
+		},
+		Bypass: func(payload []byte, deps *workloads.Deps) ([]byte, bool) {
+			return deps.KVTable.Get(string(payload))
+		},
+	}
+	if err := w.Install(wl); err != nil {
+		t.Fatal(err)
+	}
+	cc, err := n.Listen("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := transport.NewEndpoint(cc, nil,
+		transport.WithTimeout(200*time.Millisecond), transport.WithRetries(2))
+	defer cli.Close()
+	ctx := context.Background()
+
+	resp, err := cli.Call(ctx, transport.MemAddr("w1"), wl.ID, []byte("hit"))
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if string(resp) != "from-table" {
+		t.Errorf("bypass resp = %q, want from-table", resp)
+	}
+	if handlerRuns != 0 {
+		t.Errorf("handler ran %d times on a bypass hit", handlerRuns)
+	}
+	resp, err = cli.Call(ctx, transport.MemAddr("w1"), wl.ID, []byte("miss"))
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if string(resp) != "from-lambda" || handlerRuns != 1 {
+		t.Errorf("miss resp = %q (handler runs %d), want lambda fallback", resp, handlerRuns)
+	}
+	out := reg.Render()
+	for _, want := range []string{
+		`lnic_worker_bypass_total{workload="kv_probe"} 1`,
+		`lnic_worker_requests_total{workload="kv_probe"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
 	}
 }
 

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// testRdmaBench is a small-but-meaningful configuration: enough
+// requests for stable virtual-clock rates, window points spanning the
+// knee, and both large-transfer modes.
+func testRdmaBench() RdmaBenchConfig {
+	def := DefaultRdmaBench()
+	return RdmaBenchConfig{
+		Requests:       200,
+		Warmup:         20,
+		Clients:        []int{1, 16},
+		Windows:        []int{1, 4, 16},
+		LargeOps:       16,
+		Transfers:      4,
+		DoorbellCost:   def.DoorbellCost,
+		StoreRTT:       def.StoreRTT,
+		StoreOccupancy: def.StoreOccupancy,
+	}
+}
+
+func TestRdmaBenchAcceptance(t *testing.T) {
+	cfg := Quick()
+	rb := testRdmaBench()
+	rep, err := RdmaBench(cfg, rb) // also asserts ladder ≡ heap internally
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]struct {
+		rps  float64
+		p50  int64
+		reqs int
+	})
+	for _, r := range rep.Results {
+		byName[r.Name] = struct {
+			rps  float64
+			p50  int64
+			reqs int
+		}{r.ReqPerSec, r.P50Ns, r.Requests}
+	}
+	wantRows := 2 + len(rb.Windows)*len(rb.Clients) + 2
+	if len(rep.Results) != wantRows {
+		t.Fatalf("got %d rows, want %d", len(rep.Results), wantRows)
+	}
+
+	// The one-sided path beats the lambda path on p50 and throughput at
+	// every client count (§4.2.1 D3: no parse/match/NPU dispatch).
+	for _, c := range rb.Clients {
+		lambda := byName[fmt.Sprintf("kvget/lambda/c%d", c)]
+		bypass := byName[fmt.Sprintf("kvget/bypass/w%d/c%d", rb.Windows[len(rb.Windows)-1], c)]
+		if bypass.rps <= lambda.rps {
+			t.Errorf("c=%d: bypass %.0f req/s not above lambda %.0f", c, bypass.rps, lambda.rps)
+		}
+		if bypass.p50 >= lambda.p50 {
+			t.Errorf("c=%d: bypass p50 %dns not below lambda %dns", c, bypass.p50, lambda.p50)
+		}
+	}
+
+	// Throughput scales with the window at high client counts: w=4
+	// beats w=1, and the curve never regresses past the knee.
+	cMax := rb.Clients[len(rb.Clients)-1]
+	w1 := byName[fmt.Sprintf("kvget/bypass/w1/c%d", cMax)]
+	w4 := byName[fmt.Sprintf("kvget/bypass/w4/c%d", cMax)]
+	wTop := byName[fmt.Sprintf("kvget/bypass/w%d/c%d", rb.Windows[len(rb.Windows)-1], cMax)]
+	if w4.rps <= w1.rps {
+		t.Errorf("c=%d: w4 %.0f req/s not above w1 %.0f", cMax, w4.rps, w1.rps)
+	}
+	if wTop.rps < w4.rps*0.99 {
+		t.Errorf("c=%d: throughput regressed past the knee: w4 %.0f, wTop %.0f", cMax, w4.rps, wTop.rps)
+	}
+
+	// Doorbell-batched large transfers beat the per-fragment path.
+	sizeKiB := rb.LargeOps * 1400 / 1024
+	db := byName[fmt.Sprintf("large/doorbell/%dKiB", sizeKiB)]
+	pf := byName[fmt.Sprintf("large/perfrag/%dKiB", sizeKiB)]
+	if db.rps <= pf.rps {
+		t.Errorf("doorbell %.1f transfers/s not above per-fragment %.1f", db.rps, pf.rps)
+	}
+
+	out := RenderRdmaBench(rep)
+	for _, want := range []string{"bypass speedup over lambda path", "doorbell batching speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRdmaBenchDeterministic(t *testing.T) {
+	cfg := Quick()
+	rb := testRdmaBench()
+	rb.Requests, rb.Warmup, rb.Transfers = 100, 10, 2
+	a, err := RdmaBench(cfg, rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RdmaBench(cfg, rb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sameRdmaResults(a.Results, b.Results); err != nil {
+		t.Fatalf("repeat run diverged: %v", err)
+	}
+}

@@ -23,8 +23,30 @@ type Store struct {
 	maxKey  int
 	maxData int
 
+	// mirror, when set, receives every successful mutation — the
+	// write-through hook keeping the EMEM-resident Table coherent so
+	// one-sided readers bypass the lambda path. Called under s.mu.
+	mirror Mirror
+
 	// Counters, memcached "stats"-style.
 	gets, sets, hits, misses, deletes uint64
+}
+
+// Mirror is a write-through replica of the store's contents — the
+// RDMA-readable Table. A Set that the mirror cannot represent returns
+// false; the entry then lives only in the store and bypass readers
+// fall back to the lambda path for it.
+type Mirror interface {
+	Set(key string, value []byte) bool
+	Delete(key string)
+}
+
+// SetMirror installs the write-through mirror. Install before serving
+// traffic; existing entries are not back-filled.
+func (s *Store) SetMirror(m Mirror) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mirror = m
 }
 
 // Item is one stored entry.
@@ -78,6 +100,9 @@ func (s *Store) Set(key string, flags uint32, value []byte) error {
 	defer s.mu.Unlock()
 	s.sets++
 	s.items[key] = Item{Value: append([]byte(nil), value...), Flags: flags}
+	if s.mirror != nil {
+		s.mirror.Set(key, value)
+	}
 	return nil
 }
 
@@ -110,6 +135,9 @@ func (s *Store) Delete(key string) error {
 		return fmt.Errorf("%w: %q", ErrNotFound, key)
 	}
 	delete(s.items, key)
+	if s.mirror != nil {
+		s.mirror.Delete(key)
+	}
 	return nil
 }
 

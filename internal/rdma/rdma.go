@@ -10,13 +10,29 @@
 // timing model (per-packet DMA cost plus link serialization) used by
 // the λ-NIC backend for data-intensive workloads like the image
 // transformer.
+//
+// Beyond the plain Write verb the engine models what makes one-sided
+// RDMA actually scale (the SMART techniques):
+//
+//   - a Read verb, so remote state (the EMEM-resident KV table) can be
+//     fetched without invoking a lambda at all;
+//   - doorbell batching via queue pairs (QP): PostWrite/PostRead queue
+//     work requests in a submission ring and a single RingDoorbell
+//     flushes the batch, paying the MMIO doorbell cost once instead of
+//     per operation;
+//   - bounded outstanding-request windows: each QP caps in-flight
+//     operations, deferring the rest until completions retire — the
+//     knob behind the SMART-style throughput-vs-window curve.
 package rdma
 
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"lambdanic/internal/cluster"
+	"lambdanic/internal/monitor"
 	"lambdanic/internal/sim"
 )
 
@@ -43,7 +59,7 @@ func (r *Region) Key() RKey { return r.key }
 // Engine errors.
 var (
 	ErrBadKey       = errors.New("rdma: unknown or revoked rkey")
-	ErrAccessDenied = errors.New("rdma: write outside registered region")
+	ErrAccessDenied = errors.New("rdma: access outside registered region")
 )
 
 // Config tunes the engine's timing model.
@@ -53,10 +69,31 @@ type Config struct {
 	PerPacketDMA sim.Time
 	// MTU is the wire packet payload size.
 	MTU int
+	// DoorbellCost is the MMIO cost of ringing a doorbell. It is paid
+	// once per doorbell (so a batched flush amortizes it across the
+	// batch) before the first operation reaches the link. Zero (the
+	// default) preserves the original cost model, where doorbells are
+	// free and only serialization + DMA are charged.
+	DoorbellCost sim.Time
+}
+
+// Counters is a snapshot of the engine's monotonic counters. Loads are
+// atomic, so a snapshot may be taken from any goroutine (the monitor
+// registry scrapes at render time) while the simulation runs.
+type Counters struct {
+	Writes       uint64 // completed-or-issued write verbs
+	Reads        uint64 // completed-or-issued read verbs
+	BytesWritten uint64
+	BytesRead    uint64
+	Violations   uint64 // bad-rkey or out-of-bounds accesses
+	Doorbells    uint64 // doorbell rings (one per unbatched verb)
+	BatchedOps   uint64 // operations flushed through QP doorbells
+	WindowStalls uint64 // operations deferred by a full QP window
 }
 
 // Engine is a simulated RDMA NIC engine: registration, key-checked
-// writes, and completion events on the simulation clock.
+// one-sided reads and writes, doorbell-batched queue pairs, and
+// completion events on the simulation clock.
 type Engine struct {
 	sim     *sim.Sim
 	cfg     Config
@@ -64,14 +101,20 @@ type Engine struct {
 	nextKey RKey
 
 	// linkFreeAt serializes transfers on the shared 10 G link:
-	// concurrent writes queue behind each other's serialization time,
-	// so bulk-transfer throughput is bandwidth-bound.
+	// concurrent operations queue behind each other's serialization
+	// time, so bulk-transfer throughput is bandwidth-bound.
 	linkFreeAt sim.Time
 
-	// Stats.
-	writes       uint64
-	bytesWritten uint64
-	violations   uint64
+	// Stats. Atomics: written from the simulation goroutine, read by
+	// monitor scrape-time CounterFuncs on the HTTP serving goroutine.
+	writes       atomic.Uint64
+	reads        atomic.Uint64
+	bytesWritten atomic.Uint64
+	bytesRead    atomic.Uint64
+	violations   atomic.Uint64
+	doorbells    atomic.Uint64
+	batchedOps   atomic.Uint64
+	windowStalls atomic.Uint64
 }
 
 // New constructs an engine bound to the simulation.
@@ -88,7 +131,18 @@ func (e *Engine) Register(name string, size int) (*Region, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("rdma: invalid region size %d", size)
 	}
-	r := &Region{key: e.nextKey, buf: make([]byte, size), name: name}
+	return e.RegisterBuffer(name, make([]byte, size))
+}
+
+// RegisterBuffer registers caller-owned memory as a region without
+// copying — how the KV store exposes its EMEM-resident table for
+// one-sided GETs. The caller keeps writing the buffer; remote reads
+// observe whatever bytes are there at completion time.
+func (e *Engine) RegisterBuffer(name string, buf []byte) (*Region, error) {
+	if len(buf) == 0 {
+		return nil, fmt.Errorf("rdma: invalid region size %d", len(buf))
+	}
+	r := &Region{key: e.nextKey, buf: buf, name: name}
 	e.nextKey++
 	e.regions[r.key] = r
 	return r, nil
@@ -99,47 +153,143 @@ func (e *Engine) Deregister(r *Region) {
 	delete(e.regions, r.key)
 }
 
+// stagingPool recycles submit-time payload copies so the hot path does
+// not allocate per operation.
+var stagingPool = sync.Pool{New: func() any { b := make([]byte, 0, 2048); return &b }}
+
+func getStaging(n int) *[]byte {
+	bp := stagingPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+func putStaging(bp *[]byte) {
+	*bp = (*bp)[:0]
+	stagingPool.Put(bp)
+}
+
 // Write performs an RDMA write of data into the region identified by
 // key at the given offset, invoking done (in virtual time) when the
 // last packet has been committed — the event that triggers the lambda
-// (D3). The transfer cost is link serialization plus per-packet DMA.
+// (D3). The transfer cost is link serialization plus per-packet DMA
+// (plus the doorbell cost, when configured: a bare Write rings its own
+// doorbell).
+//
+// The payload is copied when Write returns, so the caller may
+// immediately reuse data — e.g. return it to a sync.Pool — without
+// corrupting the committed bytes.
 func (e *Engine) Write(key RKey, offset int, data []byte, done func(error)) {
-	complete := func(err error) {
+	region, ok := e.check(key, offset, len(data))
+	if !ok {
 		if done != nil {
-			done(err)
+			done(e.accessErr(key, offset, len(data)))
 		}
+		return
 	}
+	// Copy at submit time: the completion fires later in virtual time
+	// and the caller's buffer (often pooled) may be reused by then.
+	staging := getStaging(len(data))
+	copy(*staging, data)
+	e.doorbells.Add(1)
+	e.issueWrite(region, offset, staging, e.sim.Now()+e.cfg.DoorbellCost, func(error) {
+		if done != nil {
+			done(nil)
+		}
+	})
+}
+
+// Read performs a one-sided RDMA read of length bytes from the region
+// identified by key at the given offset. done receives the bytes as
+// they stood at completion time; the slice is pooled and valid only
+// for the duration of the callback. The cost is a request hop, link
+// serialization of the response payload, the return hop, and per-packet
+// DMA on the NIC fetching the bytes from EMEM — no lambda is invoked.
+func (e *Engine) Read(key RKey, offset, length int, done func([]byte, error)) {
+	region, ok := e.check(key, offset, length)
+	if !ok {
+		if done != nil {
+			done(nil, e.accessErr(key, offset, length))
+		}
+		return
+	}
+	e.doorbells.Add(1)
+	e.issueRead(region, offset, length, e.sim.Now()+e.cfg.DoorbellCost, done)
+}
+
+// check validates an access, charging a violation on failure.
+func (e *Engine) check(key RKey, offset, length int) (*Region, bool) {
+	region, ok := e.regions[key]
+	if !ok || offset < 0 || offset+length > len(region.buf) {
+		e.violations.Add(1)
+		return nil, false
+	}
+	return region, true
+}
+
+func (e *Engine) accessErr(key RKey, offset, length int) error {
 	region, ok := e.regions[key]
 	if !ok {
-		e.violations++
-		complete(fmt.Errorf("%w: %d", ErrBadKey, key))
-		return
+		return fmt.Errorf("%w: %d", ErrBadKey, key)
 	}
-	if offset < 0 || offset+len(data) > len(region.buf) {
-		e.violations++
-		complete(fmt.Errorf("%w: [%d:%d) of %d", ErrAccessDenied, offset, offset+len(data), len(region.buf)))
-		return
+	return fmt.Errorf("%w: [%d:%d) of %d", ErrAccessDenied, offset, offset+length, len(region.buf))
+}
+
+// issueWrite puts a validated write on the link no earlier than `at`,
+// scheduling the commit + completion. staging is owned by the engine
+// and recycled after commit.
+func (e *Engine) issueWrite(region *Region, offset int, staging *[]byte, at sim.Time, done func(error)) sim.Time {
+	n := len(*staging)
+	doneAt := e.linkTime(n, at)
+	e.writes.Add(1)
+	e.bytesWritten.Add(uint64(n))
+	e.sim.ScheduleAt(doneAt, func() {
+		copy(region.buf[offset:], *staging)
+		putStaging(staging)
+		if done != nil {
+			done(nil)
+		}
+	})
+	return doneAt
+}
+
+// issueRead puts a validated read on the link no earlier than `at`.
+// The extra WireLatency+SwitchLatency models the request hop of the
+// round trip; the response payload pays serialization + DMA like a
+// write in the opposite direction.
+func (e *Engine) issueRead(region *Region, offset, length int, at sim.Time, done func([]byte, error)) sim.Time {
+	doneAt := e.linkTime(length, at) + e.cfg.Link.WireLatency + e.cfg.Link.SwitchLatency
+	e.reads.Add(1)
+	e.bytesRead.Add(uint64(length))
+	e.sim.ScheduleAt(doneAt, func() {
+		if done == nil {
+			return
+		}
+		staging := getStaging(length)
+		copy(*staging, region.buf[offset:offset+length])
+		done(*staging, nil)
+		putStaging(staging)
+	})
+	return doneAt
+}
+
+// linkTime claims the shared link for an n-byte payload starting no
+// earlier than `at` and returns the time the last byte has been
+// serialized, propagated through the switch, and DMA-committed.
+func (e *Engine) linkTime(n int, at sim.Time) sim.Time {
+	ser := e.cfg.Link.Serialization(n)
+	start := at
+	if now := e.sim.Now(); start < now {
+		start = now
 	}
-	packets := (len(data) + e.cfg.MTU - 1) / e.cfg.MTU
-	if packets == 0 {
-		packets = 1
-	}
-	// The link is a shared serial resource: this transfer starts when
-	// the previous one's bytes are off the wire.
-	ser := e.cfg.Link.Serialization(len(data))
-	start := e.sim.Now()
 	if e.linkFreeAt > start {
 		start = e.linkFreeAt
 	}
 	e.linkFreeAt = start + ser
-	doneAt := start + ser + e.cfg.Link.WireLatency + e.cfg.Link.SwitchLatency +
-		sim.Time(packets)*e.cfg.PerPacketDMA
-	e.writes++
-	e.bytesWritten += uint64(len(data))
-	e.sim.ScheduleAt(doneAt, func() {
-		copy(region.buf[offset:], data)
-		complete(nil)
-	})
+	return start + ser + e.cfg.Link.WireLatency + e.cfg.Link.SwitchLatency +
+		sim.Time(e.Packets(n))*e.cfg.PerPacketDMA
 }
 
 // Packets returns the wire packet count for a payload under the
@@ -151,7 +301,40 @@ func (e *Engine) Packets(payloadBytes int) int {
 	return (payloadBytes + e.cfg.MTU - 1) / e.cfg.MTU
 }
 
-// Stats reports engine counters.
-func (e *Engine) Stats() (writes, bytes, violations uint64) {
-	return e.writes, e.bytesWritten, e.violations
+// Counters returns a snapshot of the engine's counters.
+func (e *Engine) Counters() Counters {
+	return Counters{
+		Writes:       e.writes.Load(),
+		Reads:        e.reads.Load(),
+		BytesWritten: e.bytesWritten.Load(),
+		BytesRead:    e.bytesRead.Load(),
+		Violations:   e.violations.Load(),
+		Doorbells:    e.doorbells.Load(),
+		BatchedOps:   e.batchedOps.Load(),
+		WindowStalls: e.windowStalls.Load(),
+	}
+}
+
+// Describe registers the engine's counters with a monitor registry as
+// scrape-time counter funcs, consistent with the rest of the fleet's
+// exposition (lnic_rdma_* families).
+func (e *Engine) Describe(reg *monitor.Registry, labels map[string]string) error {
+	for _, m := range []struct {
+		name, help string
+		fn         func() uint64
+	}{
+		{"lnic_rdma_writes_total", "One-sided RDMA write verbs issued.", e.writes.Load},
+		{"lnic_rdma_reads_total", "One-sided RDMA read verbs issued.", e.reads.Load},
+		{"lnic_rdma_bytes_written_total", "Bytes committed by RDMA writes.", e.bytesWritten.Load},
+		{"lnic_rdma_bytes_read_total", "Bytes fetched by RDMA reads.", e.bytesRead.Load},
+		{"lnic_rdma_violations_total", "Bad-rkey or out-of-bounds RDMA accesses.", e.violations.Load},
+		{"lnic_rdma_doorbells_total", "Doorbell rings (batched and unbatched).", e.doorbells.Load},
+		{"lnic_rdma_batched_ops_total", "Operations flushed through QP doorbell batches.", e.batchedOps.Load},
+		{"lnic_rdma_window_stalls_total", "Operations deferred by a full QP outstanding window.", e.windowStalls.Load},
+	} {
+		if err := reg.CounterFunc(m.name, m.help, labels, m.fn); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -3,10 +3,12 @@ package rdma
 import (
 	"bytes"
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
 	"lambdanic/internal/cluster"
+	"lambdanic/internal/monitor"
 	"lambdanic/internal/sim"
 )
 
@@ -46,9 +48,12 @@ func TestRegisterAndWrite(t *testing.T) {
 	if !bytes.Equal(r.Bytes()[100:1100], data) {
 		t.Error("data not committed to region")
 	}
-	writes, wbytes, violations := e.Stats()
-	if writes != 1 || wbytes != 1000 || violations != 0 {
-		t.Errorf("stats = %d/%d/%d", writes, wbytes, violations)
+	c := e.Counters()
+	if c.Writes != 1 || c.BytesWritten != 1000 || c.Violations != 0 {
+		t.Errorf("counters = %d/%d/%d", c.Writes, c.BytesWritten, c.Violations)
+	}
+	if c.Doorbells != 1 {
+		t.Errorf("doorbells = %d, want 1 (a bare Write rings its own)", c.Doorbells)
 	}
 }
 
@@ -78,8 +83,8 @@ func TestWriteOutOfRegion(t *testing.T) {
 	if !errors.Is(gotErr, ErrAccessDenied) {
 		t.Errorf("err = %v, want ErrAccessDenied", gotErr)
 	}
-	if _, _, violations := e.Stats(); violations != 1 {
-		t.Errorf("violations = %d, want 1", violations)
+	if c := e.Counters(); c.Violations != 1 {
+		t.Errorf("violations = %d, want 1", c.Violations)
 	}
 }
 
@@ -164,5 +169,290 @@ func TestRegisterInvalidSize(t *testing.T) {
 	_, e := testEngine(t)
 	if _, err := e.Register("zero", 0); err == nil {
 		t.Error("Register(0) succeeded")
+	}
+	if _, err := e.RegisterBuffer("empty", nil); err == nil {
+		t.Error("RegisterBuffer(nil) succeeded")
+	}
+}
+
+func TestWriteCopiesAtSubmit(t *testing.T) {
+	// Regression: the completion used to copy `data` at doneAt, so a
+	// caller reusing a pooled buffer (the transport's sync.Pool packet
+	// buffers do exactly this) corrupted the committed payload.
+	s, e := testEngine(t)
+	r, err := e.Register("staging", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0xAB}, 1000)
+	e.Write(r.Key(), 0, data, nil)
+	// The caller reuses its buffer before the completion fires.
+	for i := range data {
+		data[i] = 0xEE
+	}
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range r.Bytes()[:1000] {
+		if b != 0xAB {
+			t.Fatalf("region[%d] = %#x, want %#x: committed bytes aliased the caller's buffer", i, b, 0xAB)
+		}
+	}
+}
+
+func TestReadRoundTrip(t *testing.T) {
+	s, e := testEngine(t)
+	r, err := e.Register("kv", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Repeat([]byte{0x5A}, 256)
+	copy(r.Bytes()[128:], want)
+	var got []byte
+	var doneAt sim.Time
+	e.Read(r.Key(), 128, 256, func(b []byte, err error) {
+		if err != nil {
+			t.Errorf("read: %v", err)
+		}
+		got = append(got, b...) // b is pooled; copy out
+		doneAt = s.Now()
+	})
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("read returned wrong bytes")
+	}
+	if doneAt <= 0 {
+		t.Error("read completed instantaneously; no transfer time charged")
+	}
+	c := e.Counters()
+	if c.Reads != 1 || c.BytesRead != 256 {
+		t.Errorf("reads/bytesRead = %d/%d, want 1/256", c.Reads, c.BytesRead)
+	}
+}
+
+func TestReadSeesCompletionTimeBytes(t *testing.T) {
+	// A one-sided read returns the region's contents as of completion
+	// time, not submit time — the owner may still be writing.
+	s, e := testEngine(t)
+	r, err := e.Register("live", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got byte
+	e.Read(r.Key(), 0, 1, func(b []byte, err error) { got = b[0] })
+	r.Bytes()[0] = 0x42 // owner writes after submit, before completion
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 0x42 {
+		t.Errorf("read = %#x, want completion-time value 0x42", got)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	s, e := testEngine(t)
+	r, err := e.Register("small", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var badKey, outOfRegion error
+	e.Read(RKey(999), 0, 1, func(_ []byte, err error) { badKey = err })
+	e.Read(r.Key(), 8, 16, func(_ []byte, err error) { outOfRegion = err })
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(badKey, ErrBadKey) {
+		t.Errorf("bad key err = %v, want ErrBadKey", badKey)
+	}
+	if !errors.Is(outOfRegion, ErrAccessDenied) {
+		t.Errorf("out-of-region err = %v, want ErrAccessDenied", outOfRegion)
+	}
+	if c := e.Counters(); c.Violations != 2 {
+		t.Errorf("violations = %d, want 2", c.Violations)
+	}
+}
+
+func TestQPDoorbellBatching(t *testing.T) {
+	// N posted writes flushed by one doorbell: one doorbell charge, N
+	// batched ops, all committed.
+	s, e := testEngine(t)
+	r, err := e.Register("batch", 16*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp := e.NewQP(0)
+	const n = 8
+	completed := 0
+	for i := 0; i < n; i++ {
+		payload := bytes.Repeat([]byte{byte(i + 1)}, 100)
+		qp.PostWrite(r.Key(), i*1024, payload, func(err error) {
+			if err != nil {
+				t.Errorf("write: %v", err)
+			}
+			completed++
+		})
+	}
+	if qp.Posted() != n {
+		t.Fatalf("posted = %d, want %d", qp.Posted(), n)
+	}
+	qp.RingDoorbell()
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if completed != n {
+		t.Fatalf("completed = %d, want %d", completed, n)
+	}
+	for i := 0; i < n; i++ {
+		if r.Bytes()[i*1024] != byte(i+1) {
+			t.Errorf("op %d not committed", i)
+		}
+	}
+	c := e.Counters()
+	if c.Doorbells != 1 {
+		t.Errorf("doorbells = %d, want 1 for the whole batch", c.Doorbells)
+	}
+	if c.BatchedOps != n {
+		t.Errorf("batchedOps = %d, want %d", c.BatchedOps, n)
+	}
+}
+
+func TestQPDoorbellCostAmortized(t *testing.T) {
+	// A batch of N ops under doorbell cost D finishes D later than a
+	// free-doorbell batch — not N*D later: one MMIO covers the batch.
+	const n = 16
+	const dbCost = 10 * time.Microsecond
+	run := func(cost sim.Time) sim.Time {
+		s := sim.New(1)
+		e := New(s, Config{Link: cluster.Default().Link, PerPacketDMA: 200 * time.Nanosecond, MTU: 1400, DoorbellCost: cost})
+		r, err := e.Register("amort", n*1400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qp := e.NewQP(0)
+		var last sim.Time
+		for i := 0; i < n; i++ {
+			qp.PostWrite(r.Key(), i*1400, make([]byte, 1400), func(error) { last = s.Now() })
+		}
+		qp.RingDoorbell()
+		if err := s.RunUntilIdle(); err != nil {
+			t.Fatal(err)
+		}
+		return last
+	}
+	free, charged := run(0), run(dbCost)
+	if got := charged - free; got != dbCost {
+		t.Errorf("batched doorbell added %v, want exactly %v (one charge per batch)", got, dbCost)
+	}
+}
+
+func TestQPWindowStallsAndCompletion(t *testing.T) {
+	s, e := testEngine(t)
+	r, err := e.Register("win", 16*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp := e.NewQP(2)
+	const n = 5
+	completed := 0
+	for i := 0; i < n; i++ {
+		qp.PostWrite(r.Key(), 0, make([]byte, 1400), func(error) { completed++ })
+	}
+	qp.RingDoorbell()
+	if qp.Outstanding() != 2 {
+		t.Errorf("outstanding = %d, want window limit 2", qp.Outstanding())
+	}
+	if c := e.Counters(); c.WindowStalls != n-2 {
+		t.Errorf("windowStalls = %d, want %d", c.WindowStalls, n-2)
+	}
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if completed != n {
+		t.Errorf("completed = %d, want %d: deferred ops must issue as the window opens", completed, n)
+	}
+	if qp.Outstanding() != 0 {
+		t.Errorf("outstanding = %d after idle, want 0", qp.Outstanding())
+	}
+}
+
+func TestQPReadsScaleWithWindow(t *testing.T) {
+	// SMART-style behavior in miniature: a wider outstanding window
+	// overlaps request hops with link serialization, finishing a fixed
+	// op count sooner — up to the bandwidth bound.
+	elapsed := func(window int) sim.Time {
+		s := sim.New(1)
+		e := New(s, Config{Link: cluster.Default().Link, PerPacketDMA: 200 * time.Nanosecond, MTU: 1400})
+		r, err := e.Register("curve", 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qp := e.NewQP(window)
+		var last sim.Time
+		for i := 0; i < 64; i++ {
+			qp.PostRead(r.Key(), 0, 128, func([]byte, error) { last = s.Now() })
+		}
+		qp.RingDoorbell()
+		if err := s.RunUntilIdle(); err != nil {
+			t.Fatal(err)
+		}
+		return last
+	}
+	w1, w8 := elapsed(1), elapsed(8)
+	if w8 >= w1 {
+		t.Errorf("window 8 (%v) not faster than window 1 (%v)", w8, w1)
+	}
+}
+
+func TestQPErrorsSkipWindow(t *testing.T) {
+	s, e := testEngine(t)
+	r, err := e.Register("ok", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp := e.NewQP(1)
+	var badErr error
+	goodDone := false
+	qp.PostWrite(RKey(999), 0, []byte("x"), func(err error) { badErr = err })
+	qp.PostRead(r.Key(), 0, 16, func(_ []byte, err error) { goodDone = err == nil })
+	qp.RingDoorbell()
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(badErr, ErrBadKey) {
+		t.Errorf("bad op err = %v, want ErrBadKey", badErr)
+	}
+	if !goodDone {
+		t.Error("valid op behind a faulted one never completed")
+	}
+}
+
+func TestDescribeExposesCounters(t *testing.T) {
+	s, e := testEngine(t)
+	reg := monitor.NewRegistry()
+	if err := e.Describe(reg, map[string]string{"nic": "n0"}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Register("m", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Write(r.Key(), 0, make([]byte, 1000), nil)
+	e.Read(r.Key(), 0, 100, nil)
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	out := reg.Render()
+	for _, want := range []string{
+		`lnic_rdma_writes_total{nic="n0"} 1`,
+		`lnic_rdma_reads_total{nic="n0"} 1`,
+		`lnic_rdma_bytes_written_total{nic="n0"} 1000`,
+		`lnic_rdma_bytes_read_total{nic="n0"} 100`,
+		`lnic_rdma_doorbells_total{nic="n0"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
 	}
 }

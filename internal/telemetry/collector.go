@@ -140,8 +140,12 @@ type FleetRow struct {
 	// pool drops on node rows, admission throttles on tenant rows.
 	Shed     uint64  `json:"shed"`
 	RatePerS float64 `json:"rate_per_sec"`
-	P50      float64 `json:"p50_seconds"`
-	P99      float64 `json:"p99_seconds"`
+	// Bypass counts requests served by the one-sided fast path (no
+	// lambda invocation); BypassPerS is its rate over the window.
+	Bypass     uint64  `json:"bypass,omitempty"`
+	BypassPerS float64 `json:"bypass_per_sec,omitempty"`
+	P50        float64 `json:"p50_seconds"`
+	P99        float64 `json:"p99_seconds"`
 }
 
 // latencyFamilies maps a scraped histogram family to the workload
@@ -171,6 +175,10 @@ var shedFamilies = []string{
 // tenantShedFamily is the gateway's per-tenant admission shed counter;
 // each tenant-labeled series becomes an "(admission)" row.
 const tenantShedFamily = "lnic_gateway_tenant_shed_total"
+
+// bypassFamily is the worker's per-workload one-sided fast-path
+// counter, surfaced as the fleet view's 1SIDED/S column.
+const bypassFamily = "lnic_worker_bypass_total"
 
 // FleetRows computes the per-(nic, workload) view from the delta
 // between two snapshots taken `elapsed` apart. Targets that failed in
@@ -236,9 +244,12 @@ func FleetRows(prev, cur FleetSnapshot, elapsed time.Duration) []FleetRow {
 			if row.Workload == "" {
 				row.Errors = nodeErrs
 				row.Shed = nodeShed
+			} else {
+				row.Bypass = counterDelta(bypassFamily, h.Labels)
 			}
 			if elapsed > 0 {
 				row.RatePerS = float64(delta.Count) / elapsed.Seconds()
+				row.BypassPerS = float64(row.Bypass) / elapsed.Seconds()
 			}
 			rows = append(rows, row)
 		}
@@ -284,8 +295,8 @@ func FilterTenant(rows []FleetRow, tenantName string) []FleetRow {
 func RenderTop(rows []FleetRow, elapsed time.Duration) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "fleet view over %s\n", elapsed.Round(time.Millisecond))
-	fmt.Fprintf(&b, "%-10s %-18s %-10s %9s %8s %8s %10s %10s %10s\n",
-		"NIC", "WORKLOAD", "TENANT", "REQS", "ERRS", "SHED", "REQ/S", "P50", "P99")
+	fmt.Fprintf(&b, "%-10s %-18s %-10s %9s %8s %8s %10s %10s %10s %10s\n",
+		"NIC", "WORKLOAD", "TENANT", "REQS", "ERRS", "SHED", "REQ/S", "1SIDED/S", "P50", "P99")
 	for _, r := range rows {
 		if r.Workload == "(scrape failed)" {
 			fmt.Fprintf(&b, "%-10s %-18s %s\n", r.Nic, "-", "scrape failed")
@@ -299,8 +310,8 @@ func RenderTop(rows []FleetRow, elapsed time.Duration) string {
 		if ten == "" {
 			ten = "-"
 		}
-		fmt.Fprintf(&b, "%-10s %-18s %-10s %9d %8d %8d %10.1f %10s %10s\n",
-			r.Nic, wl, ten, r.Requests, r.Errors, r.Shed, r.RatePerS,
+		fmt.Fprintf(&b, "%-10s %-18s %-10s %9d %8d %8d %10.1f %10.1f %10s %10s\n",
+			r.Nic, wl, ten, r.Requests, r.Errors, r.Shed, r.RatePerS, r.BypassPerS,
 			fmtSeconds(r.P50), fmtSeconds(r.P99))
 	}
 	return b.String()

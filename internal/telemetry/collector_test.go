@@ -148,6 +148,8 @@ func TestFleetRowsAndSLO(t *testing.T) {
 	if err := gh.Expose(gatewayReg, "lnic_gateway_upstream_latency_seconds", "latency", nil); err != nil {
 		t.Fatal(err)
 	}
+	bypass := worker.MustCounter("lnic_worker_bypass_total", "one-sided fast-path hits",
+		map[string]string{"workload": "web_server"})
 
 	prev := c.Collect(context.Background())
 	for i := 0; i < 100; i++ {
@@ -156,6 +158,7 @@ func TestFleetRowsAndSLO(t *testing.T) {
 		gh.ObserveDuration(1800 * time.Microsecond)
 	}
 	errs.Add(2)
+	bypass.Add(40)
 	cur := c.Collect(context.Background())
 
 	rows := FleetRows(prev, cur, 10*time.Second)
@@ -177,6 +180,12 @@ func TestFleetRowsAndSLO(t *testing.T) {
 	if wl.Requests != 100 || wl.Errors != 0 {
 		t.Errorf("workload row = %+v", wl)
 	}
+	if wl.Bypass != 40 || wl.BypassPerS < 3.9 || wl.BypassPerS > 4.1 {
+		t.Errorf("bypass = %d at %v/s, want 40 at 4/s", wl.Bypass, wl.BypassPerS)
+	}
+	if node.Bypass != 0 {
+		t.Errorf("node row carries bypass count %d", node.Bypass)
+	}
 	gw := byKey["gateway/"]
 	if gw.Requests != 100 {
 		t.Errorf("gateway row = %+v", gw)
@@ -186,7 +195,7 @@ func TestFleetRowsAndSLO(t *testing.T) {
 	}
 
 	top := RenderTop(rows, 10*time.Second)
-	for _, want := range []string{"m2", "gateway", "web_server", "(node)"} {
+	for _, want := range []string{"m2", "gateway", "web_server", "(node)", "1SIDED/S"} {
 		if !strings.Contains(top, want) {
 			t.Errorf("top output missing %q:\n%s", want, top)
 		}

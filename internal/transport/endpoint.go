@@ -36,12 +36,13 @@ type Handler func(req *Message) ([]byte, error)
 // than a goroutine per request, and packet buffers, timers, and call
 // records are pooled so the steady state allocates (almost) nothing.
 type Endpoint struct {
-	conn    net.PacketConn
-	mtu     int
-	timeout time.Duration
-	retries int
-	readers int
-	workers int
+	conn       net.PacketConn
+	mtu        int
+	timeout    time.Duration
+	retries    int
+	readers    int
+	workers    int
+	sendWindow int
 
 	handler Handler
 	shards  [numShards]shard
@@ -209,6 +210,19 @@ func WithWorkers(n int) EndpointOption {
 	}
 }
 
+// WithSendWindow bounds how many fragments of a multi-fragment message
+// are put on the wire back-to-back before the sender yields — the
+// transport's credit window. A small window paces bulk transfers so
+// receivers (and, on real sockets, kernel buffers) drain between
+// bursts; it bounds sender-side buffering regardless of message size.
+func WithSendWindow(n int) EndpointOption {
+	return func(e *Endpoint) {
+		if n > 0 {
+			e.sendWindow = n
+		}
+	}
+}
+
 // Endpoint errors.
 var (
 	ErrTimeout = errors.New("transport: request timed out after retries")
@@ -226,14 +240,15 @@ const seenCap = 4096
 // on Close.
 func NewEndpoint(conn net.PacketConn, handler Handler, opts ...EndpointOption) *Endpoint {
 	e := &Endpoint{
-		conn:    conn,
-		mtu:     DefaultMTU,
-		timeout: 200 * time.Millisecond,
-		retries: 4,
-		readers: defaultReaders(),
-		workers: 64,
-		handler: handler,
-		closed:  make(chan struct{}),
+		conn:       conn,
+		mtu:        DefaultMTU,
+		timeout:    200 * time.Millisecond,
+		retries:    4,
+		readers:    defaultReaders(),
+		workers:    64,
+		sendWindow: defaultSendWindow,
+		handler:    handler,
+		closed:     make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(e)
@@ -367,9 +382,9 @@ func (e *Endpoint) CallTraced(ctx context.Context, to net.Addr, workloadID uint3
 		RequestID:  id,
 	}
 	// Single-fragment requests (the common case for interactive
-	// lambdas) are encoded into a pooled buffer; larger payloads take
-	// the allocating Fragment path.
-	var pkts [][]byte
+	// lambdas) are encoded once into a pooled buffer; larger payloads
+	// stream fragment-by-fragment through a pooled buffer under the
+	// send window on every attempt.
 	var pkt []byte
 	var pb *[]byte
 	if len(payload) <= e.mtu && matchlambda.WireHeaderSize+len(payload) <= pktBufSize {
@@ -378,12 +393,8 @@ func (e *Endpoint) CallTraced(ctx context.Context, to net.Addr, workloadID uint3
 		pb = getBuf()
 		pkt = h.Encode((*pb)[:0])
 		pkt = append(pkt, payload...)
-	} else {
-		var err error
-		pkts, err = Fragment(h, payload, e.mtu)
-		if err != nil {
-			return nil, err
-		}
+	} else if err := checkFragments(len(payload), e.mtu); err != nil {
+		return nil, err
 	}
 
 	pc := callPool.Get().(*pendingCall)
@@ -393,7 +404,7 @@ func (e *Endpoint) CallTraced(ctx context.Context, to net.Addr, workloadID uint3
 	sh.pending[id] = pc
 	sh.mu.Unlock()
 
-	payloadOut, err := e.runCall(ctx, to, pc, id, pkt, pkts, tr)
+	payloadOut, err := e.runCall(ctx, to, pc, h, payload, pkt, tr)
 
 	// Tear down under the shard lock: once the entry is deleted and the
 	// result channel drained, no sender can reach pc, so pooling it is
@@ -417,8 +428,11 @@ func (e *Endpoint) CallTraced(ctx context.Context, to net.Addr, workloadID uint3
 	return payloadOut, err
 }
 
-// runCall drives the attempt/retransmit loop for one pending call.
-func (e *Endpoint) runCall(ctx context.Context, to net.Addr, pc *pendingCall, id uint64, pkt []byte, pkts [][]byte, tr *obs.Req) ([]byte, error) {
+// runCall drives the attempt/retransmit loop for one pending call. A
+// non-nil pkt is the pre-encoded single-fragment request; otherwise
+// each attempt streams the payload as windowed fragments.
+func (e *Endpoint) runCall(ctx context.Context, to net.Addr, pc *pendingCall, h matchlambda.WireHeader, payload, pkt []byte, tr *obs.Req) ([]byte, error) {
+	id := h.RequestID
 	var tm *time.Timer
 	defer func() {
 		if tm != nil {
@@ -439,12 +453,8 @@ func (e *Endpoint) runCall(ctx context.Context, to net.Addr, pc *pendingCall, id
 			if _, err := e.conn.WriteTo(pkt, to); err != nil {
 				return nil, fmt.Errorf("transport: send: %w", err)
 			}
-		} else {
-			for _, p := range pkts {
-				if _, err := e.conn.WriteTo(p, to); err != nil {
-					return nil, fmt.Errorf("transport: send: %w", err)
-				}
-			}
+		} else if err := e.streamFragments(h, payload, to); err != nil {
+			return nil, err
 		}
 		if tm == nil {
 			tm = acquireTimer(e.timeout)
@@ -710,13 +720,65 @@ func (e *Endpoint) sendResponse(reqHeader matchlambda.WireHeader, payload []byte
 		putBuf(pb)
 		return
 	}
-	pkts, err := Fragment(h, payload, e.mtu)
-	if err != nil {
-		return
+	e.streamFragments(h, payload, to)
+}
+
+// defaultSendWindow is the fragments-per-burst credit window for
+// multi-fragment messages.
+const defaultSendWindow = 32
+
+// checkFragments validates that a payload fits the fragment count the
+// wire header can express under the given MTU.
+func checkFragments(payloadLen, mtu int) error {
+	if mtu <= 0 {
+		return ErrInvalidMTU
 	}
-	for _, pkt := range pkts {
+	if n := (payloadLen + mtu - 1) / mtu; n > MaxFragments {
+		return fmt.Errorf("%w: %d", ErrTooManyFragments, n)
+	}
+	return nil
+}
+
+// streamFragments sends a multi-fragment message by encoding each
+// fragment into one pooled buffer reused across the whole message.
+// WriteTo copies the packet (UDP's sendto does, and so does the
+// in-memory network), so a single buffer streams arbitrarily large
+// payloads with zero per-fragment allocation — replacing the old path
+// that materialized every packet up front. Fragments go out in bursts
+// of at most the send window, with a scheduler yield between bursts so
+// receivers drain in pipeline with the sender (the transport-level
+// analogue of the RDMA engine's bounded outstanding-request window).
+func (e *Endpoint) streamFragments(h matchlambda.WireHeader, payload []byte, to net.Addr) error {
+	if err := checkFragments(len(payload), e.mtu); err != nil {
+		return err
+	}
+	n := (len(payload) + e.mtu - 1) / e.mtu
+	if n == 0 {
+		n = 1
+	}
+	h.Total = uint16(n)
+	h.PayloadLen = uint32(len(payload))
+	pb := getBuf()
+	defer putBuf(pb)
+	window := e.sendWindow
+	if window <= 0 {
+		window = defaultSendWindow
+	}
+	for i := 0; i < n; i++ {
+		h.Seq = uint16(i)
+		lo := i * e.mtu
+		hi := lo + e.mtu
+		if hi > len(payload) {
+			hi = len(payload)
+		}
+		pkt := h.Encode((*pb)[:0])
+		pkt = append(pkt, payload[lo:hi]...)
 		if _, err := e.conn.WriteTo(pkt, to); err != nil {
-			return
+			return fmt.Errorf("transport: send: %w", err)
+		}
+		if (i+1)%window == 0 && i+1 < n {
+			runtime.Gosched()
 		}
 	}
+	return nil
 }

@@ -23,6 +23,10 @@ import (
 // leaving room for the wire header inside a 1500-byte Ethernet MTU.
 const DefaultMTU = 1400
 
+// MaxFragments is the most fragments one message can carry — the wire
+// header's Total/Seq fields are uint16.
+const MaxFragments = 0xFFFF
+
 // Message is one logical RPC (request or response) after reassembly.
 type Message struct {
 	Header  matchlambda.WireHeader
@@ -46,7 +50,7 @@ func Fragment(h matchlambda.WireHeader, payload []byte, mtu int) ([][]byte, erro
 	if n == 0 {
 		n = 1
 	}
-	if n > 0xFFFF {
+	if n > MaxFragments {
 		return nil, fmt.Errorf("%w: %d", ErrTooManyFragments, n)
 	}
 	h.Total = uint16(n)

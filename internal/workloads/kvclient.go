@@ -66,6 +66,21 @@ func KVGetClient() *Workload {
 			}
 			return v, nil
 		},
+		// One-sided fast path: a GET whose key is present in the
+		// EMEM-resident table mirror is answered by a probe of that
+		// table — no lambda invocation, no memcached round trip.
+		// Misses (and every SET) fall through to the lambda path
+		// against the authoritative store.
+		Bypass: func(payload []byte, deps *Deps) ([]byte, bool) {
+			if deps == nil || deps.KVTable == nil {
+				return nil, false
+			}
+			op, key, err := parseKVRequest(payload)
+			if err != nil || op != 0 {
+				return nil, false
+			}
+			return deps.KVTable.Get(kvKeyName(key))
+		},
 	}
 }
 
@@ -114,6 +129,17 @@ func KVSetClient() *Workload {
 
 // kvKeyName formats the memcached key for an index.
 func kvKeyName(idx uint32) string { return fmt.Sprintf("user:%04d", idx%kvKeySpace) }
+
+// KVRequestKey decodes a kvreq payload into its memcached key and
+// reports whether the request is a GET — the decision point for the
+// one-sided bypass (only GETs can be served by a remote read).
+func KVRequestKey(payload []byte) (key string, isGet bool) {
+	op, idx, err := parseKVRequest(payload)
+	if err != nil {
+		return "", false
+	}
+	return kvKeyName(idx), op == 0
+}
 
 // kvRequestPayload builds the kvreq wire payload: op byte + 4-byte key.
 func kvRequestPayload(op byte, key uint32) []byte {

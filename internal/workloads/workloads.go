@@ -49,6 +49,10 @@ type Deps struct {
 	// KV is the memcached-substitute client used by the key-value
 	// client lambdas.
 	KV *kvstore.Client
+	// KVTable is the EMEM-resident mirror of the KV store (the table
+	// the NIC registers as an RDMA region). When present, GETs can be
+	// served by a one-sided probe without invoking the lambda.
+	KVTable *kvstore.Table
 }
 
 // Workload is one benchmark lambda in both runnable forms.
@@ -68,6 +72,11 @@ type Workload struct {
 	MakeRequest func(i int) []byte
 	// Handle is the native Go implementation (functional layer).
 	Handle func(payload []byte, deps *Deps) ([]byte, error)
+	// Bypass, when non-nil, tries to serve a request on the one-sided
+	// fast path without invoking the lambda (λ-NIC's RDMA-read GET
+	// path). ok=false falls through to Handle — the request is then
+	// served exactly as if no bypass existed.
+	Bypass func(payload []byte, deps *Deps) (resp []byte, ok bool)
 }
 
 // Packets returns the wire packet count for a payload.
