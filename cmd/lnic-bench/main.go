@@ -5,7 +5,7 @@
 // Usage:
 //
 //	lnic-bench [-quick] [-short] [-seed N] [-kernel ladder|heap] [-parallel]
-//	           [-experiment all|table1|fig6|fig7|fig8|table2|table3|table4|fig9|chaos|tenants|rpcbench|lambdabench|simbench]
+//	           [-experiment all|table1|fig6|fig7|fig8|table2|table3|table4|fig9|chaos|tenants|skew|rpcbench|lambdabench|simbench]
 //	           [-trace-out trace.json] [-bench-out BENCH_rpc.json]
 //	           [-bench-guard BENCH_sim_baseline.json] [-slo-out SLO_chaos.json]
 //	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
@@ -66,6 +66,21 @@
 // baseline. Virtual-clock rates are machine-independent, so the guard
 // is meaningful on any host.
 //
+// The skew experiment (not part of "all") drives a Zipf-skewed flow
+// population plus a mid-run flash crowd through three gateway dispatch
+// policies on the simulated testbed — round-robin spraying, pure
+// consistent-hash flow pinning, and pinning with elephant-flow
+// migration off healthd load reports — over one identical pre-drawn
+// arrival schedule. It reports p50/p99/p999, completion spread across
+// workers, warm-hit rate from the per-core warm-state model, and
+// migration count per policy, and fails unless pinned+mig beats
+// round-robin on both p99 and warm-hit rate. Per-policy percentiles go
+// to -bench-out (default BENCH_skew.json); with -bench-guard the run
+// fails if any policy's p99 grew more than 25% against the committed
+// baseline (virtual-clock latencies are machine-independent). -short
+// shrinks it to a smoke run; -parallel runs one simulation domain per
+// NIC with bit-identical results.
+//
 // The simbench experiment (not part of "all") measures the simulation
 // kernel itself: single-thread events/sec for the ladder queue versus
 // the binary heap (with and without event pooling), timeout-churn
@@ -104,17 +119,17 @@ func run(args []string) error {
 	short := fs.Bool("short", false, "shrink the chaos experiment to a smoke run")
 	seed := fs.Int64("seed", 42, "simulation seed")
 	experiment := fs.String("experiment", "all",
-		"which experiment to run: all, table1, fig6, fig7, fig8, table2, table3, table4, fig9, optimizer, scaleout, loadcurve, nicclasses, ablations, breakdown, chaos, tenants, rpcbench, lambdabench, simbench, rdmabench")
+		"which experiment to run: all, table1, fig6, fig7, fig8, table2, table3, table4, fig9, optimizer, scaleout, loadcurve, nicclasses, ablations, breakdown, chaos, tenants, skew, rpcbench, lambdabench, simbench, rdmabench")
 	kernel := fs.String("kernel", "ladder",
 		"simulation event-queue kernel: ladder or heap (bit-identical results)")
 	parallel := fs.Bool("parallel", false,
-		"run scaleout/loadcurve/chaos/tenants with per-NIC parallel simulation domains")
+		"run scaleout/loadcurve/chaos/tenants/skew with per-NIC parallel simulation domains")
 	traceOut := fs.String("trace-out", "",
 		"write the breakdown experiment's Chrome trace-event JSON to this file")
 	benchOut := fs.String("bench-out", "",
-		"write the benchmark experiment's JSON report to this file (default BENCH_rpc.json for rpcbench, BENCH_lambda.json for lambdabench, BENCH_sim.json for simbench, BENCH_rdma.json for rdmabench)")
+		"write the benchmark experiment's JSON report to this file (default BENCH_rpc.json for rpcbench, BENCH_lambda.json for lambdabench, BENCH_sim.json for simbench, BENCH_rdma.json for rdmabench, BENCH_skew.json for skew)")
 	benchGuard := fs.String("bench-guard", "",
-		"fail if the simbench/rdmabench report regresses >20% against this baseline JSON")
+		"fail if the simbench/rdmabench/skew report regresses against this baseline JSON")
 	sloOut := fs.String("slo-out", "",
 		"write the chaos experiment's SLO error-budget report JSON to this file (default SLO_chaos.json)")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -344,6 +359,39 @@ func run(args []string) error {
 		if !rep.Isolated {
 			return fmt.Errorf("tenants: isolation bound violated (interactive p99 during burst %v > %v, final burn %.2fx)",
 				rep.DuringP99, rep.IsolationP99, rep.FinalBurn)
+		}
+	}
+	if want == "skew" {
+		skCfg := experiments.DefaultSkew()
+		if *short || *quick {
+			skCfg = experiments.QuickSkew()
+		}
+		runSkew := experiments.Skew
+		if *parallel {
+			runSkew = experiments.SkewParallel
+		}
+		rep, err := runSkew(cfg, skCfg)
+		if err != nil {
+			return err
+		}
+		out(experiments.RenderSkew(rep))
+		if err := writeBench(*benchOut, "BENCH_skew.json", rep.Bench()); err != nil {
+			return err
+		}
+		if *benchGuard != "" {
+			baseline, err := benchio.ReadJSON(*benchGuard)
+			if err != nil {
+				return err
+			}
+			// Latencies are virtual-clock and thus machine-independent;
+			// guard every policy's p99 directly, no normalization needed.
+			if err := benchio.GuardLatency(baseline, rep.Bench(), 0.25, "skew/"); err != nil {
+				return err
+			}
+			fmt.Printf("lnic-bench: skew p99s within 25%% of baseline %s\n", *benchGuard)
+		}
+		if !rep.Affine {
+			return fmt.Errorf("skew: affinity verdict not met (pinned+mig must beat rr on p99 and warm-hit rate)")
 		}
 	}
 	if want == "rpcbench" {

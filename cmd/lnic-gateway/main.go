@@ -1,14 +1,25 @@
 // Command lnic-gateway runs the λ-NIC gateway (paper Fig. 2): it
 // proxies client requests to worker daemons by workload ID with
-// weakly-consistent delivery (timeout + retransmit) and round-robin
-// load balancing.
+// weakly-consistent delivery (timeout + retransmit) and flow-affine
+// dispatch — each flow (client source × workload) is pinned to a
+// worker on a seeded consistent-hash ring, so repeat requests land on
+// the worker whose cores already hold that flow's state warm.
 //
 // Usage:
 //
 //	lnic-gateway -listen 127.0.0.1:8080 \
 //	    -route "1=127.0.0.1:9000,127.0.0.1:9001" -route "4=127.0.0.1:9000" \
+//	    [-rebalance 1s] [-rebalance-topk 8] [-imbalance 1.5] \
 //	    [-metrics :9101] [-pprof :9111] [-trace-out trace.json] \
 //	    [-faults "drop=0.05,to=127.0.0.1:9000"] [-faults-seed N]
+//
+// -rebalance enables the elephant-flow migration loop: every period it
+// reads per-worker load (the gateway's in-flight counts, or healthd's
+// EWMA-smoothed report when deployed via the library), and re-pins the
+// top-k highest-rate flows off workers whose load exceeds -imbalance ×
+// the fleet mean onto underloaded ones. Mice are never migrated, so
+// the warm-state win of pinning is preserved. 0 (the default) leaves
+// pinning static.
 //
 // Each -route maps one workload ID to its worker addresses. -trace-out
 // records every proxied request's lifecycle (upstream RPC attempts and
@@ -63,6 +74,9 @@ func run(args []string) error {
 	traceOut := fs.String("trace-out", "", "write a Chrome trace of proxied requests to this file on shutdown")
 	faultSpec := fs.String("faults", "", "fault rule for the gateway socket, e.g. \"drop=0.05,to=127.0.0.1:9000\"")
 	faultSeed := fs.Int64("faults-seed", 42, "seed for deterministic fault decisions")
+	rebalance := fs.Duration("rebalance", 0, "elephant-flow migration tick period (0 disables)")
+	rebalanceTopK := fs.Int("rebalance-topk", 8, "elephants considered per workload each rebalance tick")
+	imbalance := fs.Float64("imbalance", 1.5, "overload threshold as a multiple of mean worker load")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -135,6 +149,17 @@ func run(args []string) error {
 		}
 		gw.SetRoute(id, addrs)
 		fmt.Printf("lnic-gateway: workload %d -> %v\n", id, addrs)
+	}
+
+	if *rebalance > 0 {
+		stop := gw.StartRebalancer(gateway.RebalanceConfig{
+			Every:          *rebalance,
+			TopK:           *rebalanceTopK,
+			ImbalanceRatio: *imbalance,
+		})
+		defer stop()
+		fmt.Printf("lnic-gateway: elephant rebalancer every %v (top-%d, imbalance %.2fx)\n",
+			*rebalance, *rebalanceTopK, *imbalance)
 	}
 
 	fmt.Printf("lnic-gateway: serving on %v\n", gw.Addr())

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"lambdanic/internal/core"
+	"lambdanic/internal/dispatch"
 	"lambdanic/internal/faults"
 	"lambdanic/internal/gateway"
 	"lambdanic/internal/healthd"
@@ -66,6 +67,12 @@ type DeploymentConfig struct {
 	// HealthInterval overrides the heartbeat/poll period (default
 	// healthd.DefaultInterval).
 	HealthInterval time.Duration
+	// Rebalance starts the gateway's elephant-flow rebalancer, fed by
+	// healthd's EWMA-smoothed per-worker load. Requires Health.
+	Rebalance bool
+	// RebalanceInterval overrides the rebalance tick (default 4×
+	// the health interval — load reports need a few beats to settle).
+	RebalanceInterval time.Duration
 }
 
 func (c *DeploymentConfig) fillDefaults() {
@@ -234,6 +241,28 @@ func (d *Deployment) startHealth(cfg DeploymentConfig) error {
 		}
 		return nil
 	})
+	if cfg.Rebalance {
+		// The rebalancer consumes healthd's smoothed load: flows from
+		// overloaded workers' elephants migrate to the least-loaded
+		// survivors. Dead or suspect workers are excluded from the
+		// report so migrations never target them.
+		every := cfg.RebalanceInterval
+		if every <= 0 {
+			every = 4 * interval
+		}
+		loads := func() []dispatch.Load {
+			var out []dispatch.Load
+			for _, wh := range det.Snapshot(time.Since(epoch)) {
+				if wh.Status != healthd.StatusAlive {
+					continue
+				}
+				out = append(out, dispatch.Load{Worker: wh.Worker, Load: wh.SmoothedLoad})
+			}
+			return out
+		}
+		stop := d.gw.StartRebalancer(gateway.RebalanceConfig{Every: every, Loads: loads})
+		d.closers = append(d.closers, func() error { stop(); return nil })
+	}
 	return nil
 }
 

@@ -219,6 +219,13 @@ func (b *LambdaNIC) RDMA() *rdma.Engine { return b.rdma }
 // the transport hops (wire trips, RDMA commit) into tr and threading tr
 // through the NIC so queue wait and execution are attributed too.
 func (b *LambdaNIC) InvokeTraced(id uint32, payload []byte, tr *obs.Req, done func(Result)) {
+	b.InvokeFlow(id, payload, 0, tr, done)
+}
+
+// InvokeFlow is InvokeTraced carrying a flow key (dispatch.FlowKey of
+// client source × workload) into the NIC's per-core warm-state model.
+// Zero means untracked.
+func (b *LambdaNIC) InvokeFlow(id uint32, payload []byte, flow uint64, tr *obs.Req, done func(Result)) {
 	if done == nil {
 		done = func(Result) {}
 	}
@@ -236,7 +243,7 @@ func (b *LambdaNIC) InvokeTraced(id uint32, payload []byte, tr *obs.Req, done fu
 			return
 		}
 	}
-	b.invokeLambda(id, payload, tr, done)
+	b.invokeLambda(id, payload, flow, tr, done)
 }
 
 // invokeKVBypass serves one GET over the one-sided path: the key's
@@ -266,7 +273,7 @@ func (b *LambdaNIC) invokeKVBypass(key string, payload []byte, tr *obs.Req, done
 			return
 		}
 		b.kvFallbacks++
-		b.invokeLambda(b.kvBypassID, payload, tr, done)
+		b.invokeLambda(b.kvBypassID, payload, 0, tr, done)
 	}
 	b.kvQP.PostRead(b.kvRegion.Key(), aOff, aLen, func(data []byte, err error) {
 		if err == nil {
@@ -285,9 +292,9 @@ func (b *LambdaNIC) invokeKVBypass(key string, payload []byte, tr *obs.Req, done
 	b.kvQP.RingDoorbell()
 }
 
-// invokeLambda is the lambda-invocation path shared by InvokeTraced
+// invokeLambda is the lambda-invocation path shared by InvokeFlow
 // and the bypass fallback.
-func (b *LambdaNIC) invokeLambda(id uint32, payload []byte, tr *obs.Req, done func(Result)) {
+func (b *LambdaNIC) invokeLambda(id uint32, payload []byte, flow uint64, tr *obs.Req, done func(Result)) {
 	b.inflight++
 	if b.inflight > b.maxInflight {
 		b.maxInflight = b.inflight
@@ -302,7 +309,7 @@ func (b *LambdaNIC) invokeLambda(id uint32, payload []byte, tr *obs.Req, done fu
 	packets := workloads.Packets(len(payload))
 	sent := b.sim.Now()
 	inject := func() {
-		req := &nicsim.Request{LambdaID: id, Payload: payload, Packets: packets, Trace: tr}
+		req := &nicsim.Request{LambdaID: id, Payload: payload, Packets: packets, FlowKey: flow, Trace: tr}
 		b.nic.Inject(req, func(resp nicsim.Response, err error) {
 			if err != nil {
 				finish(Result{Err: err})
@@ -358,6 +365,14 @@ func (b *LambdaNIC) WireDelay(n int) sim.Time { return b.testbed.Link.OneWay(n) 
 // identical. Multi-packet payloads still pay the RDMA commit here,
 // device-side.
 func (b *LambdaNIC) InvokeDelivered(id uint32, payload []byte, tr *obs.Req, done func(Result, sim.Time)) {
+	b.InvokeFlowDelivered(id, payload, 0, tr, done)
+}
+
+// InvokeFlowDelivered is InvokeDelivered carrying a flow key into the
+// NIC's per-core warm-state model (zero means untracked). It is the
+// parallel-domain twin of InvokeFlow: identical event counts keep
+// serial and parallel runs differentially identical.
+func (b *LambdaNIC) InvokeFlowDelivered(id uint32, payload []byte, flow uint64, tr *obs.Req, done func(Result, sim.Time)) {
 	if done == nil {
 		done = func(Result, sim.Time) {}
 	}
@@ -374,7 +389,7 @@ func (b *LambdaNIC) InvokeDelivered(id uint32, payload []byte, tr *obs.Req, done
 	}
 	packets := workloads.Packets(len(payload))
 	inject := func() {
-		req := &nicsim.Request{LambdaID: id, Payload: payload, Packets: packets, Trace: tr}
+		req := &nicsim.Request{LambdaID: id, Payload: payload, Packets: packets, FlowKey: flow, Trace: tr}
 		b.nic.Inject(req, func(resp nicsim.Response, err error) {
 			b.inflight--
 			if err != nil {

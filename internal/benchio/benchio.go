@@ -45,6 +45,10 @@ type Result struct {
 	P50Ns     int64   `json:"p50_ns"`
 	P90Ns     int64   `json:"p90_ns"`
 	P99Ns     int64   `json:"p99_ns"`
+	// P999Ns is the 99.9th percentile; zero when the sample count is too
+	// small for the tail to be meaningful (populated by fill for any
+	// non-empty run, but older reports omit it).
+	P999Ns int64 `json:"p999_ns,omitempty"`
 
 	// AllocsPerOp and BytesPerOp are process-wide deltas divided by
 	// completed requests: they include the full data plane (readers,
@@ -205,6 +209,7 @@ func fill(res *Result, lat []time.Duration, elapsed time.Duration) {
 	res.P50Ns = int64(Percentile(lat, 0.50))
 	res.P90Ns = int64(Percentile(lat, 0.90))
 	res.P99Ns = int64(Percentile(lat, 0.99))
+	res.P999Ns = int64(Percentile(lat, 0.999))
 }
 
 // Percentile returns the p-quantile (0 ≤ p ≤ 1) of sorted durations
@@ -319,6 +324,56 @@ func Guard(baseline, current Report, reference string, tolerance float64, prefix
 	}
 	if len(violations) > 0 {
 		return fmt.Errorf("benchio: throughput regressed beyond %.0f%% tolerance:\n  %s",
+			tolerance*100, strings.Join(violations, "\n  "))
+	}
+	return nil
+}
+
+// GuardLatency compares p99 latency of guarded rows against a
+// committed baseline and returns an error naming every row whose p99
+// grew by more than tolerance (0.20 allows a 20% increase).
+//
+// Unlike Guard, there is no reference-row normalization: this guard is
+// meant for virtual-clock experiments (nicsim under the discrete-event
+// simulator), where latencies are deterministic simulated durations and
+// directly comparable across machines. Do not use it on wall-clock
+// benchmarks. Rows present on only one side are skipped, and rows with
+// a zero p99 on either side are skipped (degenerate sample).
+func GuardLatency(baseline, current Report, tolerance float64, prefixes ...string) error {
+	p99 := func(r Report) map[string]int64 {
+		m := make(map[string]int64, len(r.Results))
+		for _, res := range r.Results {
+			m[res.Name] = res.P99Ns
+		}
+		return m
+	}
+	base := p99(baseline)
+	guarded := func(name string) bool {
+		for _, p := range prefixes {
+			if strings.HasPrefix(name, p) {
+				return true
+			}
+		}
+		return false
+	}
+	var violations []string
+	for _, res := range current.Results {
+		if !guarded(res.Name) {
+			continue
+		}
+		b, ok := base[res.Name]
+		if !ok || b <= 0 || res.P99Ns <= 0 {
+			continue
+		}
+		if float64(res.P99Ns) > float64(b)*(1+tolerance) {
+			violations = append(violations,
+				fmt.Sprintf("%s: p99 %s, baseline %s (+%0.1f%%)",
+					res.Name, time.Duration(res.P99Ns), time.Duration(b),
+					100*(float64(res.P99Ns)/float64(b)-1)))
+		}
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("benchio: p99 latency regressed beyond %.0f%% tolerance:\n  %s",
 			tolerance*100, strings.Join(violations, "\n  "))
 	}
 	return nil

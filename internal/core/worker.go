@@ -7,12 +7,19 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lambdanic/internal/dispatch"
 	"lambdanic/internal/monitor"
 	"lambdanic/internal/obs"
 	"lambdanic/internal/telemetry"
 	"lambdanic/internal/transport"
 	"lambdanic/internal/workloads"
 )
+
+// DefaultWarmFlows is the worker's warm-state tracking capacity: the
+// number of recently-seen flow keys (client source × workload) treated
+// as warm — the software twin of the NIC cores' match-table/SRAM
+// residency. Fleet views surface the hit rate as the WARM% column.
+const DefaultWarmFlows = 64
 
 // Worker is a functional λ-NIC worker node: it serves installed
 // lambdas over the λ-NIC wire protocol, dispatching by the workload ID
@@ -38,6 +45,15 @@ type Worker struct {
 	mWlLatency map[uint32]*telemetry.Histogram
 	mErrors    *monitor.Counter
 	mLatency   *telemetry.Histogram
+
+	// Warm-state tracking: an LRU of recently-seen flow keys guarded by
+	// its own mutex (dispatch.LRU is not concurrency-safe, and the
+	// request path is concurrent). Counters are atomic and incremented
+	// outside the lock.
+	warmMu       sync.Mutex
+	warm         *dispatch.LRU
+	mWarmHits    *monitor.Counter
+	mWarmLookups *monitor.Counter
 
 	// Optional request-lifecycle tracing.
 	tracer obs.Tracer
@@ -88,6 +104,19 @@ func (w *Worker) EnableMetrics(reg *monitor.Registry) error {
 		"requests shed by the transport worker pool", nil, w.ep.Drops); err != nil {
 		return err
 	}
+	// Warm-state counters: WARM% in fleet views is hits/lookups over a
+	// scrape window. Tracking is on by default at DefaultWarmFlows; use
+	// SetWarmFlows to resize or disable.
+	warmHits, err := reg.Counter("lnic_worker_warm_hits_total",
+		"requests whose flow key was still warm (recently seen)", nil)
+	if err != nil {
+		return err
+	}
+	warmLookups, err := reg.Counter("lnic_worker_warm_lookups_total",
+		"warm-state lookups (requests with a known source)", nil)
+	if err != nil {
+		return err
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.registry = reg
@@ -96,7 +125,39 @@ func (w *Worker) EnableMetrics(reg *monitor.Registry) error {
 	w.mWlLatency = make(map[uint32]*telemetry.Histogram)
 	w.mErrors = errs
 	w.mLatency = latency
+	w.mWarmHits = warmHits
+	w.mWarmLookups = warmLookups
+	w.warmMu.Lock()
+	if w.warm == nil {
+		w.warm = dispatch.NewLRU(DefaultWarmFlows)
+	}
+	w.warmMu.Unlock()
 	return nil
+}
+
+// SetWarmFlows resizes the warm-flow tracking window (capacity ≤ 0
+// disables tracking). Resizing resets the tracked set.
+func (w *Worker) SetWarmFlows(capacity int) {
+	w.warmMu.Lock()
+	defer w.warmMu.Unlock()
+	if capacity <= 0 {
+		w.warm = nil
+		return
+	}
+	w.warm = dispatch.NewLRU(capacity)
+}
+
+// observeFlow records one warm-state lookup and reports whether the
+// flow was already warm.
+func (w *Worker) observeFlow(flow uint64) (hit, tracked bool) {
+	w.warmMu.Lock()
+	if w.warm == nil {
+		w.warmMu.Unlock()
+		return false, false
+	}
+	hit = w.warm.Touch(flow)
+	w.warmMu.Unlock()
+	return hit, true
 }
 
 // EnableTracing records each served request's lifecycle (lambda
@@ -184,6 +245,7 @@ func (w *Worker) handle(req *transport.Message) ([]byte, error) {
 	bypassCounter := w.mBypass[req.Header.WorkloadID]
 	wlLatency := w.mWlLatency[req.Header.WorkloadID]
 	errs, latency := w.mErrors, w.mLatency
+	warmHits, warmLookups := w.mWarmHits, w.mWarmLookups
 	tracer := w.tracer
 	w.mu.RUnlock()
 	var tr *obs.Req
@@ -200,6 +262,19 @@ func (w *Worker) handle(req *transport.Message) ([]byte, error) {
 		tr.Mark(obs.StageHost, "worker", "unmatched", tr.Now())
 		tr.Finish(tr.Now(), err)
 		return nil, err
+	}
+	// Warm-state lookup: the request's flow key is its client source ×
+	// workload — the same key the gateway pins on — so the WARM% column
+	// directly measures what flow affinity preserves.
+	if req.Source != nil {
+		if hit, tracked := w.observeFlow(dispatch.FlowKey(req.Source.String(), req.Header.WorkloadID)); tracked {
+			if warmLookups != nil {
+				warmLookups.Inc()
+			}
+			if hit && warmHits != nil {
+				warmHits.Inc()
+			}
+		}
 	}
 	start := time.Now()
 	execStart := tr.Now()

@@ -160,3 +160,90 @@ func TestWorkerServesAndRejectsUnknown(t *testing.T) {
 		t.Error("call after Remove succeeded")
 	}
 }
+
+// TestWorkerWarmTracking: repeated requests from the same client flow
+// count as warm hits after the first; a fresh client is a miss; the
+// counters land in the registry for the fleet view's WARM% column.
+func TestWorkerWarmTracking(t *testing.T) {
+	n := transport.NewMemNetwork(3)
+	w := newTestWorker(t, n, "w1")
+	reg := monitor.NewRegistry()
+	if err := w.EnableMetrics(reg); err != nil {
+		t.Fatal(err)
+	}
+	wl := &workloads.Workload{
+		Name: "echo",
+		ID:   5,
+		Handle: func(payload []byte, deps *workloads.Deps) ([]byte, error) {
+			return payload, nil
+		},
+	}
+	if err := w.Install(wl); err != nil {
+		t.Fatal(err)
+	}
+	client := func(name string) *transport.Endpoint {
+		t.Helper()
+		cc, err := n.Listen(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli := transport.NewEndpoint(cc, nil,
+			transport.WithTimeout(200*time.Millisecond), transport.WithRetries(2))
+		t.Cleanup(func() { cli.Close() })
+		return cli
+	}
+	call := func(cli *transport.Endpoint) {
+		t.Helper()
+		if _, err := cli.Call(context.Background(), transport.MemAddr("w1"), wl.ID, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	alice, bob := client("alice"), client("bob")
+	call(alice)
+	call(alice)
+	call(alice)
+	call(bob)
+	out := reg.Render()
+	for _, want := range []string{
+		"lnic_worker_warm_lookups_total 4",
+		"lnic_worker_warm_hits_total 2", // alice's 2nd and 3rd; both firsts miss
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("registry missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestWorkerWarmTrackingDisabled: SetWarmFlows(0) turns lookups off.
+func TestWorkerWarmTrackingDisabled(t *testing.T) {
+	n := transport.NewMemNetwork(5)
+	w := newTestWorker(t, n, "w1")
+	reg := monitor.NewRegistry()
+	if err := w.EnableMetrics(reg); err != nil {
+		t.Fatal(err)
+	}
+	w.SetWarmFlows(0)
+	wl := &workloads.Workload{
+		Name: "echo",
+		ID:   5,
+		Handle: func(payload []byte, deps *workloads.Deps) ([]byte, error) {
+			return payload, nil
+		},
+	}
+	if err := w.Install(wl); err != nil {
+		t.Fatal(err)
+	}
+	cc, err := n.Listen("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := transport.NewEndpoint(cc, nil,
+		transport.WithTimeout(200*time.Millisecond), transport.WithRetries(2))
+	defer cli.Close()
+	if _, err := cli.Call(context.Background(), transport.MemAddr("w1"), wl.ID, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if out := reg.Render(); !strings.Contains(out, "lnic_worker_warm_lookups_total 0") {
+		t.Errorf("lookups counted with tracking disabled:\n%s", out)
+	}
+}

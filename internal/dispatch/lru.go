@@ -1,0 +1,100 @@
+package dispatch
+
+// LRU is a fixed-capacity least-recently-used set of flow keys. nicsim
+// keeps one per NPU core to model warm state (match-table entries, KV
+// working set, I-cache lines a flow has pulled in); live workers keep one
+// per workload for the WARM% telemetry column. Not safe for concurrent
+// use — nicsim is single-threaded per domain, workers wrap it in a mutex.
+type LRU struct {
+	cap   int
+	index map[uint64]int // flow -> node index
+	nodes []lruNode
+	head  int // most recently used
+	tail  int // least recently used
+	free  int // head of free list (-1 when full)
+}
+
+type lruNode struct {
+	flow       uint64
+	prev, next int
+}
+
+const lruNil = -1
+
+// NewLRU returns an LRU holding at most capacity flows (minimum 1).
+func NewLRU(capacity int) *LRU {
+	if capacity < 1 {
+		capacity = 1
+	}
+	l := &LRU{
+		cap:   capacity,
+		index: make(map[uint64]int, capacity),
+		nodes: make([]lruNode, capacity),
+		head:  lruNil,
+		tail:  lruNil,
+	}
+	for i := 0; i < capacity-1; i++ {
+		l.nodes[i].next = i + 1
+	}
+	l.nodes[capacity-1].next = lruNil
+	l.free = 0
+	return l
+}
+
+// Touch records an access to flow. It returns true when the flow was
+// already resident (a warm hit) and false on a cold miss; either way the
+// flow ends up most-recently-used, evicting the coldest entry if needed.
+func (l *LRU) Touch(flow uint64) bool {
+	if i, ok := l.index[flow]; ok {
+		l.unlink(i)
+		l.pushFront(i)
+		return true
+	}
+	i := l.free
+	if i == lruNil {
+		i = l.tail
+		l.unlink(i)
+		delete(l.index, l.nodes[i].flow)
+	} else {
+		l.free = l.nodes[i].next
+	}
+	l.nodes[i].flow = flow
+	l.index[flow] = i
+	l.pushFront(i)
+	return false
+}
+
+// Len returns the number of resident flows.
+func (l *LRU) Len() int { return len(l.index) }
+
+// Contains reports residency without touching recency.
+func (l *LRU) Contains(flow uint64) bool {
+	_, ok := l.index[flow]
+	return ok
+}
+
+func (l *LRU) unlink(i int) {
+	n := l.nodes[i]
+	if n.prev != lruNil {
+		l.nodes[n.prev].next = n.next
+	} else {
+		l.head = n.next
+	}
+	if n.next != lruNil {
+		l.nodes[n.next].prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+}
+
+func (l *LRU) pushFront(i int) {
+	l.nodes[i].prev = lruNil
+	l.nodes[i].next = l.head
+	if l.head != lruNil {
+		l.nodes[l.head].prev = i
+	}
+	l.head = i
+	if l.tail == lruNil {
+		l.tail = i
+	}
+}

@@ -1,0 +1,101 @@
+package dispatch
+
+import "sort"
+
+// Sketch tracks per-flow request rates over a sliding window using a fixed
+// slot table with exponential decay: Advance() halves every count, so a
+// flow's score is a geometrically-weighted sum of its recent activity.
+// Elephants (sustained heavy flows) float to the top; one-shot mice decay
+// to zero within a few windows. The table is bounded: when full, a new
+// flow evicts the coldest slot only if the slot has decayed below the
+// eviction floor, so short bursts cannot churn out established elephants.
+//
+// Sketch is not safe for concurrent use; callers wrap it in their own
+// serialization (the gateway rebalancer owns one per workload).
+type Sketch struct {
+	slots map[uint64]uint64 // flow -> decayed count
+	cap   int
+}
+
+// evictFloor: slots at or below this decayed count may be evicted to make
+// room for a new flow. 2 means "no hits in the last window and at most a
+// couple before that".
+const evictFloor = 2
+
+// NewSketch returns a sketch bounded to capacity flows (minimum 1).
+func NewSketch(capacity int) *Sketch {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Sketch{slots: make(map[uint64]uint64, capacity), cap: capacity}
+}
+
+// Observe records one request for the flow.
+func (s *Sketch) Observe(flow uint64) {
+	if c, ok := s.slots[flow]; ok {
+		s.slots[flow] = c + 1
+		return
+	}
+	if len(s.slots) >= s.cap {
+		// Evict the coldest slot, but only if it is genuinely cold.
+		var coldFlow uint64
+		coldCount := uint64(1<<64 - 1)
+		for f, c := range s.slots {
+			if c < coldCount || (c == coldCount && f < coldFlow) {
+				coldFlow, coldCount = f, c
+			}
+		}
+		if coldCount > evictFloor {
+			return // table full of warm flows; drop the newcomer
+		}
+		delete(s.slots, coldFlow)
+	}
+	s.slots[flow] = 1
+}
+
+// Advance rolls the window: every count is halved and zeroed slots are
+// reclaimed. Call it once per rebalance tick.
+func (s *Sketch) Advance() {
+	for f, c := range s.slots {
+		c >>= 1
+		if c == 0 {
+			delete(s.slots, f)
+		} else {
+			s.slots[f] = c
+		}
+	}
+}
+
+// Flows returns the number of tracked flows.
+func (s *Sketch) Flows() int { return len(s.slots) }
+
+// Rate returns the decayed count for a flow (0 if untracked).
+func (s *Sketch) Rate(flow uint64) uint64 { return s.slots[flow] }
+
+// HeavyFlow is one entry of TopK.
+type HeavyFlow struct {
+	Flow uint64
+	Rate uint64
+}
+
+// TopK returns the k heaviest flows, heaviest first. Ties break on the
+// flow key so the order is deterministic.
+func (s *Sketch) TopK(k int) []HeavyFlow {
+	if k <= 0 {
+		return nil
+	}
+	all := make([]HeavyFlow, 0, len(s.slots))
+	for f, c := range s.slots {
+		all = append(all, HeavyFlow{Flow: f, Rate: c})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].Rate != all[b].Rate {
+			return all[a].Rate > all[b].Rate
+		}
+		return all[a].Flow < all[b].Flow
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}

@@ -6,14 +6,20 @@
 //
 // Delivery follows the weakly-consistent semantic of §4.2.1 D3: the
 // gateway is the sender that tracks outgoing RPCs and retransmits on
-// timeout or drop (provided by transport.Endpoint). Workers hosting the
-// same lambda are balanced round-robin.
+// timeout or drop (provided by transport.Endpoint). Dispatch is
+// flow-affine (the oRSS-NIC direction): a seeded consistent-hash ring
+// pins each flow (client source × workload) to one worker so its warm
+// state on that worker's NPU cores is reused, failover walks the flow's
+// ring successors deterministically, and a background rebalancer
+// migrates only the elephant flows (top-k of a sliding-window rate
+// sketch) off overloaded workers — mice stay pinned.
 //
 // The forward path is lock-free: the route table is a copy-on-write
-// snapshot behind an atomic pointer with per-workload atomic
-// round-robin counters, so handle never takes a lock, and a concurrent
-// SetRoute/EvictWorker can never change the worker set between a
-// request's attempt-count snapshot and its worker selection.
+// snapshot behind an atomic pointer (ring and pins are immutable per
+// snapshot; the flow-rate sketch is a lock-free lossy table), so handle
+// never takes a lock, and a concurrent SetRoute/EvictWorker can never
+// change the worker set between a request's attempt-count snapshot and
+// its worker selection.
 package gateway
 
 import (
@@ -25,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lambdanic/internal/dispatch"
 	"lambdanic/internal/monitor"
 	"lambdanic/internal/obs"
 	"lambdanic/internal/telemetry"
@@ -37,8 +44,13 @@ type Gateway struct {
 	timeout time.Duration
 	workers int
 
+	// ringSeed seeds every workload's consistent-hash ring; gateways
+	// sharing a seed compute identical flow placements.
+	ringSeed uint64
+
 	// routes is the copy-on-write routing snapshot; mu serializes
-	// writers only (SetRoute, EvictWorker, instrument installs).
+	// writers only (SetRoute, EvictWorker, rebalancer pin installs,
+	// instrument installs).
 	routes atomic.Pointer[routeTable]
 	mu     sync.Mutex
 
@@ -48,6 +60,17 @@ type Gateway struct {
 	failovers atomic.Uint64
 	timeouts  atomic.Uint64
 	throttled atomic.Uint64
+
+	// failoversBy counts failovers per workload ID
+	// (map[uint32]*atomic.Uint64).
+	failoversBy sync.Map
+	// inflight tracks per-worker in-flight upstream calls
+	// (map[string]*atomic.Int64) — the rebalancer's default load signal.
+	inflight sync.Map
+	// migrations counts applied elephant-flow migrations.
+	migrations atomic.Uint64
+	// reb is the running rebalancer, if any (guarded by mu).
+	reb *rebalancer
 
 	// admission is the optional tenant admission snapshot
 	// (admission.go), copy-on-write like routes.
@@ -60,16 +83,10 @@ type Gateway struct {
 
 // routeTable is one immutable routing snapshot. Entries are shared
 // across snapshots: a SetRoute for workload A reuses workload B's
-// entry, so B's round-robin cursor survives unrelated updates.
+// entry, so B's ring, pins, and flow-rate window survive unrelated
+// updates. workloadRoute itself lives in routing.go.
 type routeTable struct {
 	m map[uint32]*workloadRoute
-}
-
-// workloadRoute is the immutable worker set for one workload plus its
-// round-robin cursor.
-type workloadRoute struct {
-	workers []net.Addr
-	rr      atomic.Uint64
 }
 
 // instruments is the optional monitoring-engine (§6.1.1) and tracing
@@ -104,14 +121,26 @@ func WithWorkers(n int) Option {
 	}
 }
 
+// WithRingSeed sets the consistent-hash ring seed. Gateways fronting
+// the same fleet must share a seed to agree on flow placement.
+func WithRingSeed(seed uint64) Option {
+	return func(g *Gateway) { g.ringSeed = seed }
+}
+
 // ErrNoRoute is returned for workload IDs with no registered workers.
 var ErrNoRoute = errors.New("gateway: no route for workload")
+
+// DefaultRingSeed is the consistent-hash ring seed when WithRingSeed is
+// not given — an arbitrary fixed value so independent gateways agree by
+// default.
+const DefaultRingSeed = 0x1a4bda9c0ffee
 
 // New starts a gateway on conn. The gateway owns the connection.
 func New(conn net.PacketConn, opts ...Option) *Gateway {
 	g := &Gateway{
-		timeout: 2 * time.Second,
-		workers: 256,
+		timeout:  2 * time.Second,
+		workers:  256,
+		ringSeed: DefaultRingSeed,
 	}
 	g.routes.Store(&routeTable{m: map[uint32]*workloadRoute{}})
 	for _, o := range opts {
@@ -135,7 +164,8 @@ func (g *Gateway) Forwarded() uint64 { return g.forwarded.Load() }
 // Unrouted returns the number of requests with no route.
 func (g *Gateway) Unrouted() uint64 { return g.unrouted.Load() }
 
-// Failovers returns the number of per-request worker failovers.
+// Failovers returns the node-wide number of per-request worker
+// failovers; FailoversFor breaks the count down by workload.
 func (g *Gateway) Failovers() uint64 { return g.failovers.Load() }
 
 // UpstreamTimeouts returns the number of upstream calls that timed out
@@ -178,12 +208,32 @@ func (g *Gateway) EvictWorker(addr net.Addr) int {
 		}
 		switch {
 		case len(kept) == len(wr.workers):
-			next[id] = wr // untouched entry: cursor survives
+			next[id] = wr // untouched entry: ring, pins, and window survive
 		case len(kept) == 0:
 			removed++
 		default:
 			removed++
-			next[id] = &workloadRoute{workers: kept}
+			// Rebuild the ring over the survivors. Pins to surviving
+			// workers are remapped by address (stable); pins to the
+			// evicted worker are dropped, so those flows revert to their
+			// ring owner deterministically.
+			var pins map[uint64]int
+			if len(wr.pins) > 0 {
+				index := make(map[string]int, len(kept))
+				for i, w := range kept {
+					index[w.String()] = i
+				}
+				pins = make(map[uint64]int, len(wr.pins))
+				for f, wi := range wr.pins {
+					if wi < 0 || wi >= len(wr.workers) {
+						continue
+					}
+					if ni, ok := index[wr.workers[wi].String()]; ok {
+						pins[f] = ni
+					}
+				}
+			}
+			next[id] = newWorkloadRoute(kept, g.ringSeed, pins, wr.stats)
 		}
 	}
 	g.routes.Store(&routeTable{m: next})
@@ -193,19 +243,26 @@ func (g *Gateway) EvictWorker(addr net.Addr) int {
 }
 
 // SetRoute replaces the worker set for a workload (called by the
-// workload manager as placements change).
+// workload manager as placements change). The workload's ring is
+// rebuilt over the new set and standing migrations are cleared (the
+// placement changed wholesale; the rebalancer re-derives them), but the
+// flow-rate window carries over so elephant detection keeps its
+// history. Other workloads' entries are shared untouched.
 func (g *Gateway) SetRoute(id uint32, workers []net.Addr) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	old := g.routes.Load()
 	next := make(map[uint32]*workloadRoute, len(old.m)+1)
+	var stats *flowStats
 	for wid, wr := range old.m {
 		if wid != id {
 			next[wid] = wr
+		} else {
+			stats = wr.stats
 		}
 	}
 	if len(workers) > 0 {
-		next[id] = &workloadRoute{workers: append([]net.Addr(nil), workers...)}
+		next[id] = newWorkloadRoute(append([]net.Addr(nil), workers...), g.ringSeed, nil, stats)
 	}
 	g.routes.Store(&routeTable{m: next})
 }
@@ -277,6 +334,16 @@ func (g *Gateway) EnableMetrics(reg *monitor.Registry) error {
 		func() float64 { return float64(g.LiveWorkers()) }); err != nil {
 		return err
 	}
+	if err := reg.GaugeFunc("lnic_gateway_pinned_flows",
+		"flows pinned off their ring owner by elephant migration", nil,
+		func() float64 { return float64(g.PinnedFlows()) }); err != nil {
+		return err
+	}
+	if err := reg.CounterFunc("lnic_gateway_migrations_total",
+		"elephant-flow migrations applied by the rebalancer", nil,
+		g.Migrations); err != nil {
+		return err
+	}
 	// The latency histogram is the telemetry plane's lock-free sharded
 	// implementation: the request hot path records with a single atomic
 	// add instead of convoying on the registry histogram's mutex.
@@ -318,10 +385,12 @@ func (g *Gateway) instrumentsCopy() *instruments {
 
 // handle proxies one client request to a worker and relays the
 // response. It reads exactly one route snapshot, so the worker set it
-// iterates cannot change mid-request. When an upstream call fails (a
-// crashed or unreachable worker), the gateway fails over to the next
-// worker in the snapshot before giving up — keeping a lambda available
-// while any replica lives.
+// iterates cannot change mid-request. The first attempt goes to the
+// flow's pinned owner (standing migration if one exists, ring owner
+// otherwise); when an upstream call fails (a crashed or unreachable
+// worker), the gateway fails over along the flow's ring successors —
+// the same deterministic order on every gateway — before giving up,
+// keeping a lambda available while any replica lives.
 func (g *Gateway) handle(req *transport.Message) ([]byte, error) {
 	// Tenant admission runs before any routing work: an over-quota
 	// request costs the gateway one bucket probe, nothing upstream.
@@ -343,13 +412,33 @@ func (g *Gateway) handle(req *transport.Message) ([]byte, error) {
 		tr.Finish(tr.Now(), err)
 		return nil, err
 	}
+	src := ""
+	if req.Source != nil {
+		src = req.Source.String()
+	}
+	flow := dispatch.FlowKey(src, req.Header.WorkloadID)
+	wr.stats.observe(flow)
+	owner := wr.ownerIndex(flow)
 	attempts := len(wr.workers)
+	// The successor order is only materialized on the first failover —
+	// the happy path costs one ring lookup and no allocation.
+	var order []int
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
-		worker := wr.workers[int((wr.rr.Add(1)-1)%uint64(attempts))]
+		wi := owner
+		if attempt > 0 {
+			if order == nil {
+				order = wr.failoverOrder(flow, owner)
+			}
+			wi = order[attempt-1]
+		}
+		worker := wr.workers[wi]
+		load := g.inflightFor(worker.String())
 		ctx, cancel := context.WithTimeout(context.Background(), g.timeout)
 		start := time.Now()
+		load.Add(1)
 		resp, err := g.ep.CallTraced(ctx, worker, req.Header.WorkloadID, req.Payload, tr)
+		load.Add(-1)
 		cancel()
 		if ins != nil && ins.latency != nil {
 			ins.latency.ObserveDuration(time.Since(start))
@@ -381,7 +470,7 @@ func (g *Gateway) handle(req *transport.Message) ([]byte, error) {
 			return nil, lastErr
 		}
 		if attempt+1 < attempts {
-			g.failovers.Add(1)
+			g.countFailover(req.Header.WorkloadID)
 			if ins != nil && ins.failovers != nil {
 				ins.failovers.Inc()
 			}

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"lambdanic/internal/dispatch"
 	"lambdanic/internal/transport"
 )
 
@@ -34,7 +35,15 @@ func echoWorker(t *testing.T, n *transport.MemNetwork, name string) *transport.E
 // testClient starts a client endpoint.
 func testClient(t *testing.T, n *transport.MemNetwork, opts ...transport.EndpointOption) *transport.Endpoint {
 	t.Helper()
-	conn, err := n.Listen("client")
+	return namedClient(t, n, "client", opts...)
+}
+
+// namedClient starts a client endpoint on a specific address — under
+// flow-affine dispatch the client address is the flow identity, so
+// tests spread load by using many named clients.
+func namedClient(t *testing.T, n *transport.MemNetwork, name string, opts ...transport.EndpointOption) *transport.Endpoint {
+	t.Helper()
+	conn, err := n.Listen(name)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,13 +90,21 @@ func TestGatewayForwardsByWorkloadID(t *testing.T) {
 	}
 }
 
-func TestGatewayRoundRobin(t *testing.T) {
+// TestGatewayFlowAffinity: all requests from one client flow land on
+// one worker (warm state is reused), while distinct clients spread
+// across the fleet via the consistent-hash ring.
+func TestGatewayFlowAffinity(t *testing.T) {
 	n := transport.NewMemNetwork(1)
-	echoWorker(t, n, "w1")
-	echoWorker(t, n, "w2")
+	names := []string{"w1", "w2", "w3", "w4"}
+	workers := make([]net.Addr, len(names))
+	for i, name := range names {
+		echoWorker(t, n, name)
+		workers[i] = transport.MemAddr(name)
+	}
 	gw := newGateway(t, n)
-	gw.SetRoute(1, []net.Addr{transport.MemAddr("w1"), transport.MemAddr("w2")})
+	gw.SetRoute(1, workers)
 
+	// One client: every request sticks to the same worker.
 	cli := testClient(t, n)
 	counts := map[string]int{}
 	for i := 0; i < 10; i++ {
@@ -98,8 +115,64 @@ func TestGatewayRoundRobin(t *testing.T) {
 		name, _, _ := strings.Cut(string(resp), ":")
 		counts[name]++
 	}
-	if counts["w1"] != 5 || counts["w2"] != 5 {
-		t.Errorf("round robin skewed: %v", counts)
+	if len(counts) != 1 {
+		t.Fatalf("one flow scattered across %d workers: %v", len(counts), counts)
+	}
+
+	// Many clients: flows spread over multiple workers.
+	spread := map[string]int{}
+	for c := 0; c < 32; c++ {
+		cc := namedClient(t, n, fmt.Sprintf("c%02d", c))
+		resp, err := cc.Call(context.Background(), transport.MemAddr("gw"), 1, []byte("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		name, _, _ := strings.Cut(string(resp), ":")
+		spread[name]++
+	}
+	if len(spread) < 3 {
+		t.Fatalf("32 flows landed on only %d of 4 workers: %v", len(spread), spread)
+	}
+}
+
+// TestGatewayFlowAffinityStableAcrossGateways: two gateways with the
+// same seed place the same flow on the same worker.
+func TestGatewayFlowAffinityStableAcrossGateways(t *testing.T) {
+	n := transport.NewMemNetwork(1)
+	names := []string{"w1", "w2", "w3"}
+	workers := make([]net.Addr, len(names))
+	for i, name := range names {
+		echoWorker(t, n, name)
+		workers[i] = transport.MemAddr(name)
+	}
+	conn1, err := n.Listen("gw1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw1 := New(conn1)
+	t.Cleanup(func() { gw1.Close() })
+	conn2, err := n.Listen("gw2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw2 := New(conn2)
+	t.Cleanup(func() { gw2.Close() })
+	gw1.SetRoute(1, workers)
+	gw2.SetRoute(1, workers)
+
+	cli := testClient(t, n)
+	r1, err := cli.Call(context.Background(), transport.MemAddr("gw1"), 1, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := cli.Call(context.Background(), transport.MemAddr("gw2"), 1, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, _, _ := strings.Cut(string(r1), ":")
+	w2, _, _ := strings.Cut(string(r2), ":")
+	if w1 != w2 {
+		t.Fatalf("gateways disagree on placement: %s vs %s", w1, w2)
 	}
 }
 
@@ -254,5 +327,85 @@ func TestGatewayAllWorkersDead(t *testing.T) {
 	_, err := cli.Call(context.Background(), transport.MemAddr("gw"), 1, []byte("x"))
 	if err == nil {
 		t.Error("call with all workers dead succeeded")
+	}
+}
+
+// TestGatewayFailoverDeterministicSuccessor: when a flow's ring owner
+// is dead, every request re-pins to the flow's first live ring
+// successor — the same worker each time, not a scatter.
+func TestGatewayFailoverDeterministicSuccessor(t *testing.T) {
+	n := transport.NewMemNetwork(29)
+	names := []string{"w1", "w2", "w3"}
+	workers := make([]net.Addr, len(names))
+	for i, name := range names {
+		workers[i] = transport.MemAddr(name)
+	}
+	gw := newGateway(t, n, WithUpstreamTimeout(60*time.Millisecond))
+	gw.SetRoute(1, workers)
+
+	// White-box: find the flow's ring order for client "client", then
+	// start every worker except the owner.
+	wr := gw.routes.Load().m[1]
+	flow := dispatch.FlowKey("client", 1)
+	owner := wr.ownerIndex(flow)
+	succ := wr.failoverOrder(flow, owner)
+	for i, name := range names {
+		if i != owner {
+			echoWorker(t, n, name)
+		}
+	}
+	want := names[succ[0]]
+
+	cli := testClient(t, n, transport.WithTimeout(400*time.Millisecond), transport.WithRetries(1))
+	for i := 0; i < 5; i++ {
+		resp, err := cli.Call(context.Background(), transport.MemAddr("gw"), 1, []byte("x"))
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		got, _, _ := strings.Cut(string(resp), ":")
+		if got != want {
+			t.Fatalf("call %d served by %s, want deterministic successor %s", i, got, want)
+		}
+	}
+	if gw.Failovers() == 0 {
+		t.Error("failovers not counted")
+	}
+}
+
+// TestGatewayPerWorkloadFailoverCounters: failovers are attributed to
+// the workload that suffered them.
+func TestGatewayPerWorkloadFailoverCounters(t *testing.T) {
+	n := transport.NewMemNetwork(31)
+	echoWorker(t, n, "alive")
+	gw := newGateway(t, n, WithUpstreamTimeout(60*time.Millisecond))
+	gw.SetRoute(1, []net.Addr{transport.MemAddr("dead"), transport.MemAddr("alive")})
+	gw.SetRoute(2, []net.Addr{transport.MemAddr("alive")})
+	cli := testClient(t, n, transport.WithTimeout(400*time.Millisecond), transport.WithRetries(1))
+
+	// Workload 2 never fails over.
+	if _, err := cli.Call(context.Background(), transport.MemAddr("gw"), 2, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Drive workload 1 until its flow hits the dead worker's failover
+	// path at least once (the client's flow may already own "alive", so
+	// use several distinct client flows).
+	for c := 0; c < 8 && gw.FailoversFor(1) == 0; c++ {
+		cc := namedClient(t, n, fmt.Sprintf("fc%d", c), transport.WithTimeout(400*time.Millisecond), transport.WithRetries(1))
+		if _, err := cc.Call(context.Background(), transport.MemAddr("gw"), 1, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if gw.FailoversFor(1) == 0 {
+		t.Fatal("no failover attributed to workload 1")
+	}
+	if gw.FailoversFor(2) != 0 {
+		t.Fatalf("workload 2 charged %d failovers", gw.FailoversFor(2))
+	}
+	by := gw.FailoversByWorkload()
+	if by[1] != gw.FailoversFor(1) {
+		t.Fatalf("FailoversByWorkload mismatch: %v", by)
+	}
+	if gw.Failovers() < gw.FailoversFor(1) {
+		t.Fatal("node-wide failovers below per-workload count")
 	}
 }

@@ -1,0 +1,402 @@
+package gateway
+
+import (
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lambdanic/internal/dispatch"
+)
+
+// workloadRoute is the immutable routing state for one workload: the
+// worker set, the seeded consistent-hash ring pinning flows to workers,
+// and the standing elephant migrations (flow -> worker index) layered
+// on top of the ring. stats is the only mutable field — a lock-free
+// lossy flow-rate table shared across snapshots so observation survives
+// route updates.
+type workloadRoute struct {
+	workers []net.Addr
+	ring    *dispatch.Ring
+	pins    map[uint64]int
+	stats   *flowStats
+}
+
+// newWorkloadRoute builds a route entry, constructing the ring over the
+// workers' addresses. pins and stats may be nil (fresh entry).
+func newWorkloadRoute(workers []net.Addr, seed uint64, pins map[uint64]int, stats *flowStats) *workloadRoute {
+	names := make([]string, len(workers))
+	for i, w := range workers {
+		names[i] = w.String()
+	}
+	if stats == nil {
+		stats = newFlowStats()
+	}
+	return &workloadRoute{
+		workers: workers,
+		ring:    dispatch.NewRing(names, seed, 0),
+		pins:    pins,
+		stats:   stats,
+	}
+}
+
+// ownerIndex is the worker index a flow is pinned to: a standing
+// migration wins, otherwise the ring decides.
+func (wr *workloadRoute) ownerIndex(flow uint64) int {
+	if idx, ok := wr.pins[flow]; ok && idx >= 0 && idx < len(wr.workers) {
+		return idx
+	}
+	return wr.ring.Pick(flow)
+}
+
+// failoverOrder is the deterministic retry order after the owner
+// failed: the flow's ring successors, skipping the failed owner. Every
+// gateway computes the same order, so a pinned flow re-pins to the same
+// live successor everywhere instead of scattering.
+func (wr *workloadRoute) failoverOrder(flow uint64, owner int) []int {
+	succ := wr.ring.Successors(flow, len(wr.workers))
+	out := make([]int, 0, len(succ))
+	for _, s := range succ {
+		if s != owner {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// pinnedFlows counts standing migrations.
+func (wr *workloadRoute) pinnedFlows() int { return len(wr.pins) }
+
+// flowStats is a fixed-size, lock-free, lossy per-flow rate table — the
+// sliding-window sketch feeding elephant detection. The request path
+// records with at most flowProbes CAS/add operations and never blocks;
+// the rebalancer scans and decays it once per tick. Collisions drop
+// samples (lossy), which only ever under-counts a flow — an elephant
+// generates so many samples it cannot stay hidden.
+type flowStats struct {
+	slots [flowSlots]flowSlot
+}
+
+type flowSlot struct {
+	key  atomic.Uint64
+	hits atomic.Uint64
+}
+
+const (
+	flowSlots  = 1024 // power of two
+	flowProbes = 4
+)
+
+func newFlowStats() *flowStats { return &flowStats{} }
+
+// observe records one request for the flow (flow 0 is never tracked).
+func (fs *flowStats) observe(flow uint64) {
+	if flow == 0 {
+		return
+	}
+	idx := int(flow>>32^flow) & (flowSlots - 1)
+	for p := 0; p < flowProbes; p++ {
+		slot := &fs.slots[(idx+p)&(flowSlots-1)]
+		k := slot.key.Load()
+		if k == flow {
+			slot.hits.Add(1)
+			return
+		}
+		if k == 0 && slot.key.CompareAndSwap(0, flow) {
+			slot.hits.Add(1)
+			return
+		}
+	}
+	// All probe slots taken by other flows: drop the sample.
+}
+
+// decay halves every count and frees dead slots — the sliding window.
+// Races with concurrent observes can lose a sample; the window is a
+// heuristic, not an invariant.
+func (fs *flowStats) decay() {
+	for i := range fs.slots {
+		slot := &fs.slots[i]
+		if slot.key.Load() == 0 {
+			continue
+		}
+		h := slot.hits.Load() >> 1
+		slot.hits.Store(h)
+		if h == 0 {
+			slot.key.Store(0)
+		}
+	}
+}
+
+// topK returns the k heaviest tracked flows, deterministic order.
+func (fs *flowStats) topK(k int) []dispatch.HeavyFlow {
+	if k <= 0 {
+		return nil
+	}
+	var all []dispatch.HeavyFlow
+	for i := range fs.slots {
+		slot := &fs.slots[i]
+		key := slot.key.Load()
+		if key == 0 {
+			continue
+		}
+		if h := slot.hits.Load(); h > 0 {
+			all = append(all, dispatch.HeavyFlow{Flow: key, Rate: h})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].Rate != all[b].Rate {
+			return all[a].Rate > all[b].Rate
+		}
+		return all[a].Flow < all[b].Flow
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// RebalanceConfig parameterizes the elephant-flow rebalancer.
+type RebalanceConfig struct {
+	// Every is the tick period (default 1s).
+	Every time.Duration
+	// TopK bounds how many elephants per workload are considered each
+	// tick (default 8).
+	TopK int
+	// ImbalanceRatio is the overload threshold: a worker whose load
+	// exceeds ratio × the mean triggers migration of its elephants
+	// (default 1.5).
+	ImbalanceRatio float64
+	// Loads supplies per-worker load, keyed by worker address string.
+	// Nil falls back to the gateway's own per-worker in-flight counts;
+	// deployments wire healthd's EWMA-smoothed snapshot here.
+	Loads func() []dispatch.Load
+}
+
+func (c RebalanceConfig) withDefaults() RebalanceConfig {
+	if c.Every <= 0 {
+		c.Every = time.Second
+	}
+	if c.TopK <= 0 {
+		c.TopK = 8
+	}
+	if c.ImbalanceRatio <= 1 {
+		c.ImbalanceRatio = 1.5
+	}
+	return c
+}
+
+// rebalancer is the gateway's background migration loop.
+type rebalancer struct {
+	cfg  RebalanceConfig
+	stop chan struct{}
+	once sync.Once
+}
+
+// StartRebalancer launches the elephant-flow migration loop and returns
+// a stop function. Each tick it reads the load report, finds workloads
+// whose owner workers are overloaded, migrates their top-k elephant
+// flows to underloaded workers, and rolls the rate window. Mice are
+// never touched. Calling it twice replaces nothing — the second call
+// returns a no-op stop and leaves the first loop running.
+func (g *Gateway) StartRebalancer(cfg RebalanceConfig) (stop func()) {
+	cfg = cfg.withDefaults()
+	g.mu.Lock()
+	if g.reb != nil {
+		g.mu.Unlock()
+		return func() {}
+	}
+	r := &rebalancer{cfg: cfg, stop: make(chan struct{})}
+	g.reb = r
+	g.mu.Unlock()
+	go func() {
+		t := time.NewTicker(cfg.Every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				g.RebalanceOnce(cfg)
+			case <-r.stop:
+				return
+			}
+		}
+	}()
+	return func() {
+		r.once.Do(func() { close(r.stop) })
+		g.mu.Lock()
+		if g.reb == r {
+			g.reb = nil
+		}
+		g.mu.Unlock()
+	}
+}
+
+// RebalanceOnce runs one rebalance tick synchronously and returns the
+// number of migrations applied (exposed for tests and lnicctl).
+func (g *Gateway) RebalanceOnce(cfg RebalanceConfig) int {
+	cfg = cfg.withDefaults()
+	var report []dispatch.Load
+	if cfg.Loads != nil {
+		report = cfg.Loads()
+	}
+	rt := g.routes.Load()
+	ids := make([]uint32, 0, len(rt.m))
+	for id := range rt.m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	applied := 0
+	for _, id := range ids {
+		wr := rt.m[id]
+		if len(wr.workers) < 2 {
+			wr.stats.decay()
+			continue
+		}
+		elephants := wr.stats.topK(cfg.TopK)
+		if len(elephants) > 0 {
+			loads := g.loadsFor(wr, report)
+			owner := func(f uint64) string { return wr.workers[wr.ownerIndex(f)].String() }
+			plan := dispatch.Plan(loads, elephants, owner, cfg.ImbalanceRatio)
+			applied += g.applyMigrations(id, plan)
+		}
+		wr.stats.decay()
+	}
+	return applied
+}
+
+// loadsFor assembles the load vector for one workload's workers: the
+// external report where present, the gateway's own in-flight count
+// otherwise.
+func (g *Gateway) loadsFor(wr *workloadRoute, report []dispatch.Load) []dispatch.Load {
+	byName := make(map[string]float64, len(report))
+	for _, l := range report {
+		byName[l.Worker] = l.Load
+	}
+	out := make([]dispatch.Load, len(wr.workers))
+	for i, w := range wr.workers {
+		name := w.String()
+		load, ok := byName[name]
+		if !ok {
+			load = float64(g.inflightOf(name))
+		}
+		out[i] = dispatch.Load{Worker: name, Load: load}
+	}
+	return out
+}
+
+// applyMigrations installs standing pins for the planned migrations via
+// a copy-on-write rebuild of the workload's route entry. Migrations
+// whose target left the route between planning and application are
+// skipped. Returns the number applied.
+func (g *Gateway) applyMigrations(id uint32, plan []dispatch.Migration) int {
+	if len(plan) == 0 {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	old := g.routes.Load()
+	wr := old.m[id]
+	if wr == nil {
+		return 0
+	}
+	index := make(map[string]int, len(wr.workers))
+	for i, w := range wr.workers {
+		index[w.String()] = i
+	}
+	pins := make(map[uint64]int, len(wr.pins)+len(plan))
+	for f, i := range wr.pins {
+		pins[f] = i
+	}
+	applied := 0
+	for _, mig := range plan {
+		to, ok := index[mig.To]
+		if !ok {
+			continue
+		}
+		// A migration landing the flow back on its ring owner is just an
+		// unpin: drop the override instead of storing a redundant pin.
+		if wr.ring.Pick(mig.Flow) == to {
+			if _, had := pins[mig.Flow]; had {
+				delete(pins, mig.Flow)
+				applied++
+			}
+			continue
+		}
+		if cur, had := pins[mig.Flow]; had && cur == to {
+			continue
+		}
+		pins[mig.Flow] = to
+		applied++
+	}
+	if applied == 0 {
+		return 0
+	}
+	next := make(map[uint32]*workloadRoute, len(old.m))
+	for wid, entry := range old.m {
+		next[wid] = entry
+	}
+	next[id] = &workloadRoute{workers: wr.workers, ring: wr.ring, pins: pins, stats: wr.stats}
+	g.routes.Store(&routeTable{m: next})
+	g.migrations.Add(uint64(applied))
+	return applied
+}
+
+// Migrations returns the total elephant-flow migrations applied.
+func (g *Gateway) Migrations() uint64 { return g.migrations.Load() }
+
+// PinnedFlows counts standing migrations across all workloads — flows
+// currently pinned somewhere other than their ring owner.
+func (g *Gateway) PinnedFlows() int {
+	rt := g.routes.Load()
+	n := 0
+	for _, wr := range rt.m {
+		n += wr.pinnedFlows()
+	}
+	return n
+}
+
+// FailoversFor returns the failovers counted for one workload.
+func (g *Gateway) FailoversFor(id uint32) uint64 {
+	if c, ok := g.failoversBy.Load(id); ok {
+		return c.(*atomic.Uint64).Load()
+	}
+	return 0
+}
+
+// FailoversByWorkload snapshots the per-workload failover counters.
+func (g *Gateway) FailoversByWorkload() map[uint32]uint64 {
+	out := make(map[uint32]uint64)
+	g.failoversBy.Range(func(k, v any) bool {
+		out[k.(uint32)] = v.(*atomic.Uint64).Load()
+		return true
+	})
+	return out
+}
+
+// countFailover bumps the node-wide and per-workload failover counters.
+func (g *Gateway) countFailover(id uint32) {
+	g.failovers.Add(1)
+	c, ok := g.failoversBy.Load(id)
+	if !ok {
+		c, _ = g.failoversBy.LoadOrStore(id, &atomic.Uint64{})
+	}
+	c.(*atomic.Uint64).Add(1)
+}
+
+// inflightFor returns the in-flight counter for a worker address,
+// creating it on first use.
+func (g *Gateway) inflightFor(name string) *atomic.Int64 {
+	if c, ok := g.inflight.Load(name); ok {
+		return c.(*atomic.Int64)
+	}
+	c, _ := g.inflight.LoadOrStore(name, &atomic.Int64{})
+	return c.(*atomic.Int64)
+}
+
+// inflightOf reads a worker's current in-flight count.
+func (g *Gateway) inflightOf(name string) int64 {
+	if c, ok := g.inflight.Load(name); ok {
+		return c.(*atomic.Int64).Load()
+	}
+	return 0
+}

@@ -133,9 +133,10 @@ type Daemon struct {
 
 // workerGauges is one worker's set of health gauges.
 type workerGauges struct {
-	load   *monitor.Gauge
-	phi    *monitor.Gauge
-	status *monitor.Gauge
+	load     *monitor.Gauge
+	smoothed *monitor.Gauge
+	phi      *monitor.Gauge
+	status   *monitor.Gauge
 }
 
 // NewDaemon wires a detector to a heartbeat source and a clock.
@@ -154,7 +155,8 @@ func (d *Daemon) Detector() *Detector { return d.det }
 
 // EnableMetrics publishes each polled worker's health into the
 // monitoring engine: lnic_healthd_load (in-flight requests from the
-// last heartbeat), lnic_healthd_phi (suspicion score), and
+// last heartbeat), lnic_healthd_load_smoothed (the EWMA the rebalancer
+// consumes), lnic_healthd_phi (suspicion score), and
 // lnic_healthd_status (0 alive, 1 suspect, 2 dead), all labeled by
 // worker. Gauges register lazily the first time a worker appears, so
 // enabling before any poll covers the whole fleet.
@@ -185,6 +187,10 @@ func (d *Daemon) publishHealth(now time.Duration) {
 			if err != nil {
 				continue
 			}
+			smoothed, err := reg.Gauge("lnic_healthd_load_smoothed", "worker load EWMA across heartbeats (rebalancer input)", labels)
+			if err != nil {
+				continue
+			}
 			phi, err := reg.Gauge("lnic_healthd_phi", "worker suspicion score (heartbeat age over mean interval)", labels)
 			if err != nil {
 				continue
@@ -193,12 +199,13 @@ func (d *Daemon) publishHealth(now time.Duration) {
 			if err != nil {
 				continue
 			}
-			g = &workerGauges{load: load, phi: phi, status: status}
+			g = &workerGauges{load: load, smoothed: smoothed, phi: phi, status: status}
 			d.mu.Lock()
 			gauges[wh.Worker] = g
 			d.mu.Unlock()
 		}
 		g.load.Set(float64(wh.Load))
+		g.smoothed.Set(wh.SmoothedLoad)
 		g.phi.Set(wh.Phi)
 		g.status.Set(float64(wh.Status))
 	}

@@ -88,6 +88,12 @@ type Config struct {
 	EvictAfter float64
 	// Window bounds the interarrival history used for the mean.
 	Window int
+	// LoadAlpha is the EWMA coefficient for smoothing per-worker load:
+	// smoothed = alpha*sample + (1-alpha)*smoothed. Raw in-flight counts
+	// are point samples taken at heartbeat instants and whipsaw between
+	// beats; the rebalancer wants the trend, not the noise. Values are
+	// clamped to (0, 1]; 1 disables smoothing (smoothed == raw).
+	LoadAlpha float64
 }
 
 // Detector defaults: suspect after ~2 missed beats, evict after 4.
@@ -96,6 +102,9 @@ const (
 	DefaultSuspectAfter = 2
 	DefaultEvictAfter   = 4
 	DefaultWindow       = 8
+	// DefaultLoadAlpha weighs a new load sample at 30%: roughly the last
+	// three heartbeats dominate the smoothed value.
+	DefaultLoadAlpha = 0.3
 )
 
 func (c Config) withDefaults() Config {
@@ -113,6 +122,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Window <= 0 {
 		c.Window = DefaultWindow
+	}
+	if c.LoadAlpha <= 0 {
+		c.LoadAlpha = DefaultLoadAlpha
+	}
+	if c.LoadAlpha > 1 {
+		c.LoadAlpha = 1
 	}
 	return c
 }
@@ -137,11 +152,15 @@ type WorkerHealth struct {
 	// Phi is the suspicion score: Age over mean interarrival.
 	Phi    float64
 	Status Status
+	// SmoothedLoad is the EWMA of Load across heartbeats (Config.LoadAlpha)
+	// — the signal the gateway rebalancer keys migration decisions off.
+	SmoothedLoad float64
 }
 
 type workerState struct {
 	seq       uint64
 	load      int
+	ewma      float64
 	lastSeen  time.Duration
 	intervals []time.Duration
 	status    Status
@@ -175,7 +194,9 @@ func (d *Detector) Observe(hb Heartbeat, now time.Duration) *Transition {
 	defer d.mu.Unlock()
 	st, ok := d.workers[hb.Worker]
 	if !ok {
-		d.workers[hb.Worker] = &workerState{seq: hb.Seq, load: hb.Load, lastSeen: now}
+		// First sighting: the EWMA seeds at the first sample so the
+		// smoothed value is meaningful immediately.
+		d.workers[hb.Worker] = &workerState{seq: hb.Seq, load: hb.Load, ewma: float64(hb.Load), lastSeen: now}
 		return nil
 	}
 	if hb.Seq <= st.seq {
@@ -189,6 +210,7 @@ func (d *Detector) Observe(hb Heartbeat, now time.Duration) *Transition {
 	}
 	st.seq = hb.Seq
 	st.load = hb.Load
+	st.ewma = d.cfg.LoadAlpha*float64(hb.Load) + (1-d.cfg.LoadAlpha)*st.ewma
 	st.lastSeen = now
 	if st.status != StatusAlive {
 		tr := &Transition{Worker: hb.Worker, From: st.status, To: StatusAlive, At: now}
@@ -267,13 +289,14 @@ func (d *Detector) Snapshot(now time.Duration) []WorkerHealth {
 	out := make([]WorkerHealth, 0, len(d.workers))
 	for name, st := range d.workers {
 		out = append(out, WorkerHealth{
-			Worker:   name,
-			Seq:      st.seq,
-			Load:     st.load,
-			LastSeen: st.lastSeen,
-			Age:      now - st.lastSeen,
-			Phi:      d.phi(st, now),
-			Status:   st.status,
+			Worker:       name,
+			Seq:          st.seq,
+			Load:         st.load,
+			LastSeen:     st.lastSeen,
+			Age:          now - st.lastSeen,
+			Phi:          d.phi(st, now),
+			Status:       st.status,
+			SmoothedLoad: st.ewma,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Worker < out[j].Worker })

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"lambdanic/internal/cluster"
+	"lambdanic/internal/dispatch"
 	"lambdanic/internal/obs"
 	"lambdanic/internal/sim"
 	"lambdanic/internal/wfq"
@@ -99,6 +100,10 @@ type Request struct {
 	Payload  []byte
 	// Packets is the number of wire packets the RPC spans (≥1).
 	Packets int
+	// FlowKey identifies the client flow (dispatch.FlowKey of source ×
+	// workload) for the per-core warm-state model. Zero means untracked:
+	// the request neither hits nor pollutes warm state.
+	FlowKey uint64
 	// Trace, when non-nil, receives the request's NIC-side lifecycle
 	// spans: scheduler queue wait, instruction cycles, and per-level
 	// memory stalls on the executing thread's island/core track.
@@ -184,6 +189,16 @@ type Config struct {
 	// DispatchTenantWFQ (typically tenant.Registry.Weights()). Missing
 	// tenants default to weight 1.
 	TenantWeights map[uint32]float64
+	// WarmFlows enables the per-core warm-state model: each NPU core
+	// keeps an LRU of the last WarmFlows flow keys it served (match-table
+	// entries, KV working set, I-cache lines). A request whose FlowKey is
+	// resident skips the cold-start surcharge. Zero disables the model.
+	WarmFlows int
+	// ColdStartCycles is the surcharge added to a request's instruction
+	// cycles when its flow misses the executing core's warm set
+	// (match-table install + working-set faults). Only meaningful with
+	// WarmFlows > 0; zero tracks hit rates without a latency effect.
+	ColdStartCycles uint64
 }
 
 // Stats aggregates NIC-level counters.
@@ -195,6 +210,11 @@ type Stats struct {
 	MaxQueueDepth int
 	// Preemptions counts time-slice expirations (ablation mode only).
 	Preemptions uint64
+	// WarmHits/WarmMisses count warm-state lookups (WarmFlows > 0 and
+	// request FlowKey != 0 only). A hit means the executing core served
+	// the flow recently and skipped the cold-start surcharge.
+	WarmHits   uint64
+	WarmMisses uint64
 }
 
 // NIC is the simulated SmartNIC. Create with New; drive by calling
@@ -228,6 +248,12 @@ type NIC struct {
 	// hostPath receives requests with no matching lambda ID (§4.1:
 	// "sends the packet to the host OS"). Nil drops them.
 	hostPath func(*Request)
+
+	// warm is the per-core warm-flow LRU (WarmFlows > 0 only), indexed
+	// by core = thread / ThreadsPerCore. Built lazily on first lookup;
+	// flushed on crash and firmware swap (SRAM state does not survive
+	// either).
+	warm []*dispatch.LRU
 
 	stats Stats
 
@@ -361,6 +387,31 @@ func (n *NIC) track(thread int) string {
 	return n.tracks[thread]
 }
 
+// warmTouch records a warm-state access for the flow on the executing
+// thread's core and reports whether it was resident (a warm hit).
+func (n *NIC) warmTouch(thread int, flow uint64) bool {
+	perCore := n.cfg.NIC.ThreadsPerCore
+	if perCore <= 0 {
+		perCore = 1
+	}
+	if n.warm == nil {
+		cores := (n.cfg.NIC.NPUThreads() + perCore - 1) / perCore
+		n.warm = make([]*dispatch.LRU, cores)
+	}
+	core := thread / perCore
+	if core < 0 || core >= len(n.warm) {
+		return false
+	}
+	if n.warm[core] == nil {
+		n.warm[core] = dispatch.NewLRU(n.cfg.WarmFlows)
+	}
+	return n.warm[core].Touch(flow)
+}
+
+// flushWarm discards all per-core warm state (crash or firmware swap:
+// on-NIC SRAM does not survive either).
+func (n *NIC) flushWarm() { n.warm = nil }
+
 // SetHostPath installs the handler for unmatched requests.
 func (n *NIC) SetHostPath(fn func(*Request)) { n.hostPath = fn }
 
@@ -398,6 +449,9 @@ func (n *NIC) Load(fw Program) error {
 	if mem[MemEMEM] > n.cfg.NIC.EMEMBytes {
 		return fmt.Errorf("%w: EMEM demand %d", ErrMemoryExceeded, mem[MemEMEM])
 	}
+	if n.fw != nil {
+		n.flushWarm() // new match tables: prior warm state is void
+	}
 	swapping := n.fw != nil && n.cfg.FirmwareSwapDowntime > 0
 	n.fw = fw
 	if swapping {
@@ -415,6 +469,7 @@ func (n *NIC) Load(fw Program) error {
 // path, so Recover restores full capacity.
 func (n *NIC) Crash() {
 	n.crashed = true
+	n.flushWarm()
 	for {
 		p := n.dequeue()
 		if p == nil {
@@ -550,6 +605,14 @@ func (n *NIC) start(p *pending) {
 			cycles += uint64(pk) * n.cfg.NIC.ReorderCyclesPerPacket
 		}
 		p.instrCycles = cycles + p.resp.Stats.Instructions
+		if n.cfg.WarmFlows > 0 && p.req.FlowKey != 0 {
+			if n.warmTouch(p.thread, p.req.FlowKey) {
+				n.stats.WarmHits++
+			} else {
+				n.stats.WarmMisses++
+				p.instrCycles += n.cfg.ColdStartCycles
+			}
+		}
 		p.stallCycles[MemLocal] = p.resp.Stats.MemAccesses[MemLocal] * n.cfg.NIC.LocalLatency
 		p.stallCycles[MemCTM] = p.resp.Stats.MemAccesses[MemCTM] * n.cfg.NIC.CTMLatency
 		p.stallCycles[MemIMEM] = p.resp.Stats.MemAccesses[MemIMEM] * n.cfg.NIC.IMEMLatency

@@ -1,0 +1,130 @@
+package nicsim
+
+import (
+	"testing"
+
+	"lambdanic/internal/sim"
+)
+
+// warmConfig: one core, one thread, so every request lands on the same
+// warm set and completion order is trivial.
+func warmConfig(warmFlows int, coldCycles uint64) Config {
+	cfg := smallConfig(1)
+	cfg.WarmFlows = warmFlows
+	cfg.ColdStartCycles = coldCycles
+	return cfg
+}
+
+func runOne(t *testing.T, s *sim.Sim, n *NIC, flow uint64) sim.Time {
+	t.Helper()
+	start := s.Now()
+	var end sim.Time
+	done := false
+	n.Inject(&Request{LambdaID: 1, Payload: []byte("x"), Packets: 1, FlowKey: flow},
+		func(_ Response, err error) {
+			if err != nil {
+				t.Fatalf("Execute: %v", err)
+			}
+			end = s.Now()
+			done = true
+		})
+	if err := s.RunUntilIdle(); err != nil {
+		t.Fatalf("RunUntilIdle: %v", err)
+	}
+	if !done {
+		t.Fatal("request did not complete")
+	}
+	return end - start
+}
+
+func TestWarmHitSkipsColdStartSurcharge(t *testing.T) {
+	s := sim.New(1)
+	n := newNIC(t, s, warmConfig(4, 10000))
+	loadSingle(t, n, image(1, fakeLambda{instr: 500}))
+
+	cold := runOne(t, s, n, 42)
+	warm := runOne(t, s, n, 42)
+	if warm >= cold {
+		t.Fatalf("warm latency %v not below cold %v", warm, cold)
+	}
+	st := n.Stats()
+	if st.WarmHits != 1 || st.WarmMisses != 1 {
+		t.Fatalf("WarmHits/WarmMisses = %d/%d, want 1/1", st.WarmHits, st.WarmMisses)
+	}
+	// The surcharge is exactly ColdStartCycles of extra service time.
+	want := sim.CyclesToDuration(10000, n.cfg.NIC.ClockHz)
+	if cold-warm != want {
+		t.Fatalf("surcharge = %v, want %v", cold-warm, want)
+	}
+}
+
+func TestWarmStatePerCoreLRUEvicts(t *testing.T) {
+	s := sim.New(1)
+	n := newNIC(t, s, warmConfig(2, 1000))
+	loadSingle(t, n, image(1, fakeLambda{instr: 100}))
+
+	runOne(t, s, n, 1) // miss
+	runOne(t, s, n, 2) // miss
+	runOne(t, s, n, 3) // miss, evicts 1
+	runOne(t, s, n, 1) // miss again (evicted)
+	runOne(t, s, n, 3) // hit
+	st := n.Stats()
+	if st.WarmHits != 1 || st.WarmMisses != 4 {
+		t.Fatalf("WarmHits/WarmMisses = %d/%d, want 1/4", st.WarmHits, st.WarmMisses)
+	}
+}
+
+func TestWarmModelDisabledByDefault(t *testing.T) {
+	s := sim.New(1)
+	n := newNIC(t, s, smallConfig(1))
+	loadSingle(t, n, image(1, fakeLambda{instr: 100}))
+
+	runOne(t, s, n, 7)
+	runOne(t, s, n, 7)
+	st := n.Stats()
+	if st.WarmHits != 0 || st.WarmMisses != 0 {
+		t.Fatalf("warm counters moved with WarmFlows=0: %d/%d", st.WarmHits, st.WarmMisses)
+	}
+}
+
+func TestWarmModelIgnoresZeroFlowKey(t *testing.T) {
+	s := sim.New(1)
+	n := newNIC(t, s, warmConfig(4, 1000))
+	loadSingle(t, n, image(1, fakeLambda{instr: 100}))
+
+	runOne(t, s, n, 0)
+	runOne(t, s, n, 0)
+	st := n.Stats()
+	if st.WarmHits != 0 || st.WarmMisses != 0 {
+		t.Fatalf("warm counters moved for FlowKey=0: %d/%d", st.WarmHits, st.WarmMisses)
+	}
+}
+
+func TestCrashFlushesWarmState(t *testing.T) {
+	s := sim.New(1)
+	n := newNIC(t, s, warmConfig(4, 1000))
+	loadSingle(t, n, image(1, fakeLambda{instr: 100}))
+
+	runOne(t, s, n, 5) // miss, now resident
+	n.Crash()
+	n.Recover()
+	runOne(t, s, n, 5) // cold again: SRAM did not survive the crash
+	st := n.Stats()
+	if st.WarmHits != 0 || st.WarmMisses != 2 {
+		t.Fatalf("WarmHits/WarmMisses = %d/%d, want 0/2 after crash", st.WarmHits, st.WarmMisses)
+	}
+}
+
+func TestFirmwareSwapFlushesWarmState(t *testing.T) {
+	s := sim.New(1)
+	n := newNIC(t, s, warmConfig(4, 1000))
+	loadSingle(t, n, image(1, fakeLambda{instr: 100}))
+
+	runOne(t, s, n, 9)
+	loadSingle(t, n, image(1, fakeLambda{instr: 100})) // hitless swap
+	runOne(t, s, n, 9)
+	st := n.Stats()
+	if st.WarmHits != 0 || st.WarmMisses != 2 {
+		t.Fatalf("WarmHits/WarmMisses = %d/%d, want 0/2 after swap", st.WarmHits, st.WarmMisses)
+	}
+}

@@ -144,8 +144,17 @@ type FleetRow struct {
 	// lambda invocation); BypassPerS is its rate over the window.
 	Bypass     uint64  `json:"bypass,omitempty"`
 	BypassPerS float64 `json:"bypass_per_sec,omitempty"`
-	P50        float64 `json:"p50_seconds"`
-	P99        float64 `json:"p99_seconds"`
+	// Flows is the gateway's standing pinned-flow count (elephant
+	// migrations in effect) — a gauge, so the current value rather than
+	// a delta. Worker rows report zero.
+	Flows uint64 `json:"flows,omitempty"`
+	// WarmPct is the worker's warm-state hit rate over the window (0
+	// when the node tracked no lookups). HasWarm distinguishes a real
+	// 0% hit rate from "not a worker / tracking disabled".
+	WarmPct float64 `json:"warm_pct,omitempty"`
+	HasWarm bool    `json:"has_warm,omitempty"`
+	P50     float64 `json:"p50_seconds"`
+	P99     float64 `json:"p99_seconds"`
 }
 
 // latencyFamilies maps a scraped histogram family to the workload
@@ -179,6 +188,14 @@ const tenantShedFamily = "lnic_gateway_tenant_shed_total"
 // bypassFamily is the worker's per-workload one-sided fast-path
 // counter, surfaced as the fleet view's 1SIDED/S column.
 const bypassFamily = "lnic_worker_bypass_total"
+
+// Flow-affinity families: the gateway's standing-pin gauge and the
+// worker's warm-state counters, surfaced as FLOWS and WARM%.
+const (
+	pinnedFlowsFamily = "lnic_gateway_pinned_flows"
+	warmHitsFamily    = "lnic_worker_warm_hits_total"
+	warmLookupsFamily = "lnic_worker_warm_lookups_total"
+)
 
 // FleetRows computes the per-(nic, workload) view from the delta
 // between two snapshots taken `elapsed` apart. Targets that failed in
@@ -244,6 +261,16 @@ func FleetRows(prev, cur FleetSnapshot, elapsed time.Duration) []FleetRow {
 			if row.Workload == "" {
 				row.Errors = nodeErrs
 				row.Shed = nodeShed
+				// FLOWS: the gateway's standing pins, a gauge — report the
+				// current value, not a delta.
+				if pins, ok := ts.Scrape.Value(pinnedFlowsFamily, nil); ok && pins > 0 {
+					row.Flows = uint64(pins)
+				}
+				// WARM%: worker warm hits over lookups within the window.
+				if lookups := counterDelta(warmLookupsFamily, nil); lookups > 0 {
+					row.HasWarm = true
+					row.WarmPct = 100 * float64(counterDelta(warmHitsFamily, nil)) / float64(lookups)
+				}
 			} else {
 				row.Bypass = counterDelta(bypassFamily, h.Labels)
 			}
@@ -295,8 +322,8 @@ func FilterTenant(rows []FleetRow, tenantName string) []FleetRow {
 func RenderTop(rows []FleetRow, elapsed time.Duration) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "fleet view over %s\n", elapsed.Round(time.Millisecond))
-	fmt.Fprintf(&b, "%-10s %-18s %-10s %9s %8s %8s %10s %10s %10s %10s\n",
-		"NIC", "WORKLOAD", "TENANT", "REQS", "ERRS", "SHED", "REQ/S", "1SIDED/S", "P50", "P99")
+	fmt.Fprintf(&b, "%-10s %-18s %-10s %9s %8s %8s %10s %10s %6s %6s %10s %10s\n",
+		"NIC", "WORKLOAD", "TENANT", "REQS", "ERRS", "SHED", "REQ/S", "1SIDED/S", "FLOWS", "WARM%", "P50", "P99")
 	for _, r := range rows {
 		if r.Workload == "(scrape failed)" {
 			fmt.Fprintf(&b, "%-10s %-18s %s\n", r.Nic, "-", "scrape failed")
@@ -310,9 +337,13 @@ func RenderTop(rows []FleetRow, elapsed time.Duration) string {
 		if ten == "" {
 			ten = "-"
 		}
-		fmt.Fprintf(&b, "%-10s %-18s %-10s %9d %8d %8d %10.1f %10.1f %10s %10s\n",
+		warm := "-"
+		if r.HasWarm {
+			warm = fmt.Sprintf("%.1f", r.WarmPct)
+		}
+		fmt.Fprintf(&b, "%-10s %-18s %-10s %9d %8d %8d %10.1f %10.1f %6d %6s %10s %10s\n",
 			r.Nic, wl, ten, r.Requests, r.Errors, r.Shed, r.RatePerS, r.BypassPerS,
-			fmtSeconds(r.P50), fmtSeconds(r.P99))
+			r.Flows, warm, fmtSeconds(r.P50), fmtSeconds(r.P99))
 	}
 	return b.String()
 }

@@ -331,3 +331,67 @@ func TestExpositionBridge(t *testing.T) {
 		t.Errorf("sum = %v, want ≈30.08s", snap.Sum)
 	}
 }
+
+func TestFleetRowsFlowAffinity(t *testing.T) {
+	c, worker, gatewayReg := fleetFixture(t)
+
+	wh := NewHistogram()
+	if err := wh.Expose(worker, "lnic_worker_latency_seconds", "latency", nil); err != nil {
+		t.Fatal(err)
+	}
+	gh := NewHistogram()
+	if err := gh.Expose(gatewayReg, "lnic_gateway_upstream_latency_seconds", "latency", nil); err != nil {
+		t.Fatal(err)
+	}
+	hits := worker.MustCounter("lnic_worker_warm_hits_total", "warm hits", nil)
+	lookups := worker.MustCounter("lnic_worker_warm_lookups_total", "warm lookups", nil)
+	pins := gatewayReg.MustGauge("lnic_gateway_pinned_flows", "standing pins", nil)
+
+	prev := c.Collect(context.Background())
+	for i := 0; i < 10; i++ {
+		wh.ObserveDuration(time.Millisecond)
+		gh.ObserveDuration(time.Millisecond)
+	}
+	lookups.Add(80)
+	hits.Add(60)
+	pins.Set(5)
+	cur := c.Collect(context.Background())
+
+	rows := FleetRows(prev, cur, 10*time.Second)
+	byKey := map[string]FleetRow{}
+	for _, r := range rows {
+		byKey[r.Nic+"/"+r.Workload] = r
+	}
+	node := byKey["m2/"]
+	if !node.HasWarm {
+		t.Fatalf("worker node row has no warm tracking: %+v", node)
+	}
+	if node.WarmPct < 74.9 || node.WarmPct > 75.1 {
+		t.Errorf("warm pct = %v, want 75 (60/80)", node.WarmPct)
+	}
+	if node.Flows != 0 {
+		t.Errorf("worker row carries pinned flows %d", node.Flows)
+	}
+	gw := byKey["gateway/"]
+	if gw.Flows != 5 {
+		t.Errorf("gateway pinned flows = %d, want 5 (gauge value, not delta)", gw.Flows)
+	}
+	if gw.HasWarm {
+		t.Errorf("gateway row claims warm tracking: %+v", gw)
+	}
+
+	top := RenderTop(rows, 10*time.Second)
+	for _, want := range []string{"FLOWS", "WARM%", "75.0"} {
+		if !strings.Contains(top, want) {
+			t.Errorf("top output missing %q:\n%s", want, top)
+		}
+	}
+	// Warm hit rate resets per window: a second delta with no new
+	// lookups shows "-" (no tracking), not a stale percentage.
+	rows2 := FleetRows(cur, c.Collect(context.Background()), time.Second)
+	for _, r := range rows2 {
+		if r.Nic == "m2" && r.Workload == "" && r.HasWarm {
+			t.Errorf("idle window still reports warm tracking: %+v", r)
+		}
+	}
+}

@@ -586,6 +586,7 @@ func (e *Endpoint) handleRequest(h matchlambda.WireHeader, payload []byte, from 
 		msg = Message{Header: h, Payload: payload}
 		handoff = true
 	}
+	msg.Source = from
 	// Duplicate request: replay the cached response without re-running
 	// the lambda (at-least-once delivery made idempotent at the edge).
 	if slot, ok := sh.seen[key]; ok {

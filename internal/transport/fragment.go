@@ -15,6 +15,7 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"net"
 
 	"lambdanic/internal/matchlambda"
 )
@@ -28,9 +29,14 @@ const DefaultMTU = 1400
 const MaxFragments = 0xFFFF
 
 // Message is one logical RPC (request or response) after reassembly.
+// Source is the sender's network address when known (endpoints fill it
+// in on the request path); handlers use it as the flow identity for
+// flow-affine dispatch and warm-state accounting. It may be nil for
+// messages assembled outside an endpoint (e.g. direct Reassembler use).
 type Message struct {
 	Header  matchlambda.WireHeader
 	Payload []byte
+	Source  net.Addr
 }
 
 // Fragmentation errors.
