@@ -5,7 +5,7 @@
 // Usage:
 //
 //	lnic-bench [-quick] [-short] [-seed N] [-kernel ladder|heap] [-parallel]
-//	           [-experiment all|table1|fig6|fig7|fig8|table2|table3|table4|fig9|chaos|tenants|skew|rpcbench|lambdabench|simbench]
+//	           [-experiment all|table1|fig6|fig7|fig8|table2|table3|table4|fig9|chaos|tenants|skew|boundary|rpcbench|lambdabench|simbench]
 //	           [-trace-out trace.json] [-bench-out BENCH_rpc.json]
 //	           [-bench-guard BENCH_sim_baseline.json] [-slo-out SLO_chaos.json]
 //	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
@@ -81,6 +81,22 @@
 // shrinks it to a smoke run; -parallel runs one simulation domain per
 // NIC with bit-identical results.
 //
+// The boundary experiment (not part of "all") replays a seeded diurnal
+// load curve with a flash crowd through three placement policies —
+// everything pinned to the NIC rack, everything pinned to the host
+// fleet, and the dynamic placement engine that autoscales the NIC pool
+// and migrates lambdas across the NIC/host boundary at runtime. It
+// reports per-phase latency percentiles, NIC-core·time cost, and the
+// migration/scale history, and fails unless the dynamic policy
+// Pareto-dominates: tail latency no worse than the better static
+// policy in every phase while burning strictly less NIC-core·time
+// than the always-on rack. Per-policy and per-phase percentiles go to
+// -bench-out (default BENCH_boundary.json); with -bench-guard the run
+// fails if any row's p99 grew more than 25% against the committed
+// baseline (virtual-clock latencies are machine-independent). -short
+// shrinks it to a smoke run; -parallel runs one simulation domain per
+// NIC plus one for the host with bit-identical results.
+//
 // The simbench experiment (not part of "all") measures the simulation
 // kernel itself: single-thread events/sec for the ladder queue versus
 // the binary heap (with and without event pooling), timeout-churn
@@ -119,17 +135,17 @@ func run(args []string) error {
 	short := fs.Bool("short", false, "shrink the chaos experiment to a smoke run")
 	seed := fs.Int64("seed", 42, "simulation seed")
 	experiment := fs.String("experiment", "all",
-		"which experiment to run: all, table1, fig6, fig7, fig8, table2, table3, table4, fig9, optimizer, scaleout, loadcurve, nicclasses, ablations, breakdown, chaos, tenants, skew, rpcbench, lambdabench, simbench, rdmabench")
+		"which experiment to run: all, table1, fig6, fig7, fig8, table2, table3, table4, fig9, optimizer, scaleout, loadcurve, nicclasses, ablations, breakdown, chaos, tenants, skew, boundary, rpcbench, lambdabench, simbench, rdmabench")
 	kernel := fs.String("kernel", "ladder",
 		"simulation event-queue kernel: ladder or heap (bit-identical results)")
 	parallel := fs.Bool("parallel", false,
-		"run scaleout/loadcurve/chaos/tenants/skew with per-NIC parallel simulation domains")
+		"run scaleout/loadcurve/chaos/tenants/skew/boundary with per-NIC parallel simulation domains")
 	traceOut := fs.String("trace-out", "",
 		"write the breakdown experiment's Chrome trace-event JSON to this file")
 	benchOut := fs.String("bench-out", "",
-		"write the benchmark experiment's JSON report to this file (default BENCH_rpc.json for rpcbench, BENCH_lambda.json for lambdabench, BENCH_sim.json for simbench, BENCH_rdma.json for rdmabench, BENCH_skew.json for skew)")
+		"write the benchmark experiment's JSON report to this file (default BENCH_rpc.json for rpcbench, BENCH_lambda.json for lambdabench, BENCH_sim.json for simbench, BENCH_rdma.json for rdmabench, BENCH_skew.json for skew, BENCH_boundary.json for boundary)")
 	benchGuard := fs.String("bench-guard", "",
-		"fail if the simbench/rdmabench/skew report regresses against this baseline JSON")
+		"fail if the simbench/rdmabench/skew/boundary report regresses against this baseline JSON")
 	sloOut := fs.String("slo-out", "",
 		"write the chaos experiment's SLO error-budget report JSON to this file (default SLO_chaos.json)")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -338,7 +354,7 @@ func run(args []string) error {
 			return err
 		}
 		out(experiments.RenderTenants(rep))
-		if err := writeBench(*benchOut, "BENCH_tenants.json", rep.Bench()); err != nil {
+		if err := benchReport(*benchOut, "BENCH_tenants.json", "", rep.Bench(), "", nil); err != nil {
 			return err
 		}
 		if rep.SLO != nil {
@@ -375,23 +391,42 @@ func run(args []string) error {
 			return err
 		}
 		out(experiments.RenderSkew(rep))
-		if err := writeBench(*benchOut, "BENCH_skew.json", rep.Bench()); err != nil {
+		// Latencies are virtual-clock and thus machine-independent;
+		// guard every policy's p99 directly, no normalization needed.
+		if err := benchReport(*benchOut, "BENCH_skew.json", *benchGuard, rep.Bench(),
+			"skew p99s within 25%", func(baseline, current benchio.Report) error {
+				return benchio.GuardLatency(baseline, current, 0.25, "skew/")
+			}); err != nil {
 			return err
-		}
-		if *benchGuard != "" {
-			baseline, err := benchio.ReadJSON(*benchGuard)
-			if err != nil {
-				return err
-			}
-			// Latencies are virtual-clock and thus machine-independent;
-			// guard every policy's p99 directly, no normalization needed.
-			if err := benchio.GuardLatency(baseline, rep.Bench(), 0.25, "skew/"); err != nil {
-				return err
-			}
-			fmt.Printf("lnic-bench: skew p99s within 25%% of baseline %s\n", *benchGuard)
 		}
 		if !rep.Affine {
 			return fmt.Errorf("skew: affinity verdict not met (pinned+mig must beat rr on p99 and warm-hit rate)")
+		}
+	}
+	if want == "boundary" {
+		bdCfg := experiments.DefaultBoundary()
+		if *short || *quick {
+			bdCfg = experiments.QuickBoundary()
+		}
+		runBoundary := experiments.Boundary
+		if *parallel {
+			runBoundary = experiments.BoundaryParallel
+		}
+		rep, err := runBoundary(cfg, bdCfg)
+		if err != nil {
+			return err
+		}
+		out(experiments.RenderBoundary(rep))
+		// Latencies are virtual-clock and thus machine-independent;
+		// guard every per-policy and per-phase p99 directly.
+		if err := benchReport(*benchOut, "BENCH_boundary.json", *benchGuard, rep.Bench(),
+			"boundary p99s within 25%", func(baseline, current benchio.Report) error {
+				return benchio.GuardLatency(baseline, current, 0.25, "boundary/")
+			}); err != nil {
+			return err
+		}
+		if !rep.Pareto {
+			return fmt.Errorf("boundary: Pareto verdict not met (dynamic must match the better static tail per phase and burn less NIC-core·time than static-nic)")
 		}
 	}
 	if want == "rpcbench" {
@@ -404,7 +439,7 @@ func run(args []string) error {
 			return err
 		}
 		out(experiments.RenderRPCBench(rep))
-		if err := writeBench(*benchOut, "BENCH_rpc.json", rep); err != nil {
+		if err := benchReport(*benchOut, "BENCH_rpc.json", "", rep, "", nil); err != nil {
 			return err
 		}
 	}
@@ -418,7 +453,7 @@ func run(args []string) error {
 			return err
 		}
 		out(experiments.RenderLambdaBench(rep))
-		if err := writeBench(*benchOut, "BENCH_lambda.json", rep); err != nil {
+		if err := benchReport(*benchOut, "BENCH_lambda.json", "", rep, "", nil); err != nil {
 			return err
 		}
 	}
@@ -432,21 +467,14 @@ func run(args []string) error {
 			return err
 		}
 		out(experiments.RenderRdmaBench(rep))
-		if err := writeBench(*benchOut, "BENCH_rdma.json", rep); err != nil {
+		// All rates are virtual-clock and thus machine-independent;
+		// every kvget and large row is guarded, normalized to the
+		// single-client lambda baseline.
+		if err := benchReport(*benchOut, "BENCH_rdma.json", *benchGuard, rep,
+			"rdmabench within 20%", func(baseline, current benchio.Report) error {
+				return benchio.Guard(baseline, current, "kvget/lambda/c1", 0.20, "kvget/", "large/")
+			}); err != nil {
 			return err
-		}
-		if *benchGuard != "" {
-			baseline, err := benchio.ReadJSON(*benchGuard)
-			if err != nil {
-				return err
-			}
-			// All rates are virtual-clock and thus machine-independent;
-			// every kvget and large row is guarded, normalized to the
-			// single-client lambda baseline.
-			if err := benchio.Guard(baseline, rep, "kvget/lambda/c1", 0.20, "kvget/", "large/"); err != nil {
-				return err
-			}
-			fmt.Printf("lnic-bench: rdmabench within 20%% of baseline %s\n", *benchGuard)
 		}
 	}
 	if want == "simbench" {
@@ -459,22 +487,15 @@ func run(args []string) error {
 			return err
 		}
 		out(experiments.RenderSimBench(rep))
-		if err := writeBench(*benchOut, "BENCH_sim.json", rep); err != nil {
+		// Guard only the single-thread rows: raw rates are
+		// normalized to this run's sched/heap, so the check holds
+		// across machines; domain-scaling rows depend on the core
+		// count and are recorded, not gated.
+		if err := benchReport(*benchOut, "BENCH_sim.json", *benchGuard, rep,
+			"simbench within 20%", func(baseline, current benchio.Report) error {
+				return benchio.Guard(baseline, current, "sched/heap", 0.20, "sched/", "timers/")
+			}); err != nil {
 			return err
-		}
-		if *benchGuard != "" {
-			baseline, err := benchio.ReadJSON(*benchGuard)
-			if err != nil {
-				return err
-			}
-			// Guard only the single-thread rows: raw rates are
-			// normalized to this run's sched/heap, so the check holds
-			// across machines; domain-scaling rows depend on the core
-			// count and are recorded, not gated.
-			if err := benchio.Guard(baseline, rep, "sched/heap", 0.20, "sched/", "timers/"); err != nil {
-				return err
-			}
-			fmt.Printf("lnic-bench: simbench within 20%% of baseline %s\n", *benchGuard)
 		}
 	}
 	if !ran {
@@ -483,16 +504,32 @@ func run(args []string) error {
 	return nil
 }
 
-// writeBench writes a benchmark report to the -bench-out path, falling
-// back to the experiment's default filename.
-func writeBench(path, fallback string, rep benchio.Report) error {
-	if path == "" {
-		path = fallback
+// benchReport is the shared artifact wiring every benchmark-producing
+// experiment goes through: write the report to the -bench-out path
+// (falling back to the experiment's default filename), then, when
+// -bench-guard names a committed baseline and the experiment supplies
+// a check, fail the run on regression. okMsg describes the passing
+// guard, e.g. "skew p99s within 25%".
+func benchReport(outPath, fallback, guardPath string, rep benchio.Report,
+	okMsg string, check func(baseline, current benchio.Report) error) error {
+	if outPath == "" {
+		outPath = fallback
 	}
-	if err := benchio.WriteJSON(path, rep); err != nil {
+	if err := benchio.WriteJSON(outPath, rep); err != nil {
 		return err
 	}
 	fmt.Printf("lnic-bench: wrote %d benchmark results to %s\n",
-		len(rep.Results), path)
+		len(rep.Results), outPath)
+	if guardPath == "" || check == nil {
+		return nil
+	}
+	baseline, err := benchio.ReadJSON(guardPath)
+	if err != nil {
+		return err
+	}
+	if err := check(baseline, rep); err != nil {
+		return err
+	}
+	fmt.Printf("lnic-bench: %s of baseline %s\n", okMsg, guardPath)
 	return nil
 }

@@ -14,6 +14,14 @@
 //	compile-mcl FILE
 //	         compile a lambda written in the C-like source language and
 //	         print its size, disassembly, and static-assertion results
+//	place    [-rounds N] [-store N] [-margin F]
+//	         run the dynamic NIC/host placement engine through an
+//	         in-memory diurnal load curve: every compiled workload
+//	         starts on the NIC, the load ramp inflates observed NIC
+//	         latency, and the engine migrates the worst-fitting
+//	         lambdas to the host at peak and brings them back at
+//	         trough; prints per-round scores, the move log, and the
+//	         lnic_placement_* metric families
 //	health   [-workers N] [-interval D] [-kill I] [-wait D]
 //	         run an in-memory deployment with the failure-detection loop
 //	         enabled, optionally crash-stop one worker, and print each
@@ -41,6 +49,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"strings"
 	"time"
 
 	"lambdanic"
@@ -51,6 +60,8 @@ import (
 	"lambdanic/internal/mcc"
 	"lambdanic/internal/mcl"
 	"lambdanic/internal/metrics"
+	"lambdanic/internal/monitor"
+	"lambdanic/internal/placement"
 	"lambdanic/internal/telemetry"
 	"lambdanic/internal/transport"
 	"lambdanic/internal/workloads"
@@ -65,13 +76,15 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: lnicctl <invoke|compile|artifacts|health|top|slo> [flags]")
+		return fmt.Errorf("usage: lnicctl <invoke|compile|artifacts|health|place|top|slo> [flags]")
 	}
 	switch args[0] {
 	case "invoke":
 		return invoke(args[1:])
 	case "health":
 		return health(args[1:])
+	case "place":
+		return place(args[1:])
 	case "top":
 		return top(args[1:])
 	case "slo":
@@ -155,6 +168,115 @@ func health(args []string) error {
 	fmt.Printf("placement %s (id %d): %v\n", p.Workload, p.ID, p.Workers)
 	fmt.Printf("gateway live workers: %d\n", d.Gateway().LiveWorkers())
 	return nil
+}
+
+// instantFabric is the place demo's migration fabric: warm-up and
+// drain complete immediately, so every decision lands within the
+// round that issued it.
+type instantFabric struct{}
+
+func (instantFabric) Warm(_ string, _ placement.Location, ready func())    { ready() }
+func (instantFabric) Cutover(string, placement.Location)                   {}
+func (instantFabric) Drain(_ string, _ placement.Location, drained func()) { drained() }
+
+// place drives the placement engine through a scripted diurnal load
+// curve on an in-memory fleet. Observed NIC latency inflates with the
+// load (the NPU pool serializes under queueing) while the deep host
+// pool keeps its interpreter-speed baseline, so the engine evacuates
+// the NIC at peak and repatriates at trough — the same control loop
+// the boundary experiment measures, inspectable one round at a time.
+func place(args []string) error {
+	fs := flag.NewFlagSet("place", flag.ContinueOnError)
+	rounds := fs.Int("rounds", 8, "control-loop rounds across the load curve")
+	store := fs.Int("store", 16384, "per-core NIC instruction store budget")
+	margin := fs.Float64("margin", 0.15, "hysteresis margin before a move is issued")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *rounds < 2 {
+		return fmt.Errorf("-rounds %d: need at least 2", *rounds)
+	}
+
+	eng := placement.New(placement.Config{
+		InstrStorePerCore: *store,
+		Margin:            *margin,
+		LatencyAlpha:      1, // the demo feeds exact observations, not noisy samples
+		MinDwell:          time.Second,
+		MaxMoves:          1, // show the severity ordering one move at a time
+	})
+	type demoWL struct {
+		name     string
+		nicBase  time.Duration // unloaded NPU service time
+		hostBase time.Duration // interpreter-path service time
+	}
+	var demo []demoWL
+	for _, w := range workloads.DefaultSet() {
+		exe, _, err := workloads.CompileOptimized([]*workloads.Workload{w}, workloads.NaiveProgramTarget)
+		if err != nil {
+			return err
+		}
+		fp := exe.Footprint()
+		demo = append(demo, demoWL{
+			name:     w.Name,
+			nicBase:  time.Duration(fp.Instructions) * 2 * time.Nanosecond,
+			hostBase: time.Duration(fp.Instructions) * 19 * time.Nanosecond,
+		})
+		eng.Register(w.Name, fp, placement.LocNIC)
+	}
+	reg := monitor.NewRegistry()
+	if err := eng.EnableMetrics(reg); err != nil {
+		return err
+	}
+
+	var now time.Duration
+	coord := placement.NewCoordinator(eng, instantFabric{}, func() time.Duration { return now })
+
+	const interval = 2 * time.Second
+	fmt.Printf("%d workloads on a %d-instruction store, %d rounds, margin %.2f\n\n",
+		len(demo), *store, *rounds, *margin)
+	for i := 0; i < *rounds; i++ {
+		now = time.Duration(i) * interval
+		// Triangle diurnal curve: ramp 0.2 -> 2.0 -> 0.2 NIC load; the
+		// host pool idles at 0.1 throughout.
+		half := float64(*rounds-1) / 2
+		load := 0.2 + 1.8*(1-abs(float64(i)-half)/half)
+		eng.ObserveLoad(load, 0.1)
+		for _, w := range demo {
+			// Queueing inflates the serialized NPU path quadratically
+			// with load; the host baseline holds.
+			nicObs := time.Duration(float64(w.nicBase) * (1 + 4*load*load))
+			eng.ObserveLatency(w.name, placement.LocNIC, nicObs)
+			eng.ObserveLatency(w.name, placement.LocHost, w.hostBase)
+		}
+		moves := coord.Run(now)
+		fmt.Printf("round %d (t=%s, nic load %.2f):\n", i, now, load)
+		for _, s := range eng.Scores() {
+			fmt.Printf("  %-18s %-9s score %+6.2f  fit %+5.2f  latgain %+5.2f  nic %-10s host %s\n",
+				s.Workload, s.Loc, s.NICScore, s.Fit, s.LatencyGain, s.NICLatency, s.HostLatency)
+		}
+		for _, m := range moves {
+			fmt.Printf("  -> move %s %s->%s (%s)\n", m.Workload, m.From, m.To, m.Reason)
+		}
+	}
+
+	fmt.Printf("\nmove log (%d migrations):\n", eng.Migrations())
+	for _, m := range eng.History() {
+		fmt.Printf("  @%-6s %-18s %s->%s score %+.2f\n", m.At, m.Workload, m.From, m.To, m.Score)
+	}
+	fmt.Println("\nmetric families:")
+	for _, line := range strings.Split(reg.Render(), "\n") {
+		if strings.Contains(line, "lnic_placement") && !strings.HasPrefix(line, "# TYPE") {
+			fmt.Println("  " + line)
+		}
+	}
+	return nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
 }
 
 // scrapeTwice collects the fleet's metrics pages at the ends of one
@@ -352,12 +474,9 @@ func compile() error {
 		return err
 	}
 	fmt.Print(experiments.RenderFigure9(results))
-	fmt.Printf("linked image: %d instructions", exe.StaticInstructions())
-	mem := 0
-	for _, b := range exe.MemoryBytes() {
-		mem += b
-	}
-	fmt.Printf(", %d bytes of NIC memory\n", mem)
+	fp := exe.Footprint()
+	fmt.Printf("linked image: %d instructions, %d bytes of NIC memory (%.0f%% in fast levels)\n",
+		fp.Instructions, fp.TotalMemoryBytes(), 100*fp.FastFraction())
 	return nil
 }
 

@@ -80,6 +80,20 @@ func TestHealthSubcommand(t *testing.T) {
 	}
 }
 
+func TestPlaceSubcommand(t *testing.T) {
+	if err := run([]string{"place", "-rounds", "6"}); err != nil {
+		t.Fatalf("place: %v", err)
+	}
+	// A store too small for any workload host-pins everything; the
+	// demo still runs (all-host is a valid placement).
+	if err := run([]string{"place", "-rounds", "2", "-store", "64"}); err != nil {
+		t.Fatalf("place -store 64: %v", err)
+	}
+	if err := run([]string{"place", "-rounds", "1"}); err == nil {
+		t.Error("single-round curve accepted")
+	}
+}
+
 func TestInvokeBadWorkload(t *testing.T) {
 	if err := run([]string{"invoke", "-workload", "bogus", "-n", "0"}); err == nil {
 		t.Error("unknown workload accepted")

@@ -20,7 +20,11 @@ type Policy struct {
 	// TargetPerReplica is the request rate (req/s) one replica should
 	// carry at steady state.
 	TargetPerReplica float64
-	// MinReplicas and MaxReplicas bound the replica count.
+	// MinReplicas and MaxReplicas bound the replica count. MinReplicas
+	// may be 0: a workload whose rate decays to nothing scales to zero
+	// (no replicas provisioned) and scales back up from zero on the
+	// first observed traffic — the serverless scale-to-zero contract
+	// the placement engine's cost accounting relies on.
 	MinReplicas, MaxReplicas int
 	// UpThreshold scales up when observed rate exceeds
 	// target*replicas*UpThreshold (e.g. 1.2).
@@ -40,8 +44,8 @@ func (p Policy) Validate() error {
 	switch {
 	case p.TargetPerReplica <= 0:
 		return errors.New("autoscale: TargetPerReplica must be positive")
-	case p.MinReplicas < 1 || p.MaxReplicas < p.MinReplicas:
-		return errors.New("autoscale: need 1 <= MinReplicas <= MaxReplicas")
+	case p.MinReplicas < 0 || p.MaxReplicas < p.MinReplicas || p.MaxReplicas < 1:
+		return errors.New("autoscale: need 0 <= MinReplicas <= MaxReplicas, MaxReplicas >= 1")
 	case p.UpThreshold <= 1:
 		return errors.New("autoscale: UpThreshold must exceed 1")
 	case p.DownThreshold <= 0 || p.DownThreshold >= 1:

@@ -454,14 +454,26 @@ func NewContainer(s *sim.Sim, tb cluster.Testbed) (*Host, error) {
 	return newHost(s, tb, cpusim.ModeContainer, false)
 }
 
+// NewBareMetalQuiet is NewBareMetal without scheduling jitter:
+// differential experiments (serial vs parallel domains, ladder vs heap)
+// need the host path to draw nothing from the simulator's RNG, since
+// the domains' RNG streams differ between topologies.
+func NewBareMetalQuiet(s *sim.Sim, tb cluster.Testbed) (*Host, error) {
+	return newHostWithJitter(s, tb, cpusim.ModeBareMetal, false, false)
+}
+
 func newHost(s *sim.Sim, tb cluster.Testbed, mode cpusim.Mode, singleCore bool) (*Host, error) {
+	return newHostWithJitter(s, tb, mode, singleCore, true)
+}
+
+func newHostWithJitter(s *sim.Sim, tb cluster.Testbed, mode cpusim.Mode, singleCore, jitter bool) (*Host, error) {
 	h, err := cpusim.New(s, cpusim.Config{
 		Host:                  tb.Host,
 		Costs:                 tb.Costs,
 		Mode:                  mode,
 		SingleCore:            singleCore,
 		ContainerExternalConn: 9500 * time.Microsecond,
-		Jitter:                true,
+		Jitter:                jitter,
 	})
 	if err != nil {
 		return nil, err
@@ -532,6 +544,43 @@ func (h *Host) InvokeTraced(id uint32, payload []byte, tr *obs.Req, done func(Re
 				done(Result{Err: err})
 			})
 		})
+	})
+}
+
+// WireDelay returns the one-way link latency for a payload of n bytes —
+// the delay a parallel-domain caller must model for the request hop it
+// performs itself (sim.Parallel Send).
+func (h *Host) WireDelay(n int) sim.Time { return h.testbed.Link.OneWay(n) }
+
+// InvokeDelivered runs an invocation whose request already crossed the
+// wire: the caller modeled the request hop (typically as a cross-domain
+// sim.Parallel message of WireDelay latency), so the host submits at
+// the current time. done fires at service completion with the
+// response's wire delay, which the caller models on the way back. It
+// is the parallel-domain twin of InvokeTraced: the request hop and
+// response hop each cost exactly one scheduled event in either mode,
+// which keeps serial and parallel boundary runs differentially
+// identical.
+func (h *Host) InvokeDelivered(id uint32, payload []byte, tr *obs.Req, done func(Result, sim.Time)) {
+	if done == nil {
+		done = func(Result, sim.Time) {}
+	}
+	if !h.deployed {
+		done(Result{Err: ErrNotDeployed}, 0)
+		return
+	}
+	h.inflight++
+	if h.inflight > h.maxInflight {
+		h.maxInflight = h.inflight
+	}
+	packets := workloads.Packets(len(payload))
+	submitted := h.sim.Now()
+	h.host.Submit(id, len(payload), packets, func(err error) {
+		h.inflight--
+		if tr != nil {
+			tr.AddSpan(obs.StageHost, "host/"+h.name, "service", submitted, h.sim.Now())
+		}
+		done(Result{Err: err}, h.testbed.Link.OneWay(256))
 	})
 }
 

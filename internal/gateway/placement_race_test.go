@@ -1,0 +1,130 @@
+package gateway
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lambdanic/internal/autoscale"
+	"lambdanic/internal/transport"
+)
+
+// TestAutoscaleDecisionVsRouteUpdateRace mirrors routing_test.go's
+// copy-on-write discipline under the placement control loop: one
+// goroutine runs an autoscaler whose decisions are applied as SetRoute
+// snapshot swaps (the exact path the placement engine's cutover uses),
+// while client goroutines hammer the handle path. Every request must
+// succeed and land on a worker from some installed snapshot — the race
+// detector guards the rest.
+func TestAutoscaleDecisionVsRouteUpdateRace(t *testing.T) {
+	n := transport.NewMemNetwork(67)
+	names := []string{"w1", "w2", "w3", "w4"}
+	workers := make([]net.Addr, len(names))
+	valid := map[string]bool{}
+	for i, name := range names {
+		echoWorker(t, n, name)
+		workers[i] = transport.MemAddr(name)
+		valid[name] = true
+	}
+	gw := newGateway(t, n)
+	gw.SetRoute(1, workers[:1])
+
+	a, err := autoscale.New(autoscale.Policy{
+		TargetPerReplica: 100,
+		MinReplicas:      0,
+		MaxReplicas:      len(names),
+		UpThreshold:      1.2,
+		DownThreshold:    0.5,
+		Cooldown:         time.Microsecond, // decide on every tick
+		Smoothing:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Track("web", 1)
+
+	stop := make(chan struct{})
+	var scales atomic.Uint64
+	var scalerWG, wg sync.WaitGroup
+	scalerWG.Add(1)
+	go func() {
+		defer scalerWG.Done()
+		// Whipsaw the observed rate so the scaler issues a stream of
+		// up/down decisions, each applied as a route-snapshot swap while
+		// requests are in flight.
+		rates := []uint64{450, 40, 250, 10}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := a.Observe("web", rates[i%len(rates)], time.Second); err != nil {
+				t.Error(err)
+				return
+			}
+			for _, d := range a.Decide(time.Unix(int64(1000+i), 0)) {
+				to := d.To
+				if to < 1 {
+					to = 1 // keep the route non-empty so clients never stall
+				}
+				gw.SetRoute(1, workers[:to])
+				scales.Add(1)
+			}
+		}
+	}()
+
+	const clients = 4
+	const perClient = 200
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		cli := namedClient(t, n, fmt.Sprintf("client-%d", c))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; i < perClient; i++ {
+				resp, err := cli.Call(ctx, transport.MemAddr("gw"), 1, []byte("x"))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				who, _, _ := strings.Cut(string(resp), ":")
+				if !valid[who] {
+					t.Errorf("response from unknown worker %q", who)
+					return
+				}
+			}
+		}()
+	}
+	// Wait for every client to finish, then stop the scaling loop.
+	clientsDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(clientsDone)
+	}()
+	stopScaler := func() {
+		close(stop)
+		scalerWG.Wait()
+	}
+	select {
+	case <-clientsDone:
+		stopScaler()
+	case <-time.After(30 * time.Second):
+		stopScaler()
+		t.Fatal("clients did not finish in time")
+	}
+	select {
+	case err := <-errCh:
+		t.Fatalf("client request failed mid-rescale: %v", err)
+	default:
+	}
+	if scales.Load() == 0 {
+		t.Fatal("scaling loop never applied a decision during the run")
+	}
+}

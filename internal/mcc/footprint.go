@@ -1,0 +1,64 @@
+package mcc
+
+import "lambdanic/internal/nicsim"
+
+// ProgramFootprint is a program's link-time resource demand: the static
+// instruction count charged against each NPU core's instruction store,
+// and the per-level memory bytes its objects pin. It is the quantity
+// the placement engine scores NIC candidacy from, and what experiments
+// previously re-derived ad hoc from StaticInstructions + MemoryBytes.
+type ProgramFootprint struct {
+	// Instructions is the image code size (static instructions), the
+	// value checked against NICConfig.InstrStorePerCore at load time.
+	Instructions int
+	// Memory is per-level object memory demand in bytes.
+	Memory map[nicsim.MemLevel]int
+}
+
+// Footprint computes the link-time footprint of a program without
+// linking it: instruction count plus per-level object placement.
+func Footprint(p *Program) ProgramFootprint {
+	fp := ProgramFootprint{
+		Instructions: p.StaticInstructions(),
+		Memory:       make(map[nicsim.MemLevel]int, 4),
+	}
+	for _, o := range p.Objects {
+		fp.Memory[o.EffectiveLevel()] += o.Size
+	}
+	return fp
+}
+
+// Footprint reports the linked image's footprint (same quantities as
+// Footprint(e.Program())).
+func (e *Executable) Footprint() ProgramFootprint { return Footprint(e.prog) }
+
+// TotalMemoryBytes sums the per-level demand.
+func (f ProgramFootprint) TotalMemoryBytes() int {
+	total := 0
+	for _, b := range f.Memory {
+		total += b
+	}
+	return total
+}
+
+// InstrPressure is the instruction-store occupancy fraction against a
+// per-core store of the given size (>1 means the image does not fit).
+func (f ProgramFootprint) InstrPressure(storePerCore int) float64 {
+	if storePerCore <= 0 {
+		return 1
+	}
+	return float64(f.Instructions) / float64(storePerCore)
+}
+
+// FastFraction is the fraction of the program's memory demand resident
+// in the fast on-chip levels (core-local + CTM). A program whose state
+// lives mostly in EMEM gains less from NIC residency: every access pays
+// external-DRAM latency either way.
+func (f ProgramFootprint) FastFraction() float64 {
+	total := f.TotalMemoryBytes()
+	if total == 0 {
+		return 1
+	}
+	fast := f.Memory[nicsim.MemLocal] + f.Memory[nicsim.MemCTM]
+	return float64(fast) / float64(total)
+}

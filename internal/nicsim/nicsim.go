@@ -527,7 +527,10 @@ func (n *NIC) Inject(req *Request, done func(Response, error)) {
 	}
 	if !n.fw.Handles(req.LambdaID) {
 		n.stats.SentToHost++
-		req.Trace.Mark(obs.StageHost, "host", "fallback", n.sim.Now())
+		// A boundary handoff: the request leaves the NIC for the host
+		// path, marked on the same placement stage that traces engine-
+		// driven migrations (placement.migrate).
+		req.Trace.Mark(obs.StagePlacement, "placement", "host-fallback", n.sim.Now())
 		if n.hostPath != nil {
 			n.hostPath(req)
 		}

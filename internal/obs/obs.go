@@ -49,6 +49,12 @@ const (
 	// StageHost is host-path time: execution that fell back to the
 	// host OS path (§4.1) or runs on a CPU backend.
 	StageHost Stage = "host"
+	// StagePlacement is control-plane boundary work: the placement
+	// engine's migrations (warm-up, route cutover, source drain) when a
+	// lambda moves between the NIC and the host backend. The
+	// placement.migrate span generalizes the old host-fallback mark:
+	// every handoff across the boundary is traced here.
+	StagePlacement Stage = "placement"
 )
 
 // stageRank orders stages pipeline-first in reports.
@@ -62,6 +68,7 @@ var stageRank = map[Stage]int{
 	StageMemIMEM:   6,
 	StageMemEMEM:   7,
 	StageHost:      8,
+	StagePlacement: 9,
 }
 
 // Span is one timed interval of a request's lifecycle on one track.

@@ -1,0 +1,91 @@
+// Transparent migration: the three-step protocol that moves a lambda
+// across the NIC/host boundary without dropping requests.
+//
+//  1. Warm — deploy/wake the lambda on the target side while the
+//     source keeps serving (no route change yet).
+//  2. Cutover — flip the gateway's copy-on-write route snapshot so
+//     new requests land on the target. In-flight requests on the
+//     source are unaffected: they complete against the snapshot they
+//     were dispatched under.
+//  3. Drain — wait for the source's in-flight count to reach zero,
+//     then release its resources (on the NIC side this frees NPU
+//     cores and warm state).
+//
+// The whole move is recorded as a placement.migrate span on the obs
+// timeline — the generalization of the old one-off host-fallback
+// mark in nicsim.
+package placement
+
+import (
+	"time"
+
+	"lambdanic/internal/obs"
+)
+
+// Fabric is the seam between the coordinator and the cluster it
+// manipulates. The experiment harness implements it over simulated
+// backends; daemons implement it over the gateway's SetRoute and the
+// workload manager.
+type Fabric interface {
+	// Warm prepares the workload on the target side and calls ready
+	// when it can serve (e.g. firmware loaded, container started).
+	Warm(workload string, to Location, ready func())
+	// Cutover atomically repoints new traffic for the workload at the
+	// target side.
+	Cutover(workload string, to Location)
+	// Drain waits for the source side's in-flight requests for the
+	// workload to complete, then calls drained.
+	Drain(workload string, from Location, drained func())
+}
+
+// Coordinator executes engine decisions against a Fabric.
+type Coordinator struct {
+	eng   *Engine
+	fab   Fabric
+	clock func() time.Duration
+	col   *obs.Collector
+}
+
+// NewCoordinator wires an engine to a fabric. clock supplies
+// timestamps for spans and engine completion (virtual or wall).
+func NewCoordinator(eng *Engine, fab Fabric, clock func() time.Duration) *Coordinator {
+	if clock == nil {
+		clock = func() time.Duration { return 0 }
+	}
+	return &Coordinator{eng: eng, fab: fab, clock: clock}
+}
+
+// SetCollector attaches an obs collector; each migration then emits a
+// placement.migrate span plus warm/cutover marks on its timeline.
+func (c *Coordinator) SetCollector(col *obs.Collector) { c.col = col }
+
+// Run evaluates the engine at now and launches a migration for every
+// decision. It returns the decisions started; completion is
+// asynchronous (driven by the fabric's callbacks).
+func (c *Coordinator) Run(now time.Duration) []Decision {
+	ds := c.eng.Decide(now)
+	for _, d := range ds {
+		c.execute(d)
+	}
+	return ds
+}
+
+func (c *Coordinator) execute(d Decision) {
+	start := c.clock()
+	c.col.MarkEvent("placement", "warm:"+d.Workload+"->"+d.To.String(), start)
+	c.fab.Warm(d.Workload, d.To, func() {
+		cut := c.clock()
+		c.fab.Cutover(d.Workload, d.To)
+		c.col.MarkEvent("placement", "cutover:"+d.Workload+"->"+d.To.String(), cut)
+		c.fab.Drain(d.Workload, d.From, func() {
+			end := c.clock()
+			c.eng.Complete(d.Workload, end)
+			if c.col != nil {
+				req := c.col.Begin(0, "placement.migrate:"+d.Workload)
+				req.AddSpan(obs.StagePlacement, "placement",
+					"migrate:"+d.From.String()+"->"+d.To.String(), start, end)
+				req.Finish(end, nil)
+			}
+		})
+	})
+}

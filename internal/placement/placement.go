@@ -1,0 +1,458 @@
+// Package placement implements the dynamic NIC/host boundary
+// scheduler: a runtime engine that decides, per lambda, whether it
+// should execute on the λ-NIC's NPU cores or on the host CPUs, and
+// re-splits that boundary as load shifts. The λ-NIC paper fixes the
+// boundary at deploy time (lambdas compile to Match+Lambda firmware
+// and stay resident); this engine generalizes the existing static
+// host-fallback into a feedback loop over three signals:
+//
+//   - fit: instruction-store pressure and memory-level placement of
+//     the compiled firmware, exported by mcc.Footprint — a lambda
+//     whose code overflows the per-core instruction store can never
+//     run on the NIC, and one whose objects spill to EMEM benefits
+//     less from NIC residency;
+//   - latency: EWMA of observed per-backend service latency, the
+//     direct evidence of which side currently serves the lambda
+//     faster;
+//   - load: relative utilization of the NIC and host pools, so the
+//     engine sheds work off whichever side is saturating.
+//
+// Decisions pass through a hysteresis margin and a minimum dwell time
+// (anti-flap, mirroring autoscale's cooldown), and moves execute as
+// three-step transparent migrations (warm target, cut over the
+// gateway route snapshot, drain the source) via the Coordinator in
+// migrate.go.
+//
+// Like healthd, the engine is clock-free: every entry point takes an
+// explicit timestamp, so it runs unchanged under the discrete-event
+// simulator's virtual clock and a daemon's wall clock.
+package placement
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"lambdanic/internal/mcc"
+	"lambdanic/internal/monitor"
+)
+
+// Location is where a lambda currently executes.
+type Location int
+
+const (
+	// LocHost: the lambda runs on the host CPU backend.
+	LocHost Location = iota
+	// LocNIC: the lambda runs on the SmartNIC backend.
+	LocNIC
+	// LocMigrating: a move is in flight; requests still route to the
+	// source until cutover.
+	LocMigrating
+)
+
+func (l Location) String() string {
+	switch l {
+	case LocHost:
+		return "HOST"
+	case LocNIC:
+		return "NIC"
+	case LocMigrating:
+		return "MIGRATING"
+	default:
+		return fmt.Sprintf("Location(%d)", int(l))
+	}
+}
+
+// Config parameterizes the engine.
+type Config struct {
+	// InstrStorePerCore is the NIC's per-core instruction store in
+	// instructions; firmware exceeding it is host-pinned.
+	InstrStorePerCore int
+	// LatencyAlpha is the EWMA factor in (0, 1] applied to observed
+	// latencies; 1 keeps only the newest sample.
+	LatencyAlpha float64
+	// Margin is the hysteresis half-band: a workload on the host moves
+	// to the NIC only when its NIC score exceeds +Margin, and a
+	// NIC-resident workload moves off only below -Margin. The dead
+	// band between them absorbs score jitter.
+	Margin float64
+	// MinDwell is the minimum time a workload stays put after a move
+	// before the engine reconsiders it (anti-flap).
+	MinDwell time.Duration
+	// Cooldown is the engine-wide minimum time between decision rounds
+	// that issue moves: after any migration starts, every workload's
+	// latency EWMA needs a settle period to shed the queueing the
+	// migration just relieved, or the engine chases its own wake.
+	// Zero disables the cooldown.
+	Cooldown time.Duration
+	// MaxMoves caps boundary moves per Decide round (0 = unlimited).
+	// With a cap, the most out-of-band workloads move first and the
+	// rest are re-evaluated after the fleet absorbs the change.
+	MaxMoves int
+	// History bounds the decision ring buffer.
+	History int
+	// WLatency, WFit and WLoad weight the three score terms.
+	WLatency, WFit, WLoad float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.LatencyAlpha <= 0 || c.LatencyAlpha > 1 {
+		c.LatencyAlpha = 0.3
+	}
+	if c.Margin <= 0 {
+		c.Margin = 0.15
+	}
+	if c.MinDwell <= 0 {
+		c.MinDwell = 50 * time.Millisecond
+	}
+	if c.History <= 0 {
+		c.History = 64
+	}
+	if c.WLatency <= 0 {
+		c.WLatency = 1
+	}
+	if c.WFit <= 0 {
+		c.WFit = 0.5
+	}
+	if c.WLoad <= 0 {
+		c.WLoad = 0.5
+	}
+	return c
+}
+
+// Decision records one boundary move.
+type Decision struct {
+	Workload string        `json:"workload"`
+	From     Location      `json:"-"`
+	To       Location      `json:"-"`
+	Score    float64       `json:"score"`
+	Reason   string        `json:"reason"`
+	At       time.Duration `json:"at"`
+}
+
+// Score is the engine's current view of one workload, exposed for
+// lnicctl place and tests.
+type Score struct {
+	Workload    string
+	Loc         Location
+	NICScore    float64 // composite: >0 favors NIC, <0 favors host
+	Fit         float64 // memory/instruction fit term in [0,1]; <0 means host-pinned
+	LatencyGain float64 // (host-nic)/max latency advantage in [-1,1]
+	NICLatency  time.Duration
+	HostLatency time.Duration
+}
+
+type lambdaState struct {
+	fp       mcc.ProgramFootprint
+	loc      Location
+	target   Location // valid while loc == LocMigrating
+	nicLat   float64  // EWMA seconds
+	hostLat  float64
+	hasNIC   bool
+	hasHost  bool
+	lastMove time.Duration
+	hasMoved bool
+}
+
+// Engine scores workloads and issues boundary decisions. Safe for
+// concurrent use.
+type Engine struct {
+	cfg Config
+
+	mu         sync.Mutex
+	lambdas    map[string]*lambdaState
+	nicLoad    float64
+	hostLoad   float64
+	history    []Decision
+	migrations uint64
+	evals      uint64
+	lastIssue  time.Duration
+	hasIssued  bool
+}
+
+// New builds an engine.
+func New(cfg Config) *Engine {
+	return &Engine{cfg: cfg.withDefaults(), lambdas: make(map[string]*lambdaState)}
+}
+
+// Register adds a workload with its compiled-firmware footprint and
+// initial location. Re-registering updates the footprint but keeps
+// runtime state.
+func (e *Engine) Register(workload string, fp mcc.ProgramFootprint, initial Location) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if st, ok := e.lambdas[workload]; ok {
+		st.fp = fp
+		return
+	}
+	e.lambdas[workload] = &lambdaState{fp: fp, loc: initial, target: initial}
+}
+
+// ObserveLatency feeds one observed service latency for a workload on
+// a backend side. Samples for LocMigrating are ignored.
+func (e *Engine) ObserveLatency(workload string, loc Location, lat time.Duration) {
+	if lat < 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.lambdas[workload]
+	if !ok {
+		return
+	}
+	s := lat.Seconds()
+	a := e.cfg.LatencyAlpha
+	switch loc {
+	case LocNIC:
+		if !st.hasNIC {
+			st.nicLat, st.hasNIC = s, true
+		} else {
+			st.nicLat = a*s + (1-a)*st.nicLat
+		}
+	case LocHost:
+		if !st.hasHost {
+			st.hostLat, st.hasHost = s, true
+		} else {
+			st.hostLat = a*s + (1-a)*st.hostLat
+		}
+	}
+}
+
+// ObserveLoad feeds the current normalized utilization of the NIC and
+// host pools (0 idle .. 1 saturated; values above 1 are legal and
+// mean overload).
+func (e *Engine) ObserveLoad(nic, host float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.nicLoad, e.hostLoad = nic, host
+}
+
+// Place returns the current location of a workload (LocHost for
+// unknown workloads: the safe default is the general-purpose side).
+func (e *Engine) Place(workload string) Location {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if st, ok := e.lambdas[workload]; ok {
+		return st.loc
+	}
+	return LocHost
+}
+
+// score computes the NIC-favorability score for one workload.
+// Caller holds e.mu.
+func (e *Engine) score(st *lambdaState) (nicScore, fit, latGain float64) {
+	// Fit: hard reject firmware that overflows the instruction store,
+	// otherwise reward low pressure and fast-memory residency.
+	pressure := st.fp.InstrPressure(e.cfg.InstrStorePerCore)
+	if pressure > 1 {
+		return math.Inf(-1), -1, 0
+	}
+	fit = (1 - pressure) * (0.5 + 0.5*st.fp.FastFraction())
+
+	// Latency: relative advantage of the NIC over the host. With only
+	// one side observed there is no evidence either way; the term
+	// stays neutral and fit+load decide.
+	if st.hasNIC && st.hasHost {
+		m := math.Max(st.nicLat, st.hostLat)
+		if m > 0 {
+			latGain = (st.hostLat - st.nicLat) / m
+		}
+	}
+
+	nicScore = e.cfg.WLatency*latGain + e.cfg.WFit*fit - e.cfg.WLoad*(e.nicLoad-e.hostLoad)
+	return nicScore, fit, latGain
+}
+
+// Decide evaluates every workload at the given time and returns the
+// boundary moves to execute. Each returned workload transitions to
+// LocMigrating; the caller (normally a Coordinator) must call
+// Complete when the migration finishes, or Abort to roll it back.
+func (e *Engine) Decide(now time.Duration) []Decision {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.evals++
+	if e.cfg.Cooldown > 0 && e.hasIssued && now-e.lastIssue < e.cfg.Cooldown {
+		return nil
+	}
+	names := make([]string, 0, len(e.lambdas))
+	for name := range e.lambdas {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	type candidate struct {
+		d      Decision
+		excess float64 // how far past the margin the score sits
+	}
+	var cands []candidate
+	for _, name := range names {
+		st := e.lambdas[name]
+		if st.loc == LocMigrating {
+			continue
+		}
+		if st.hasMoved && now-st.lastMove < e.cfg.MinDwell {
+			continue
+		}
+		nicScore, fit, latGain := e.score(st)
+		var d *Decision
+		var excess float64
+		switch {
+		case st.loc == LocNIC && nicScore < -e.cfg.Margin:
+			excess = -e.cfg.Margin - nicScore
+			d = &Decision{
+				Workload: name, From: LocNIC, To: LocHost, Score: nicScore,
+				Reason: fmt.Sprintf("nic score %.2f below -%.2f (fit %.2f, latency gain %.2f, nic load %.2f vs host %.2f)",
+					nicScore, e.cfg.Margin, fit, latGain, e.nicLoad, e.hostLoad),
+			}
+		case st.loc == LocHost && nicScore > e.cfg.Margin:
+			excess = nicScore - e.cfg.Margin
+			d = &Decision{
+				Workload: name, From: LocHost, To: LocNIC, Score: nicScore,
+				Reason: fmt.Sprintf("nic score %.2f above +%.2f (fit %.2f, latency gain %.2f, nic load %.2f vs host %.2f)",
+					nicScore, e.cfg.Margin, fit, latGain, e.nicLoad, e.hostLoad),
+			}
+		}
+		if d == nil {
+			continue
+		}
+		d.At = now
+		cands = append(cands, candidate{d: *d, excess: excess})
+	}
+	// Most out-of-band first; ties break on name (stable against map
+	// ordering) so decisions replay identically across runs.
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].excess > cands[j].excess })
+	if e.cfg.MaxMoves > 0 && len(cands) > e.cfg.MaxMoves {
+		cands = cands[:e.cfg.MaxMoves]
+	}
+
+	out := make([]Decision, 0, len(cands))
+	for _, c := range cands {
+		st := e.lambdas[c.d.Workload]
+		st.loc = LocMigrating
+		st.target = c.d.To
+		st.lastMove = now
+		st.hasMoved = true
+		e.pushHistory(c.d)
+		out = append(out, c.d)
+	}
+	if len(out) > 0 {
+		e.lastIssue = now
+		e.hasIssued = true
+	}
+	return out
+}
+
+// Complete finalizes an in-flight migration: the workload lands on
+// its decision target.
+func (e *Engine) Complete(workload string, now time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.lambdas[workload]
+	if !ok || st.loc != LocMigrating {
+		return
+	}
+	st.loc = st.target
+	st.lastMove = now
+	e.migrations++
+}
+
+// Abort rolls an in-flight migration back to the side opposite its
+// target (the source keeps serving; dwell still applies so the
+// engine does not immediately retry).
+func (e *Engine) Abort(workload string, now time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.lambdas[workload]
+	if !ok || st.loc != LocMigrating {
+		return
+	}
+	if st.target == LocNIC {
+		st.loc = LocHost
+	} else {
+		st.loc = LocNIC
+	}
+	st.lastMove = now
+}
+
+func (e *Engine) pushHistory(d Decision) {
+	e.history = append(e.history, d)
+	if over := len(e.history) - e.cfg.History; over > 0 {
+		e.history = append(e.history[:0], e.history[over:]...)
+	}
+}
+
+// History returns the most recent decisions, oldest first.
+func (e *Engine) History() []Decision {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Decision, len(e.history))
+	copy(out, e.history)
+	return out
+}
+
+// Scores returns the current per-workload scores, sorted by name.
+func (e *Engine) Scores() []Score {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Score, 0, len(e.lambdas))
+	for name, st := range e.lambdas {
+		nicScore, fit, latGain := e.score(st)
+		out = append(out, Score{
+			Workload:    name,
+			Loc:         st.loc,
+			NICScore:    nicScore,
+			Fit:         fit,
+			LatencyGain: latGain,
+			NICLatency:  time.Duration(st.nicLat * float64(time.Second)),
+			HostLatency: time.Duration(st.hostLat * float64(time.Second)),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Workload < out[j].Workload })
+	return out
+}
+
+// Migrations returns the count of completed migrations.
+func (e *Engine) Migrations() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.migrations
+}
+
+// EnableMetrics registers the engine's counters on a monitor
+// registry: lnic_placement_state{workload} (0=host, 1=nic,
+// 2=migrating), lnic_placement_migrations_total and
+// lnic_placement_evals_total. Workloads must be registered before
+// this is called; later Register calls are not reflected as new
+// gauge series.
+func (e *Engine) EnableMetrics(reg *monitor.Registry) error {
+	e.mu.Lock()
+	names := make([]string, 0, len(e.lambdas))
+	for name := range e.lambdas {
+		names = append(names, name)
+	}
+	e.mu.Unlock()
+	sort.Strings(names)
+	for _, name := range names {
+		name := name
+		if err := reg.GaugeFunc("lnic_placement_state",
+			"Current execution side per workload (0=host, 1=nic, 2=migrating).",
+			map[string]string{"workload": name},
+			func() float64 { return float64(e.Place(name)) }); err != nil {
+			return err
+		}
+	}
+	if err := reg.CounterFunc("lnic_placement_migrations_total",
+		"Completed NIC/host boundary migrations.", nil,
+		func() uint64 { return e.Migrations() }); err != nil {
+		return err
+	}
+	return reg.CounterFunc("lnic_placement_evals_total",
+		"Placement decision rounds evaluated.", nil,
+		func() uint64 {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			return e.evals
+		})
+}

@@ -1,0 +1,332 @@
+package placement
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"lambdanic/internal/mcc"
+	"lambdanic/internal/monitor"
+	"lambdanic/internal/nicsim"
+	"lambdanic/internal/obs"
+)
+
+func lightFP() mcc.ProgramFootprint {
+	return mcc.ProgramFootprint{
+		Instructions: 1000,
+		Memory:       map[nicsim.MemLevel]int{nicsim.MemLocal: 512},
+	}
+}
+
+func heavyFP() mcc.ProgramFootprint {
+	return mcc.ProgramFootprint{
+		Instructions: 14000,
+		Memory:       map[nicsim.MemLevel]int{nicsim.MemEMEM: 1 << 20},
+	}
+}
+
+func testConfig() Config {
+	return Config{
+		InstrStorePerCore: 16384,
+		LatencyAlpha:      1, // no smoothing: deterministic tests
+		Margin:            0.15,
+		MinDwell:          50 * time.Millisecond,
+	}
+}
+
+func TestOversizedFirmwareIsHostPinned(t *testing.T) {
+	e := New(testConfig())
+	fp := lightFP()
+	fp.Instructions = 20000 // over the 16K store
+	e.Register("giant", fp, LocNIC)
+	ds := e.Decide(0)
+	if len(ds) != 1 || ds[0].To != LocHost {
+		t.Fatalf("decisions = %+v, want giant -> HOST", ds)
+	}
+	e.Complete("giant", time.Second)
+	// Once host-pinned it never comes back, whatever the latency says.
+	e.ObserveLatency("giant", LocHost, 10*time.Millisecond)
+	if ds := e.Decide(10 * time.Second); len(ds) != 0 {
+		t.Fatalf("host-pinned firmware offered a move: %+v", ds)
+	}
+}
+
+func TestLatencyGainMovesWorkloadToNIC(t *testing.T) {
+	e := New(testConfig())
+	e.Register("web", lightFP(), LocHost)
+	e.ObserveLatency("web", LocHost, 800*time.Microsecond)
+	e.ObserveLatency("web", LocNIC, 100*time.Microsecond)
+	ds := e.Decide(0)
+	if len(ds) != 1 || ds[0].To != LocNIC {
+		t.Fatalf("decisions = %+v, want web -> NIC", ds)
+	}
+	if e.Place("web") != LocMigrating {
+		t.Fatalf("Place = %v, want MIGRATING", e.Place("web"))
+	}
+	e.Complete("web", time.Second)
+	if e.Place("web") != LocNIC {
+		t.Fatalf("Place = %v after Complete, want NIC", e.Place("web"))
+	}
+	if e.Migrations() != 1 {
+		t.Fatalf("Migrations = %d, want 1", e.Migrations())
+	}
+}
+
+func TestLoadPressureShedsHeavyLambdaOffNIC(t *testing.T) {
+	cfg := testConfig()
+	cfg.WLoad = 1
+	e := New(cfg)
+	e.Register("sweeper", heavyFP(), LocNIC)
+	// Saturated NIC, idle host: the load term dominates the small fit
+	// bonus and pushes the EMEM-bound lambda off the NIC.
+	e.ObserveLoad(1.0, 0.1)
+	ds := e.Decide(0)
+	if len(ds) != 1 || ds[0].To != LocHost {
+		t.Fatalf("decisions = %+v, want sweeper -> HOST", ds)
+	}
+}
+
+func TestHysteresisDeadBandHolds(t *testing.T) {
+	e := New(testConfig())
+	e.Register("web", lightFP(), LocNIC)
+	// Mild host advantage inside the margin: no move.
+	e.ObserveLatency("web", LocNIC, 105*time.Microsecond)
+	e.ObserveLatency("web", LocHost, 100*time.Microsecond)
+	e.ObserveLoad(0.5, 0.5)
+	if ds := e.Decide(0); len(ds) != 0 {
+		t.Fatalf("score inside dead band produced decisions: %+v", ds)
+	}
+}
+
+func TestMinDwellSuppressesFlapping(t *testing.T) {
+	e := New(testConfig())
+	e.Register("web", lightFP(), LocHost)
+	e.ObserveLatency("web", LocHost, 800*time.Microsecond)
+	e.ObserveLatency("web", LocNIC, 100*time.Microsecond)
+	if ds := e.Decide(0); len(ds) != 1 {
+		t.Fatal("expected initial move to NIC")
+	}
+	e.Complete("web", 10*time.Millisecond)
+	// Latency inverts immediately; the dwell window holds the workload.
+	e.ObserveLatency("web", LocNIC, 8*time.Millisecond)
+	if ds := e.Decide(20 * time.Millisecond); len(ds) != 0 {
+		t.Fatalf("moved inside MinDwell: %+v", ds)
+	}
+	if ds := e.Decide(100 * time.Millisecond); len(ds) != 1 || ds[0].To != LocHost {
+		t.Fatalf("post-dwell decisions = %+v, want web -> HOST", ds)
+	}
+}
+
+func TestMaxMovesPicksMostOutOfBand(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxMoves = 1
+	e := New(cfg)
+	// Both want the NIC, but "fast" has the bigger latency gap; the
+	// capped round must move it first and leave "slow" for later.
+	e.Register("slow", lightFP(), LocHost)
+	e.ObserveLatency("slow", LocHost, 300*time.Microsecond)
+	e.ObserveLatency("slow", LocNIC, 100*time.Microsecond)
+	e.Register("fast", lightFP(), LocHost)
+	e.ObserveLatency("fast", LocHost, 5*time.Millisecond)
+	e.ObserveLatency("fast", LocNIC, 100*time.Microsecond)
+
+	ds := e.Decide(0)
+	if len(ds) != 1 || ds[0].Workload != "fast" {
+		t.Fatalf("decisions = %+v, want single move of fast", ds)
+	}
+	e.Complete("fast", time.Millisecond)
+	// The runner-up moves on the next round.
+	ds = e.Decide(2 * time.Millisecond)
+	if len(ds) != 1 || ds[0].Workload != "slow" {
+		t.Fatalf("second round = %+v, want slow -> NIC", ds)
+	}
+}
+
+func TestCooldownBlocksBackToBackRounds(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxMoves = 1
+	cfg.Cooldown = 10 * time.Millisecond
+	e := New(cfg)
+	e.Register("a", lightFP(), LocHost)
+	e.ObserveLatency("a", LocHost, 5*time.Millisecond)
+	e.ObserveLatency("a", LocNIC, 100*time.Microsecond)
+	e.Register("b", lightFP(), LocHost)
+	e.ObserveLatency("b", LocHost, 5*time.Millisecond)
+	e.ObserveLatency("b", LocNIC, 100*time.Microsecond)
+
+	if ds := e.Decide(0); len(ds) != 1 {
+		t.Fatalf("first round = %+v, want one move", ds)
+	}
+	e.Complete("a", time.Millisecond)
+	// Inside the cooldown the engine stays quiet even though b is
+	// eligible and past the margin.
+	if ds := e.Decide(5 * time.Millisecond); len(ds) != 0 {
+		t.Fatalf("moved during cooldown: %+v", ds)
+	}
+	if ds := e.Decide(12 * time.Millisecond); len(ds) != 1 || ds[0].Workload != "b" {
+		t.Fatalf("post-cooldown round = %+v, want b -> NIC", ds)
+	}
+}
+
+func TestAbortRollsBack(t *testing.T) {
+	e := New(testConfig())
+	e.Register("web", lightFP(), LocHost)
+	e.ObserveLatency("web", LocHost, 800*time.Microsecond)
+	e.ObserveLatency("web", LocNIC, 100*time.Microsecond)
+	if ds := e.Decide(0); len(ds) != 1 {
+		t.Fatal("expected a move")
+	}
+	e.Abort("web", 10*time.Millisecond)
+	if e.Place("web") != LocHost {
+		t.Fatalf("Place = %v after Abort, want HOST", e.Place("web"))
+	}
+	if e.Migrations() != 0 {
+		t.Fatalf("Migrations = %d after abort, want 0", e.Migrations())
+	}
+}
+
+func TestHistoryRingBounded(t *testing.T) {
+	cfg := testConfig()
+	cfg.History = 4
+	cfg.MinDwell = time.Millisecond
+	e := New(cfg)
+	e.Register("web", lightFP(), LocHost)
+	now := time.Duration(0)
+	// Flip latency evidence back and forth to force repeated moves.
+	for i := 0; i < 10; i++ {
+		if i%2 == 0 {
+			e.ObserveLatency("web", LocHost, 800*time.Microsecond)
+			e.ObserveLatency("web", LocNIC, 100*time.Microsecond)
+		} else {
+			e.ObserveLatency("web", LocHost, 100*time.Microsecond)
+			e.ObserveLatency("web", LocNIC, 800*time.Microsecond)
+		}
+		now += 10 * time.Millisecond
+		for _, d := range e.Decide(now) {
+			e.Complete(d.Workload, now)
+		}
+	}
+	h := e.History()
+	if len(h) != 4 {
+		t.Fatalf("history length = %d, want 4 (bounded)", len(h))
+	}
+	for i := 1; i < len(h); i++ {
+		if h[i].At < h[i-1].At {
+			t.Fatalf("history out of order: %+v", h)
+		}
+	}
+}
+
+func TestScoresExposeState(t *testing.T) {
+	e := New(testConfig())
+	e.Register("b", heavyFP(), LocHost)
+	e.Register("a", lightFP(), LocNIC)
+	e.ObserveLatency("a", LocNIC, 100*time.Microsecond)
+	sc := e.Scores()
+	if len(sc) != 2 || sc[0].Workload != "a" || sc[1].Workload != "b" {
+		t.Fatalf("Scores = %+v, want sorted [a b]", sc)
+	}
+	if sc[0].Loc != LocNIC || sc[0].NICLatency != 100*time.Microsecond {
+		t.Fatalf("score a = %+v", sc[0])
+	}
+	if sc[0].Fit <= sc[1].Fit {
+		t.Fatalf("LMEM-resident fit %.2f should beat EMEM-resident fit %.2f",
+			sc[0].Fit, sc[1].Fit)
+	}
+}
+
+func TestMetricsRender(t *testing.T) {
+	e := New(testConfig())
+	e.Register("web", lightFP(), LocNIC)
+	reg := monitor.NewRegistry()
+	if err := e.EnableMetrics(reg); err != nil {
+		t.Fatal(err)
+	}
+	out := reg.Render()
+	for _, want := range []string{
+		`lnic_placement_state{workload="web"} 1`,
+		"lnic_placement_migrations_total 0",
+		"lnic_placement_evals_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// fakeFabric records the migration protocol's call order and lets the
+// test control when warm/drain complete.
+type fakeFabric struct {
+	calls   []string
+	readyFn func()
+	drainFn func()
+}
+
+func (f *fakeFabric) Warm(w string, to Location, ready func()) {
+	f.calls = append(f.calls, "warm:"+w+"->"+to.String())
+	f.readyFn = ready
+}
+func (f *fakeFabric) Cutover(w string, to Location) {
+	f.calls = append(f.calls, "cutover:"+w+"->"+to.String())
+}
+func (f *fakeFabric) Drain(w string, from Location, drained func()) {
+	f.calls = append(f.calls, "drain:"+w+"<-"+from.String())
+	f.drainFn = drained
+}
+
+func TestCoordinatorRunsThreeStepProtocol(t *testing.T) {
+	e := New(testConfig())
+	e.Register("web", lightFP(), LocHost)
+	e.ObserveLatency("web", LocHost, 800*time.Microsecond)
+	e.ObserveLatency("web", LocNIC, 100*time.Microsecond)
+
+	var now time.Duration
+	fab := &fakeFabric{}
+	col := obs.NewCollector(func() time.Duration { return now })
+	c := NewCoordinator(e, fab, func() time.Duration { return now })
+	c.SetCollector(col)
+
+	if ds := c.Run(0); len(ds) != 1 {
+		t.Fatal("coordinator started no migration")
+	}
+	if e.Place("web") != LocMigrating {
+		t.Fatalf("Place = %v during warm, want MIGRATING", e.Place("web"))
+	}
+	now = 2 * time.Millisecond
+	fab.readyFn() // warm completes -> cutover fires, drain starts
+	if e.Place("web") != LocMigrating {
+		t.Fatalf("Place = %v during drain, want MIGRATING", e.Place("web"))
+	}
+	now = 5 * time.Millisecond
+	fab.drainFn() // drain completes -> engine finalizes
+
+	want := []string{"warm:web->NIC", "cutover:web->NIC", "drain:web<-HOST"}
+	if len(fab.calls) != len(want) {
+		t.Fatalf("fabric calls = %v, want %v", fab.calls, want)
+	}
+	for i := range want {
+		if fab.calls[i] != want[i] {
+			t.Fatalf("fabric calls = %v, want %v", fab.calls, want)
+		}
+	}
+	if e.Place("web") != LocNIC {
+		t.Fatalf("Place = %v after drain, want NIC", e.Place("web"))
+	}
+
+	// The move is visible on the obs timeline as a placement.migrate
+	// span covering warm through drain.
+	var found bool
+	for _, r := range col.Requests() {
+		for _, sp := range r.Spans {
+			if sp.Stage == obs.StagePlacement && sp.Detail == "migrate:HOST->NIC" {
+				found = true
+				if sp.Start != 0 || sp.End != 5*time.Millisecond {
+					t.Fatalf("span [%v,%v], want [0,5ms]", sp.Start, sp.End)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("placement.migrate span missing from obs timeline")
+	}
+}

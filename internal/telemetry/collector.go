@@ -133,9 +133,9 @@ type FleetRow struct {
 	Workload string `json:"workload"` // "" for the node-wide row
 	// Tenant is the owning tenant when the scraped series carries a
 	// tenant label ("" otherwise).
-	Tenant   string  `json:"tenant,omitempty"`
-	Requests uint64  `json:"requests"`
-	Errors   uint64  `json:"errors"`
+	Tenant   string `json:"tenant,omitempty"`
+	Requests uint64 `json:"requests"`
+	Errors   uint64 `json:"errors"`
 	// Shed counts requests dropped before execution: worker/gateway
 	// pool drops on node rows, admission throttles on tenant rows.
 	Shed     uint64  `json:"shed"`
@@ -153,8 +153,17 @@ type FleetRow struct {
 	// 0% hit rate from "not a worker / tracking disabled".
 	WarmPct float64 `json:"warm_pct,omitempty"`
 	HasWarm bool    `json:"has_warm,omitempty"`
-	P50     float64 `json:"p50_seconds"`
-	P99     float64 `json:"p99_seconds"`
+	// Place is the placement engine's current side for the workload
+	// (HOST, NIC, or MIG while a migration is draining), from the
+	// lnic_placement_state gauge; "" when the node runs no engine.
+	Place string `json:"place,omitempty"`
+	// Migrations is the node's completed boundary-migration count
+	// (lnic_placement_migrations_total, a lifetime total on the node
+	// row — placement moves are rare events, so the standing count
+	// reads better than a per-window delta).
+	Migrations uint64  `json:"migrations,omitempty"`
+	P50        float64 `json:"p50_seconds"`
+	P99        float64 `json:"p99_seconds"`
 }
 
 // latencyFamilies maps a scraped histogram family to the workload
@@ -196,6 +205,28 @@ const (
 	warmHitsFamily    = "lnic_worker_warm_hits_total"
 	warmLookupsFamily = "lnic_worker_warm_lookups_total"
 )
+
+// Placement families: the engine's per-workload side gauge and the
+// node's completed-migration counter, surfaced as PLACE and MIG.
+const (
+	placementStateFamily      = "lnic_placement_state"
+	placementMigrationsFamily = "lnic_placement_migrations_total"
+)
+
+// placeName decodes the lnic_placement_state gauge (the
+// placement.Location enum) into the fleet view's PLACE column.
+func placeName(v float64) string {
+	switch int(v) {
+	case 0:
+		return "HOST"
+	case 1:
+		return "NIC"
+	case 2:
+		return "MIG"
+	default:
+		return "?"
+	}
+}
 
 // FleetRows computes the per-(nic, workload) view from the delta
 // between two snapshots taken `elapsed` apart. Targets that failed in
@@ -271,8 +302,18 @@ func FleetRows(prev, cur FleetSnapshot, elapsed time.Duration) []FleetRow {
 					row.HasWarm = true
 					row.WarmPct = 100 * float64(counterDelta(warmHitsFamily, nil)) / float64(lookups)
 				}
+				// MIG: the node's lifetime boundary-migration count.
+				if migs, ok := ts.Scrape.Value(placementMigrationsFamily, nil); ok && migs > 0 {
+					row.Migrations = uint64(migs)
+				}
 			} else {
 				row.Bypass = counterDelta(bypassFamily, h.Labels)
+				// PLACE: which side of the NIC/host boundary the engine
+				// currently runs this workload on.
+				if st, ok := ts.Scrape.Value(placementStateFamily,
+					map[string]string{"workload": row.Workload}); ok {
+					row.Place = placeName(st)
+				}
 			}
 			if elapsed > 0 {
 				row.RatePerS = float64(delta.Count) / elapsed.Seconds()
@@ -322,8 +363,8 @@ func FilterTenant(rows []FleetRow, tenantName string) []FleetRow {
 func RenderTop(rows []FleetRow, elapsed time.Duration) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "fleet view over %s\n", elapsed.Round(time.Millisecond))
-	fmt.Fprintf(&b, "%-10s %-18s %-10s %9s %8s %8s %10s %10s %6s %6s %10s %10s\n",
-		"NIC", "WORKLOAD", "TENANT", "REQS", "ERRS", "SHED", "REQ/S", "1SIDED/S", "FLOWS", "WARM%", "P50", "P99")
+	fmt.Fprintf(&b, "%-10s %-18s %-10s %-5s %9s %8s %8s %10s %10s %6s %6s %5s %10s %10s\n",
+		"NIC", "WORKLOAD", "TENANT", "PLACE", "REQS", "ERRS", "SHED", "REQ/S", "1SIDED/S", "FLOWS", "WARM%", "MIG", "P50", "P99")
 	for _, r := range rows {
 		if r.Workload == "(scrape failed)" {
 			fmt.Fprintf(&b, "%-10s %-18s %s\n", r.Nic, "-", "scrape failed")
@@ -337,13 +378,17 @@ func RenderTop(rows []FleetRow, elapsed time.Duration) string {
 		if ten == "" {
 			ten = "-"
 		}
+		place := r.Place
+		if place == "" {
+			place = "-"
+		}
 		warm := "-"
 		if r.HasWarm {
 			warm = fmt.Sprintf("%.1f", r.WarmPct)
 		}
-		fmt.Fprintf(&b, "%-10s %-18s %-10s %9d %8d %8d %10.1f %10.1f %6d %6s %10s %10s\n",
-			r.Nic, wl, ten, r.Requests, r.Errors, r.Shed, r.RatePerS, r.BypassPerS,
-			r.Flows, warm, fmtSeconds(r.P50), fmtSeconds(r.P99))
+		fmt.Fprintf(&b, "%-10s %-18s %-10s %-5s %9d %8d %8d %10.1f %10.1f %6d %6s %5d %10s %10s\n",
+			r.Nic, wl, ten, place, r.Requests, r.Errors, r.Shed, r.RatePerS, r.BypassPerS,
+			r.Flows, warm, r.Migrations, fmtSeconds(r.P50), fmtSeconds(r.P99))
 	}
 	return b.String()
 }

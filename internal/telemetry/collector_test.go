@@ -8,7 +8,9 @@ import (
 	"testing"
 	"time"
 
+	"lambdanic/internal/mcc"
 	"lambdanic/internal/monitor"
+	"lambdanic/internal/placement"
 )
 
 func TestParseExposition(t *testing.T) {
@@ -392,6 +394,59 @@ func TestFleetRowsFlowAffinity(t *testing.T) {
 	for _, r := range rows2 {
 		if r.Nic == "m2" && r.Workload == "" && r.HasWarm {
 			t.Errorf("idle window still reports warm tracking: %+v", r)
+		}
+	}
+}
+
+// TestFleetRowsPlacement scrapes a real placement engine's metric
+// families — the PLACE and MIG columns must agree with the engine's
+// exposition, not a hand-rolled copy of its family names.
+func TestFleetRowsPlacement(t *testing.T) {
+	c, worker, _ := fleetFixture(t)
+
+	wh := NewHistogram()
+	if err := wh.Expose(worker, "lnic_worker_latency_seconds", "latency", nil); err != nil {
+		t.Fatal(err)
+	}
+	wlh := NewHistogram()
+	if err := wlh.Expose(worker, "lnic_worker_workload_latency_seconds", "latency",
+		map[string]string{"workload": "bnd_heavy"}); err != nil {
+		t.Fatal(err)
+	}
+	eng := placement.New(placement.Config{})
+	eng.Register("bnd_heavy", mcc.ProgramFootprint{Instructions: 1000}, placement.LocNIC)
+	if err := eng.EnableMetrics(worker); err != nil {
+		t.Fatal(err)
+	}
+
+	prev := c.Collect(context.Background())
+	for i := 0; i < 10; i++ {
+		wh.ObserveDuration(time.Millisecond)
+		wlh.ObserveDuration(time.Millisecond)
+	}
+	cur := c.Collect(context.Background())
+
+	rows := FleetRows(prev, cur, 10*time.Second)
+	byKey := map[string]FleetRow{}
+	for _, r := range rows {
+		byKey[r.Nic+"/"+r.Workload] = r
+	}
+	wl := byKey["m2/bnd_heavy"]
+	if wl.Place != "NIC" {
+		t.Errorf("workload place = %q, want NIC: %+v", wl.Place, wl)
+	}
+	node := byKey["m2/"]
+	if node.Place != "" {
+		t.Errorf("node row carries a place %q", node.Place)
+	}
+	if node.Migrations != 0 {
+		t.Errorf("migrations = %d before any move", node.Migrations)
+	}
+
+	top := RenderTop(rows, 10*time.Second)
+	for _, want := range []string{"PLACE", "MIG", "NIC"} {
+		if !strings.Contains(top, want) {
+			t.Errorf("top output missing %q:\n%s", want, top)
 		}
 	}
 }
